@@ -1,0 +1,214 @@
+//! Shared ALU semantics.
+//!
+//! Both the architectural simulator and the out-of-order pipeline execute
+//! operate-format instructions through [`eval`], so the two models can
+//! never diverge on arithmetic — a prerequisite for the golden-run
+//! comparisons the fault injection framework performs.
+
+use restore_isa::AluOp;
+
+/// Result of evaluating an ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOut {
+    /// Normal result value.
+    Value(u64),
+    /// The operation was a conditional move whose condition was false:
+    /// the destination keeps its old value (passed through).
+    Value2(u64),
+    /// A trapping operation overflowed.
+    Overflow,
+}
+
+impl AluOut {
+    /// The produced value, treating both value variants uniformly.
+    ///
+    /// Returns `None` on overflow.
+    pub fn value(self) -> Option<u64> {
+        match self {
+            AluOut::Value(v) | AluOut::Value2(v) => Some(v),
+            AluOut::Overflow => None,
+        }
+    }
+}
+
+#[inline]
+fn sext32(v: u32) -> u64 {
+    v as i32 as i64 as u64
+}
+
+/// Evaluates `op` over operands `a` (the `ra` value), `b` (the `rb` value
+/// or zero-extended literal) and `old_c` (the destination's previous
+/// value, consumed only by conditional moves).
+///
+/// Returns [`AluOut::Overflow`] for trapping ops whose signed result
+/// overflows; the caller converts that into an
+/// [`ArithmeticTrap`](crate::Exception::ArithmeticTrap).
+///
+/// # Examples
+///
+/// ```
+/// use restore_arch::alu::{eval, AluOut};
+/// use restore_isa::AluOp;
+/// assert_eq!(eval(AluOp::Addq, 2, 3, 0), AluOut::Value(5));
+/// assert_eq!(eval(AluOp::Addqv, i64::MAX as u64, 1, 0), AluOut::Overflow);
+/// ```
+pub fn eval(op: AluOp, a: u64, b: u64, old_c: u64) -> AluOut {
+    use AluOp::*;
+    let v = match op {
+        Addl => sext32((a as u32).wrapping_add(b as u32)),
+        Addq => a.wrapping_add(b),
+        Subl => sext32((a as u32).wrapping_sub(b as u32)),
+        Subq => a.wrapping_sub(b),
+        Addlv => match (a as u32 as i32).checked_add(b as u32 as i32) {
+            Some(v) => v as i64 as u64,
+            None => return AluOut::Overflow,
+        },
+        Addqv => match (a as i64).checked_add(b as i64) {
+            Some(v) => v as u64,
+            None => return AluOut::Overflow,
+        },
+        Sublv => match (a as u32 as i32).checked_sub(b as u32 as i32) {
+            Some(v) => v as i64 as u64,
+            None => return AluOut::Overflow,
+        },
+        Subqv => match (a as i64).checked_sub(b as i64) {
+            Some(v) => v as u64,
+            None => return AluOut::Overflow,
+        },
+        S4addq => a.wrapping_mul(4).wrapping_add(b),
+        S8addq => a.wrapping_mul(8).wrapping_add(b),
+        S4subq => a.wrapping_mul(4).wrapping_sub(b),
+        S8subq => a.wrapping_mul(8).wrapping_sub(b),
+        Cmpeq => (a == b) as u64,
+        Cmplt => ((a as i64) < (b as i64)) as u64,
+        Cmple => ((a as i64) <= (b as i64)) as u64,
+        Cmpult => (a < b) as u64,
+        Cmpule => (a <= b) as u64,
+        And => a & b,
+        Bic => a & !b,
+        Bis => a | b,
+        Ornot => a | !b,
+        Xor => a ^ b,
+        Eqv => a ^ !b,
+        Cmoveq => return cmov(a == 0, b, old_c),
+        Cmovne => return cmov(a != 0, b, old_c),
+        Cmovlt => return cmov((a as i64) < 0, b, old_c),
+        Cmovge => return cmov((a as i64) >= 0, b, old_c),
+        Cmovle => return cmov((a as i64) <= 0, b, old_c),
+        Cmovgt => return cmov((a as i64) > 0, b, old_c),
+        Cmovlbs => return cmov(a & 1 == 1, b, old_c),
+        Cmovlbc => return cmov(a & 1 == 0, b, old_c),
+        Sll => a << (b & 63),
+        Srl => a >> (b & 63),
+        Sra => ((a as i64) >> (b & 63)) as u64,
+        Mull => sext32((a as u32).wrapping_mul(b as u32)),
+        Mulq => a.wrapping_mul(b),
+        Umulh => (((a as u128) * (b as u128)) >> 64) as u64,
+        Mullv => match (a as u32 as i32).checked_mul(b as u32 as i32) {
+            Some(v) => v as i64 as u64,
+            None => return AluOut::Overflow,
+        },
+        Mulqv => match (a as i64).checked_mul(b as i64) {
+            Some(v) => v as u64,
+            None => return AluOut::Overflow,
+        },
+    };
+    AluOut::Value(v)
+}
+
+#[inline]
+fn cmov(cond: bool, b: u64, old_c: u64) -> AluOut {
+    if cond {
+        AluOut::Value(b)
+    } else {
+        AluOut::Value2(old_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(op: AluOp, a: u64, b: u64) -> u64 {
+        eval(op, a, b, 0xdead).value().unwrap()
+    }
+
+    #[test]
+    fn longword_ops_sign_extend() {
+        assert_eq!(v(AluOp::Addl, 0x7fff_ffff, 1), 0xffff_ffff_8000_0000);
+        assert_eq!(v(AluOp::Subl, 0, 1), u64::MAX);
+        assert_eq!(v(AluOp::Mull, 0x10000, 0x10000), 0); // low 32 bits
+    }
+
+    #[test]
+    fn quadword_wrapping() {
+        assert_eq!(v(AluOp::Addq, u64::MAX, 1), 0);
+        assert_eq!(v(AluOp::Subq, 0, 1), u64::MAX);
+        assert_eq!(v(AluOp::Mulq, 1 << 63, 2), 0);
+    }
+
+    #[test]
+    fn trapping_ops_overflow() {
+        assert_eq!(eval(AluOp::Addqv, i64::MAX as u64, 1, 0), AluOut::Overflow);
+        assert_eq!(eval(AluOp::Subqv, i64::MIN as u64, 1, 0), AluOut::Overflow);
+        assert_eq!(eval(AluOp::Mulqv, i64::MAX as u64, 2, 0), AluOut::Overflow);
+        assert_eq!(
+            eval(AluOp::Addlv, 0x7fff_ffff, 1, 0),
+            AluOut::Overflow
+        );
+        assert_eq!(eval(AluOp::Addqv, 1, 2, 0), AluOut::Value(3));
+    }
+
+    #[test]
+    fn scaled_adds() {
+        assert_eq!(v(AluOp::S4addq, 3, 10), 22);
+        assert_eq!(v(AluOp::S8addq, 3, 10), 34);
+        assert_eq!(v(AluOp::S4subq, 3, 10), 2);
+        assert_eq!(v(AluOp::S8subq, 3, 4), 20);
+    }
+
+    #[test]
+    fn compares() {
+        assert_eq!(v(AluOp::Cmpeq, 5, 5), 1);
+        assert_eq!(v(AluOp::Cmpeq, 5, 6), 0);
+        assert_eq!(v(AluOp::Cmplt, u64::MAX, 0), 1); // -1 < 0 signed
+        assert_eq!(v(AluOp::Cmpult, u64::MAX, 0), 0); // unsigned
+        assert_eq!(v(AluOp::Cmple, 5, 5), 1);
+        assert_eq!(v(AluOp::Cmpule, 6, 5), 0);
+    }
+
+    #[test]
+    fn logic_ops() {
+        assert_eq!(v(AluOp::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(v(AluOp::Bic, 0b1100, 0b1010), 0b0100);
+        assert_eq!(v(AluOp::Bis, 0b1100, 0b1010), 0b1110);
+        assert_eq!(v(AluOp::Ornot, 0, 0), u64::MAX);
+        assert_eq!(v(AluOp::Xor, 0b1100, 0b1010), 0b0110);
+        assert_eq!(v(AluOp::Eqv, 5, 5), u64::MAX);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(v(AluOp::Sll, 1, 64), 1); // 64 & 63 == 0
+        assert_eq!(v(AluOp::Srl, 1 << 63, 63), 1);
+        assert_eq!(v(AluOp::Sra, u64::MAX, 63), u64::MAX);
+        assert_eq!(v(AluOp::Sra, 1 << 63, 63), u64::MAX);
+    }
+
+    #[test]
+    fn umulh_matches_wide_multiply() {
+        let a = 0xffff_ffff_ffff_fff1u64;
+        let b = 0x1234_5678_9abc_def0u64;
+        let wide = (a as u128) * (b as u128);
+        assert_eq!(v(AluOp::Umulh, a, b), (wide >> 64) as u64);
+    }
+
+    #[test]
+    fn cmov_selects_and_passes_through() {
+        assert_eq!(eval(AluOp::Cmoveq, 0, 42, 7), AluOut::Value(42));
+        assert_eq!(eval(AluOp::Cmoveq, 1, 42, 7), AluOut::Value2(7));
+        assert_eq!(eval(AluOp::Cmovlbs, 3, 42, 7), AluOut::Value(42));
+        assert_eq!(eval(AluOp::Cmovgt, 1, 42, 7), AluOut::Value(42));
+        assert_eq!(eval(AluOp::Cmovgt, 0, 42, 7), AluOut::Value2(7));
+    }
+}

@@ -1,0 +1,566 @@
+//! The architectural (functional) simulator.
+//!
+//! This is the "instruction set simulator capable of running … binaries"
+//! the paper uses for its virtual-machine fault injection study (§3.1),
+//! and it doubles as the golden reference the microarchitectural pipeline
+//! is compared against (§4.2).
+
+use crate::alu::{self, AluOut};
+use crate::{Exception, Memory, Perm};
+use restore_isa::{decode, Inst, PalFunc, Program, Reg};
+
+/// The 32-entry architectural register file with a hardwired zero.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RegFile {
+    regs: [u64; 32],
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        RegFile { regs: [0; 32] }
+    }
+}
+
+impl RegFile {
+    /// All-zero register file.
+    pub fn new() -> RegFile {
+        RegFile::default()
+    }
+
+    /// Reads a register; `r31` always reads zero.
+    #[inline]
+    pub fn read(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes a register; writes to `r31` are discarded.
+    #[inline]
+    pub fn write(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Raw view for state comparison (index 31 is by construction 0).
+    pub fn as_array(&self) -> &[u64; 32] {
+        &self.regs
+    }
+
+    /// Flips one bit of a register (fault injection helper). Flips of
+    /// `r31` are ignored, matching the hardwired zero.
+    pub fn flip_bit(&mut self, r: Reg, bit: u32) {
+        assert!(bit < 64);
+        if !r.is_zero() {
+            self.regs[r.index()] ^= 1u64 << bit;
+        }
+    }
+}
+
+/// Details of a retired memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEffect {
+    /// Effective address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub len: u64,
+    /// `true` for stores.
+    pub is_store: bool,
+    /// Value loaded or stored (post-extension for loads).
+    pub value: u64,
+}
+
+/// Details of a retired control-flow instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchEffect {
+    /// `true` if the branch redirected the PC (conditional taken, or any
+    /// unconditional/jump).
+    pub taken: bool,
+    /// The address control transferred to (fall-through if not taken).
+    pub target: u64,
+    /// `true` for conditional branches.
+    pub conditional: bool,
+}
+
+/// Everything observable about one retired instruction.
+///
+/// The fault-injection classifier diffs streams of these between golden
+/// and injected runs to spot control-flow violations, corrupted memory
+/// addresses and corrupted store data — the categories of paper Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retired {
+    /// PC of the instruction.
+    pub pc: u64,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// PC of the next instruction.
+    pub next_pc: u64,
+    /// Register write performed, if any (post-cmov resolution).
+    pub reg_write: Option<(Reg, u64)>,
+    /// Memory access performed, if any.
+    pub mem: Option<MemEffect>,
+    /// Control-flow outcome, if a control instruction.
+    pub branch: Option<BranchEffect>,
+    /// `true` if this instruction halted the machine.
+    pub halted: bool,
+}
+
+/// Outcome of [`Cpu::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// The program executed `call_pal halt`.
+    Halted,
+    /// The instruction budget was exhausted first.
+    BudgetExhausted,
+}
+
+/// The architectural simulator: registers, PC, memory, output log.
+///
+/// # Examples
+///
+/// ```
+/// use restore_arch::Cpu;
+/// use restore_isa::{Asm, Reg, layout};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = Asm::new("demo", layout::TEXT_BASE);
+/// a.li(Reg::A0, 7);
+/// a.outq();
+/// a.halt();
+/// let mut cpu = Cpu::new(&a.finish()?);
+/// cpu.run(100)?;
+/// assert_eq!(cpu.output(), &[7]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cpu {
+    /// Architectural registers.
+    pub regs: RegFile,
+    /// Program counter.
+    pub pc: u64,
+    /// Memory image.
+    pub mem: Memory,
+    output: Vec<u64>,
+    retired: u64,
+    halted: bool,
+}
+
+impl Cpu {
+    /// Builds a CPU with `program` loaded: text mapped read-execute, data
+    /// segments per their writability, stack mapped read-write, PC at the
+    /// entry point, and `sp` at the stack top.
+    pub fn new(program: &Program) -> Cpu {
+        let mut mem = Memory::new();
+        let text_bytes: Vec<u8> = program.text.iter().flat_map(|w| w.to_le_bytes()).collect();
+        mem.map(program.text_base, text_bytes.len().max(4) as u64, Perm::RX);
+        mem.poke_bytes(program.text_base, &text_bytes);
+        for seg in &program.data {
+            let perm = if seg.writable { Perm::RW } else { Perm::R };
+            mem.map(seg.base, seg.bytes.len() as u64, perm);
+            mem.poke_bytes(seg.base, &seg.bytes);
+        }
+        mem.map(program.stack_top - program.stack_size, program.stack_size, Perm::RW);
+        let mut regs = RegFile::new();
+        regs.write(Reg::SP, program.stack_top);
+        Cpu {
+            regs,
+            pc: program.entry,
+            mem,
+            output: Vec::new(),
+            retired: 0,
+            halted: false,
+        }
+    }
+
+    /// Number of instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// `true` once `call_pal halt` has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Values logged via `call_pal outq` / `putc`.
+    pub fn output(&self) -> &[u64] {
+        &self.output
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Exception`] if the instruction faults; architectural
+    /// state (PC, registers, memory) is left at the faulting instruction,
+    /// i.e. exceptions are precise.
+    pub fn step(&mut self) -> Result<Retired, Exception> {
+        debug_assert!(!self.halted, "stepping a halted CPU");
+        let pc = self.pc;
+        let word = self
+            .mem
+            .fetch(pc)
+            .map_err(|_| Exception::FetchFault { pc })?;
+        let inst = decode(word).map_err(|e| Exception::IllegalInstruction { pc, word: e.word })?;
+        let mut next_pc = pc.wrapping_add(4);
+        let mut reg_write = None;
+        let mut mem_effect = None;
+        let mut branch = None;
+        let mut halted = false;
+
+        match inst {
+            Inst::Pal(f) => match f {
+                PalFunc::Halt => halted = true,
+                PalFunc::Putc => self.output.push(self.regs.read(Reg::A0) & 0xff),
+                PalFunc::Outq => self.output.push(self.regs.read(Reg::A0)),
+            },
+            Inst::Lda { ra, rb, disp } => {
+                let v = self.regs.read(rb).wrapping_add(disp as i64 as u64);
+                self.regs.write(ra, v);
+                reg_write = Some((ra, v));
+            }
+            Inst::Ldah { ra, rb, disp } => {
+                let v = self
+                    .regs
+                    .read(rb)
+                    .wrapping_add(((disp as i64) << 16) as u64);
+                self.regs.write(ra, v);
+                reg_write = Some((ra, v));
+            }
+            Inst::Load { width, ra, rb, disp } => {
+                let addr = self.regs.read(rb).wrapping_add(disp as i64 as u64);
+                let raw = self
+                    .mem
+                    .load(addr, width.bytes())
+                    .map_err(Exception::from_data_error)?;
+                let v = match width {
+                    restore_isa::MemWidth::Long => raw as u32 as i32 as i64 as u64,
+                    _ => raw,
+                };
+                self.regs.write(ra, v);
+                reg_write = Some((ra, v));
+                mem_effect = Some(MemEffect { addr, len: width.bytes(), is_store: false, value: v });
+            }
+            Inst::Store { width, ra, rb, disp } => {
+                let addr = self.regs.read(rb).wrapping_add(disp as i64 as u64);
+                let v = self.regs.read(ra);
+                self.mem
+                    .store(addr, width.bytes(), v)
+                    .map_err(Exception::from_data_error)?;
+                mem_effect = Some(MemEffect { addr, len: width.bytes(), is_store: true, value: v });
+            }
+            Inst::Op { op, ra, rb, rc } => {
+                let a = self.regs.read(ra);
+                let b = match rb {
+                    restore_isa::Operand::Reg(r) => self.regs.read(r),
+                    restore_isa::Operand::Lit(l) => l as u64,
+                };
+                let old_c = self.regs.read(rc);
+                match alu::eval(op, a, b, old_c) {
+                    AluOut::Value(v) | AluOut::Value2(v) => {
+                        self.regs.write(rc, v);
+                        reg_write = Some((rc, v));
+                    }
+                    AluOut::Overflow => return Err(Exception::ArithmeticTrap { pc }),
+                }
+            }
+            Inst::CondBranch { cond, ra, disp } => {
+                let taken = cond.eval(self.regs.read(ra));
+                let target = pc
+                    .wrapping_add(4)
+                    .wrapping_add((disp as i64 as u64).wrapping_mul(4));
+                if taken {
+                    next_pc = target;
+                }
+                branch = Some(BranchEffect { taken, target: next_pc, conditional: true });
+            }
+            Inst::Br { ra, disp } | Inst::Bsr { ra, disp } => {
+                let link = pc.wrapping_add(4);
+                let target = link.wrapping_add((disp as i64 as u64).wrapping_mul(4));
+                self.regs.write(ra, link);
+                if !ra.is_zero() {
+                    reg_write = Some((ra, link));
+                }
+                next_pc = target;
+                branch = Some(BranchEffect { taken: true, target, conditional: false });
+            }
+            Inst::Jump { ra, rb, .. } => {
+                let link = pc.wrapping_add(4);
+                let target = self.regs.read(rb) & !3;
+                self.regs.write(ra, link);
+                if !ra.is_zero() {
+                    reg_write = Some((ra, link));
+                }
+                next_pc = target;
+                branch = Some(BranchEffect { taken: true, target, conditional: false });
+            }
+            Inst::Fence(_) => {}
+        }
+
+        self.pc = next_pc;
+        self.retired += 1;
+        self.halted = halted;
+        Ok(Retired {
+            pc,
+            inst,
+            next_pc,
+            reg_write,
+            mem: mem_effect,
+            branch,
+            halted,
+        })
+    }
+
+    /// Runs until halt or until `budget` instructions retire.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first [`Exception`].
+    pub fn run(&mut self, budget: u64) -> Result<RunExit, Exception> {
+        for _ in 0..budget {
+            if self.halted {
+                return Ok(RunExit::Halted);
+            }
+            self.step()?;
+        }
+        Ok(if self.halted {
+            RunExit::Halted
+        } else {
+            RunExit::BudgetExhausted
+        })
+    }
+
+    /// `true` if two CPUs have identical software-visible state
+    /// (registers, PC and memory) — the paper's masking test.
+    pub fn arch_state_eq(&self, other: &Cpu) -> bool {
+        self.regs == other.regs && self.pc == other.pc && self.mem == other.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessKind;
+    use restore_isa::{layout, Asm};
+
+    fn run_asm(build: impl FnOnce(&mut Asm)) -> Cpu {
+        let mut a = Asm::new("t", layout::TEXT_BASE);
+        build(&mut a);
+        let p = a.finish().unwrap();
+        let mut cpu = Cpu::new(&p);
+        cpu.run(100_000).unwrap();
+        cpu
+    }
+
+    #[test]
+    fn sum_loop_computes_55() {
+        let cpu = run_asm(|a| {
+            a.clr(Reg::V0);
+            a.li(Reg::T0, 10);
+            let top = a.bind_here();
+            a.addq(Reg::V0, Reg::T0, Reg::V0);
+            a.subq_lit(Reg::T0, 1, Reg::T0);
+            a.bgt(Reg::T0, top);
+            a.mov(Reg::V0, Reg::A0);
+            a.outq();
+            a.halt();
+        });
+        assert_eq!(cpu.output(), &[55]);
+        assert!(cpu.is_halted());
+    }
+
+    #[test]
+    fn call_and_return() {
+        let cpu = run_asm(|a| {
+            let func = a.label();
+            a.li(Reg::A0, 5);
+            a.bsr(func);
+            a.outq();
+            a.halt();
+            a.bind(func).unwrap();
+            a.addq_lit(Reg::A0, 1, Reg::A0);
+            a.ret();
+        });
+        assert_eq!(cpu.output(), &[6]);
+    }
+
+    #[test]
+    fn stack_store_load() {
+        let cpu = run_asm(|a| {
+            a.li(Reg::T0, 1234);
+            a.stq(Reg::T0, -8, Reg::SP);
+            a.ldq(Reg::A0, -8, Reg::SP);
+            a.outq();
+            a.halt();
+        });
+        assert_eq!(cpu.output(), &[1234]);
+    }
+
+    #[test]
+    fn sub_word_loads_extend_correctly() {
+        let cpu = run_asm(|a| {
+            a.li(Reg::T0, -1);
+            a.stl(Reg::T0, -8, Reg::SP); // stores 0xffffffff
+            a.ldl(Reg::A0, -8, Reg::SP); // sign extends
+            a.outq();
+            a.ldwu(Reg::A0, -8, Reg::SP); // zero extends 16 bits
+            a.outq();
+            a.ldbu(Reg::A0, -8, Reg::SP);
+            a.outq();
+            a.halt();
+        });
+        assert_eq!(cpu.output(), &[u64::MAX, 0xffff, 0xff]);
+    }
+
+    #[test]
+    fn unmapped_load_raises_access_violation() {
+        let mut a = Asm::new("t", layout::TEXT_BASE);
+        a.li(Reg::T0, 0x4000_0000);
+        a.ldq(Reg::T1, 0, Reg::T0);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut cpu = Cpu::new(&p);
+        let e = cpu.run(100).unwrap_err();
+        assert!(matches!(e, Exception::AccessViolation { access: AccessKind::Load, .. }));
+    }
+
+    #[test]
+    fn misaligned_store_raises_alignment() {
+        let mut a = Asm::new("t", layout::TEXT_BASE);
+        a.li(Reg::T0, layout::STACK_TOP as i64 - 7);
+        a.stq(Reg::ZERO, 0, Reg::T0);
+        a.halt();
+        let mut cpu = Cpu::new(&a.finish().unwrap());
+        let e = cpu.run(100).unwrap_err();
+        assert!(matches!(e, Exception::Alignment { .. }));
+    }
+
+    #[test]
+    fn overflow_trap_is_raised_and_precise() {
+        let mut a = Asm::new("t", layout::TEXT_BASE);
+        a.li(Reg::T0, i64::MAX);
+        a.op(restore_isa::AluOp::Addqv, Reg::T0, Reg::T0, Reg::T1);
+        a.halt();
+        let mut cpu = Cpu::new(&a.finish().unwrap());
+        let before = cpu.clone();
+        let e = cpu.run(100).unwrap_err();
+        assert!(matches!(e, Exception::ArithmeticTrap { .. }));
+        // Precise: T1 was not written by the trapping instruction.
+        assert_eq!(cpu.regs.read(Reg::T1), before.regs.read(Reg::T1));
+    }
+
+    #[test]
+    fn illegal_instruction_raises() {
+        let mut a = Asm::new("t", layout::TEXT_BASE);
+        a.emit_raw(0x7fff_ffff); // undefined opcode 0x1f
+        a.halt();
+        let mut cpu = Cpu::new(&a.finish().unwrap());
+        let e = cpu.run(100).unwrap_err();
+        assert!(matches!(e, Exception::IllegalInstruction { word: 0x7fff_ffff, .. }));
+    }
+
+    #[test]
+    fn wild_jump_raises_fetch_fault() {
+        let mut a = Asm::new("t", layout::TEXT_BASE);
+        a.li(Reg::T0, 0x5000_0000);
+        a.jmp(Reg::ZERO, Reg::T0);
+        let mut cpu = Cpu::new(&a.finish().unwrap());
+        let e = cpu.run(100).unwrap_err();
+        assert_eq!(e, Exception::FetchFault { pc: 0x5000_0000 });
+    }
+
+    #[test]
+    fn store_to_text_is_denied() {
+        let mut a = Asm::new("t", layout::TEXT_BASE);
+        a.la(Reg::T0, layout::TEXT_BASE);
+        a.stq(Reg::ZERO, 0, Reg::T0);
+        a.halt();
+        let mut cpu = Cpu::new(&a.finish().unwrap());
+        let e = cpu.run(100).unwrap_err();
+        assert!(matches!(e, Exception::AccessViolation { access: AccessKind::Store, .. }));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let mut a = Asm::new("t", layout::TEXT_BASE);
+        let top = a.bind_here();
+        a.br(top); // infinite loop
+        let mut cpu = Cpu::new(&a.finish().unwrap());
+        assert_eq!(cpu.run(1000).unwrap(), RunExit::BudgetExhausted);
+        assert_eq!(cpu.retired(), 1000);
+    }
+
+    #[test]
+    fn retired_event_captures_branch_outcome() {
+        let mut a = Asm::new("t", layout::TEXT_BASE);
+        let skip = a.label();
+        a.beq(Reg::ZERO, skip); // always taken (zero == 0)
+        a.nop();
+        a.bind(skip).unwrap();
+        a.halt();
+        let mut cpu = Cpu::new(&a.finish().unwrap());
+        let r = cpu.step().unwrap();
+        let b = r.branch.unwrap();
+        assert!(b.taken && b.conditional);
+        assert_eq!(r.next_pc, layout::TEXT_BASE + 8);
+    }
+
+    #[test]
+    fn retired_event_captures_memory_effect() {
+        let mut a = Asm::new("t", layout::TEXT_BASE);
+        a.stq(Reg::SP, -16, Reg::SP);
+        a.halt();
+        let mut cpu = Cpu::new(&a.finish().unwrap());
+        let r = cpu.step().unwrap();
+        let m = r.mem.unwrap();
+        assert!(m.is_store);
+        assert_eq!(m.addr, layout::STACK_TOP - 16);
+        assert_eq!(m.value, layout::STACK_TOP);
+    }
+
+    #[test]
+    fn arch_state_eq_detects_divergence() {
+        let mut a = Asm::new("t", layout::TEXT_BASE);
+        a.nop();
+        a.halt();
+        let p = a.finish().unwrap();
+        let c1 = Cpu::new(&p);
+        let mut c2 = Cpu::new(&p);
+        assert!(c1.arch_state_eq(&c2));
+        c2.regs.flip_bit(Reg::T5, 17);
+        assert!(!c1.arch_state_eq(&c2));
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let cpu = run_asm(|a| {
+            a.li(Reg::T0, 42);
+            a.addq(Reg::T0, Reg::T0, Reg::ZERO); // write to r31 discarded
+            a.mov(Reg::ZERO, Reg::A0);
+            a.outq();
+            a.halt();
+        });
+        assert_eq!(cpu.output(), &[0]);
+    }
+
+    #[test]
+    fn ret_through_same_register() {
+        // `jmp ra, (ra)`-style: the jump must read `rb` before linking
+        // into `ra` when they are the same register.
+        let cpu = run_asm(|a| {
+            let over = a.label();
+            a.br(over);
+            let func = a.here();
+            a.li(Reg::A0, 9);
+            a.outq();
+            a.halt();
+            a.bind(over).unwrap();
+            a.la(Reg::RA, func);
+            a.jmp(Reg::RA, Reg::RA);
+        });
+        assert_eq!(cpu.output(), &[9]);
+    }
+}

@@ -1,0 +1,458 @@
+//! Sparse paged memory with per-page permissions.
+//!
+//! The architecture exposes a full 64-bit virtual address space while
+//! programs map only a few small regions. That sparseness is a first-class
+//! experimental variable in the ReStore paper (§3.1): a single bit flip in
+//! a pointer almost always lands in unmapped space and faults, which is why
+//! the exception symptom covers so many failures.
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+/// Page size in bytes (4 KiB).
+pub const PAGE_SIZE: u64 = 4096;
+
+const PAGE_SHIFT: u32 = 12;
+
+/// Page permissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Perm {
+    /// Loads allowed.
+    pub read: bool,
+    /// Stores allowed.
+    pub write: bool,
+    /// Instruction fetch allowed.
+    pub execute: bool,
+}
+
+impl Perm {
+    /// Read-only data.
+    pub const R: Perm = Perm { read: true, write: false, execute: false };
+    /// Read-write data.
+    pub const RW: Perm = Perm { read: true, write: true, execute: false };
+    /// Read-execute text.
+    pub const RX: Perm = Perm { read: true, write: false, execute: true };
+}
+
+/// The kind of access that failed (reported in exceptions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AccessKind {
+    /// Data load.
+    Load,
+    /// Data store.
+    Store,
+    /// Instruction fetch.
+    Fetch,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+            AccessKind::Fetch => "fetch",
+        })
+    }
+}
+
+/// Memory access errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemError {
+    /// The page is not mapped.
+    Unmapped {
+        /// Faulting address.
+        addr: u64,
+        /// Access kind.
+        access: AccessKind,
+    },
+    /// The page is mapped but the permission bits forbid the access.
+    Protection {
+        /// Faulting address.
+        addr: u64,
+        /// Access kind.
+        access: AccessKind,
+    },
+    /// The address is not aligned for the access width.
+    Misaligned {
+        /// Faulting address.
+        addr: u64,
+        /// Access kind.
+        access: AccessKind,
+    },
+}
+
+impl MemError {
+    /// The faulting virtual address.
+    pub fn addr(&self) -> u64 {
+        match *self {
+            MemError::Unmapped { addr, .. }
+            | MemError::Protection { addr, .. }
+            | MemError::Misaligned { addr, .. } => addr,
+        }
+    }
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unmapped { addr, access } => {
+                write!(f, "{access} to unmapped address {addr:#x}")
+            }
+            MemError::Protection { addr, access } => {
+                write!(f, "{access} violates page protection at {addr:#x}")
+            }
+            MemError::Misaligned { addr, access } => {
+                write!(f, "misaligned {access} at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[derive(Clone, PartialEq, Eq)]
+struct Page {
+    data: Box<[u8]>,
+    perm: Perm,
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Page").field("perm", &self.perm).finish_non_exhaustive()
+    }
+}
+
+/// Sparse, permission-checked paged memory.
+///
+/// Cloning a `Memory` deep-copies the mapped pages; images here are small
+/// (tens of pages), so campaigns clone freely to fork golden and injected
+/// runs.
+///
+/// # Examples
+///
+/// ```
+/// use restore_arch::{Memory, Perm, AccessKind};
+/// let mut m = Memory::new();
+/// m.map(0x1000, 0x1000, Perm::RW);
+/// m.store_u64(0x1008, 42).unwrap();
+/// assert_eq!(m.load_u64(0x1008).unwrap(), 42);
+/// assert!(m.load_u64(0x9000_0000).is_err()); // unmapped
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Memory {
+    pages: BTreeMap<u64, Page>,
+}
+
+impl Memory {
+    /// Creates an empty address space.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    #[inline]
+    fn page_base(addr: u64) -> u64 {
+        addr >> PAGE_SHIFT << PAGE_SHIFT
+    }
+
+    /// Maps `[base, base+len)` (rounded out to page granularity) with the
+    /// given permissions, zero-filled. Remapping an existing page updates
+    /// its permissions and keeps its contents.
+    pub fn map(&mut self, base: u64, len: u64, perm: Perm) {
+        if len == 0 {
+            return;
+        }
+        let first = Self::page_base(base);
+        let last = Self::page_base(base + len - 1);
+        let mut p = first;
+        loop {
+            self.pages
+                .entry(p)
+                .and_modify(|pg| pg.perm = perm)
+                .or_insert_with(|| Page {
+                    data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
+                    perm,
+                });
+            if p == last {
+                break;
+            }
+            p += PAGE_SIZE;
+        }
+    }
+
+    /// `true` if `addr` is on a mapped page.
+    pub fn is_mapped(&self, addr: u64) -> bool {
+        self.pages.contains_key(&Self::page_base(addr))
+    }
+
+    /// Permission of the page containing `addr`, if mapped.
+    pub fn perm_at(&self, addr: u64) -> Option<Perm> {
+        self.pages.get(&Self::page_base(addr)).map(|p| p.perm)
+    }
+
+    /// Number of mapped pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Checks that an access of `len` bytes at `addr` is legal without
+    /// performing it: alignment, mapping, and permission, in that order.
+    ///
+    /// # Errors
+    ///
+    /// The same errors the corresponding load/store/fetch would produce.
+    pub fn check(&self, addr: u64, len: u64, access: AccessKind) -> Result<(), MemError> {
+        if len > 1 && addr & (len - 1) != 0 {
+            return Err(MemError::Misaligned { addr, access });
+        }
+        // An aligned power-of-two access never crosses a page.
+        let page = self
+            .pages
+            .get(&Self::page_base(addr))
+            .ok_or(MemError::Unmapped { addr, access })?;
+        let ok = match access {
+            AccessKind::Load => page.perm.read,
+            AccessKind::Store => page.perm.write,
+            AccessKind::Fetch => page.perm.execute,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(MemError::Protection { addr, access })
+        }
+    }
+
+    fn read_raw(&self, addr: u64, buf: &mut [u8]) {
+        let base = Self::page_base(addr);
+        let off = (addr - base) as usize;
+        let page = &self.pages[&base];
+        buf.copy_from_slice(&page.data[off..off + buf.len()]);
+    }
+
+    fn write_raw(&mut self, addr: u64, buf: &[u8]) {
+        let base = Self::page_base(addr);
+        let off = (addr - base) as usize;
+        let page = self.pages.get_mut(&base).expect("checked");
+        page.data[off..off + buf.len()].copy_from_slice(buf);
+    }
+
+    /// Loads a zero-extended little-endian value of `len` bytes (1, 2, 4
+    /// or 8).
+    ///
+    /// # Errors
+    ///
+    /// Alignment, mapping and permission errors per [`Memory::check`].
+    pub fn load(&self, addr: u64, len: u64) -> Result<u64, MemError> {
+        self.check(addr, len, AccessKind::Load)?;
+        let mut buf = [0u8; 8];
+        self.read_raw(addr, &mut buf[..len as usize]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Stores the low `len` bytes of `value` little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Alignment, mapping and permission errors per [`Memory::check`].
+    pub fn store(&mut self, addr: u64, len: u64, value: u64) -> Result<(), MemError> {
+        self.check(addr, len, AccessKind::Store)?;
+        let bytes = value.to_le_bytes();
+        self.write_raw(addr, &bytes[..len as usize]);
+        Ok(())
+    }
+
+    /// Convenience 64-bit load.
+    pub fn load_u64(&self, addr: u64) -> Result<u64, MemError> {
+        self.load(addr, 8)
+    }
+
+    /// Convenience 64-bit store.
+    pub fn store_u64(&mut self, addr: u64, value: u64) -> Result<(), MemError> {
+        self.store(addr, 8, value)
+    }
+
+    /// Fetches a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Misalignment, unmapped or non-executable pages report under
+    /// [`AccessKind::Fetch`].
+    pub fn fetch(&self, pc: u64) -> Result<u32, MemError> {
+        if pc & 3 != 0 {
+            return Err(MemError::Misaligned { addr: pc, access: AccessKind::Fetch });
+        }
+        self.check(pc, 4, AccessKind::Fetch)?;
+        let mut buf = [0u8; 4];
+        self.read_raw(pc, &mut buf);
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    /// Writes raw bytes ignoring permissions — used by the program loader
+    /// and by fault injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any byte of the destination is unmapped; callers map
+    /// regions before initialising them.
+    pub fn poke_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let mut a = addr;
+        for chunk in bytes.chunks(1) {
+            assert!(self.is_mapped(a), "poke to unmapped {a:#x}");
+            self.write_raw(a, chunk);
+            a += 1;
+        }
+    }
+
+    /// Reads raw bytes ignoring permissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if unmapped.
+    pub fn peek_bytes(&self, addr: u64, out: &mut [u8]) {
+        for (i, b) in out.iter_mut().enumerate() {
+            let a = addr + i as u64;
+            assert!(self.is_mapped(a), "peek of unmapped {a:#x}");
+            let mut tmp = [0u8; 1];
+            self.read_raw(a, &mut tmp);
+            *b = tmp[0];
+        }
+    }
+
+    /// Flips a single bit of a mapped byte (fault injection helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the byte is unmapped or `bit >= 8`.
+    pub fn flip_bit(&mut self, addr: u64, bit: u32) {
+        assert!(bit < 8);
+        let mut b = [0u8; 1];
+        self.peek_bytes(addr, &mut b);
+        b[0] ^= 1 << bit;
+        self.poke_bytes(addr, &b);
+    }
+
+    /// Iterates `(page_base, page_bytes)` in address order, for hashing
+    /// and state comparison.
+    pub fn pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.pages.iter().map(|(&b, p)| (b, &p.data[..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_rounds_to_pages() {
+        let mut m = Memory::new();
+        m.map(0x1800, 0x1000, Perm::RW); // straddles two pages
+        assert!(m.is_mapped(0x1000));
+        assert!(m.is_mapped(0x2fff));
+        assert!(!m.is_mapped(0x3000));
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn zero_length_map_is_noop() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0, Perm::RW);
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn load_store_roundtrip_all_widths() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x1000, Perm::RW);
+        for (len, val) in [(1u64, 0xab), (2, 0xabcd), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)]
+        {
+            m.store(0x1000, len, val).unwrap();
+            assert_eq!(m.load(0x1000, len).unwrap(), val);
+        }
+    }
+
+    #[test]
+    fn store_is_little_endian() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x1000, Perm::RW);
+        m.store(0x1000, 4, 0x0102_0304).unwrap();
+        assert_eq!(m.load(0x1000, 1).unwrap(), 0x04);
+        assert_eq!(m.load(0x1003, 1).unwrap(), 0x01);
+    }
+
+    #[test]
+    fn misaligned_access_faults() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x1000, Perm::RW);
+        assert!(matches!(
+            m.load(0x1001, 8),
+            Err(MemError::Misaligned { addr: 0x1001, access: AccessKind::Load })
+        ));
+        assert!(matches!(
+            m.store(0x1002, 4, 0),
+            Err(MemError::Misaligned { .. })
+        ));
+        // Byte accesses never misalign.
+        assert!(m.load(0x1001, 1).is_ok());
+    }
+
+    #[test]
+    fn protection_enforced() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x1000, Perm::R);
+        assert!(m.load(0x1000, 8).is_ok());
+        assert!(matches!(
+            m.store(0x1000, 8, 1),
+            Err(MemError::Protection { .. })
+        ));
+        assert!(matches!(m.fetch(0x1000), Err(MemError::Protection { .. })));
+        m.map(0x2000, 0x1000, Perm::RX);
+        assert!(m.fetch(0x2000).is_ok());
+    }
+
+    #[test]
+    fn unmapped_access_faults_with_address() {
+        let m = Memory::new();
+        let e = m.load(0xdead_0000, 8).unwrap_err();
+        assert_eq!(e.addr(), 0xdead_0000);
+        assert!(e.to_string().contains("unmapped"));
+    }
+
+    #[test]
+    fn fetch_requires_alignment() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x1000, Perm::RX);
+        assert!(matches!(m.fetch(0x1002), Err(MemError::Misaligned { .. })));
+    }
+
+    #[test]
+    fn flip_bit_flips_exactly_one_bit() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x1000, Perm::RW);
+        m.store(0x1000, 1, 0b1010).unwrap();
+        m.flip_bit(0x1000, 0);
+        assert_eq!(m.load(0x1000, 1).unwrap(), 0b1011);
+        m.flip_bit(0x1000, 3);
+        assert_eq!(m.load(0x1000, 1).unwrap(), 0b0011);
+    }
+
+    #[test]
+    fn clone_then_diverge() {
+        let mut a = Memory::new();
+        a.map(0x1000, 0x1000, Perm::RW);
+        a.store_u64(0x1000, 7).unwrap();
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.store_u64(0x1000, 8).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.load_u64(0x1000).unwrap(), 7);
+    }
+
+    #[test]
+    fn remap_updates_perm_keeps_contents() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x1000, Perm::RW);
+        m.store_u64(0x1000, 99).unwrap();
+        m.map(0x1000, 0x1000, Perm::R);
+        assert_eq!(m.load_u64(0x1000).unwrap(), 99);
+        assert!(m.store_u64(0x1000, 1).is_err());
+    }
+}

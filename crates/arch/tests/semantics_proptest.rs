@@ -1,0 +1,138 @@
+//! Property tests over the architectural substrate: ALU algebra, memory
+//! round-trips, and simulator determinism.
+
+use proptest::prelude::*;
+use restore_arch::alu::{eval, AluOut};
+use restore_arch::{Cpu, Memory, Perm};
+use restore_isa::AluOp;
+
+fn v(op: AluOp, a: u64, b: u64) -> u64 {
+    eval(op, a, b, 0).value().expect("non-trapping")
+}
+
+proptest! {
+    /// Commutative operations commute.
+    #[test]
+    fn commutative_ops(a in any::<u64>(), b in any::<u64>()) {
+        for op in [AluOp::Addq, AluOp::And, AluOp::Bis, AluOp::Xor, AluOp::Mulq, AluOp::Cmpeq] {
+            prop_assert_eq!(v(op, a, b), v(op, b, a), "{:?}", op);
+        }
+    }
+
+    /// Add and subtract are inverses (wrapping).
+    #[test]
+    fn add_sub_inverse(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(v(AluOp::Subq, v(AluOp::Addq, a, b), b), a);
+    }
+
+    /// Longword ops equal quadword ops on the sign-extended low halves.
+    #[test]
+    fn longword_consistency(a in any::<u32>(), b in any::<u32>()) {
+        let al = a as i32 as i64 as u64;
+        let bl = b as i32 as i64 as u64;
+        prop_assert_eq!(
+            v(AluOp::Addl, al, bl),
+            (a.wrapping_add(b) as i32 as i64) as u64
+        );
+        prop_assert_eq!(
+            v(AluOp::Mull, al, bl),
+            (a.wrapping_mul(b) as i32 as i64) as u64
+        );
+    }
+
+    /// Trapping adds agree with non-trapping ones whenever they don't trap.
+    #[test]
+    fn trapping_matches_wrapping_when_clean(a in any::<u64>(), b in any::<u64>()) {
+        match eval(AluOp::Addqv, a, b, 0) {
+            AluOut::Value(x) => prop_assert_eq!(x, v(AluOp::Addq, a, b)),
+            AluOut::Overflow => {
+                prop_assert!((a as i64).checked_add(b as i64).is_none());
+            }
+            AluOut::Value2(_) => prop_assert!(false, "addqv is not a cmov"),
+        }
+    }
+
+    /// umulh · 2⁶⁴ + mulq reconstructs the full 128-bit product.
+    #[test]
+    fn full_multiply_reconstruction(a in any::<u64>(), b in any::<u64>()) {
+        let wide = (a as u128) * (b as u128);
+        let hi = v(AluOp::Umulh, a, b) as u128;
+        let lo = v(AluOp::Mulq, a, b) as u128;
+        prop_assert_eq!((hi << 64) | lo, wide);
+    }
+
+    /// Signed and unsigned compares form consistent total orders.
+    #[test]
+    fn compare_consistency(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(v(AluOp::Cmplt, a, b) == 1, (a as i64) < (b as i64));
+        prop_assert_eq!(v(AluOp::Cmpult, a, b) == 1, a < b);
+        prop_assert_eq!(
+            v(AluOp::Cmple, a, b),
+            v(AluOp::Cmplt, a, b) | v(AluOp::Cmpeq, a, b)
+        );
+        // Trichotomy (signed).
+        let lt = v(AluOp::Cmplt, a, b);
+        let gt = v(AluOp::Cmplt, b, a);
+        let eq = v(AluOp::Cmpeq, a, b);
+        prop_assert_eq!(lt + gt + eq, 1);
+    }
+
+    /// Shifts mask their amount to 6 bits and invert where defined.
+    #[test]
+    fn shift_properties(a in any::<u64>(), s in 0u64..64) {
+        prop_assert_eq!(v(AluOp::Sll, a, s), a << s);
+        prop_assert_eq!(v(AluOp::Srl, v(AluOp::Sll, a, s), s), (a << s) >> s);
+        prop_assert_eq!(v(AluOp::Sll, a, s + 64), a << s, "amount must wrap at 64");
+        prop_assert_eq!(v(AluOp::Sra, a, 63), if (a as i64) < 0 { u64::MAX } else { 0 });
+    }
+
+    /// cmov returns one of its two candidate values, chosen by ra alone.
+    #[test]
+    fn cmov_selects(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        for op in [AluOp::Cmoveq, AluOp::Cmovne, AluOp::Cmovlt, AluOp::Cmovge] {
+            let out = eval(op, a, b, c).value().unwrap();
+            prop_assert!(out == b || out == c, "{:?}", op);
+        }
+    }
+
+    /// Memory: aligned stores read back exactly, and neighbours are
+    /// untouched.
+    #[test]
+    fn memory_store_load_roundtrip(
+        slot in 0u64..512,
+        len_pow in 0u32..4,
+        value in any::<u64>(),
+    ) {
+        let len = 1u64 << len_pow;
+        let addr = 0x1000 + slot * 8; // 8-aligned, any width fits
+        let mut m = Memory::new();
+        m.map(0x1000, 0x2000, Perm::RW);
+        m.store_u64(addr, 0xAAAA_AAAA_AAAA_AAAA).unwrap();
+        m.store(addr, len, value).unwrap();
+        let mask = if len == 8 { u64::MAX } else { (1u64 << (len * 8)) - 1 };
+        prop_assert_eq!(m.load(addr, len).unwrap(), value & mask);
+        // Bytes beyond the store keep the sentinel pattern.
+        if len < 8 {
+            let back = m.load_u64(addr).unwrap();
+            prop_assert_eq!(back & !mask, 0xAAAA_AAAA_AAAA_AAAA & !mask);
+        }
+    }
+
+    /// The simulator is deterministic: two CPUs fed the same program
+    /// agree instruction by instruction.
+    #[test]
+    fn cpu_determinism(seed in 0u64..50, steps in 1u64..2_000) {
+        let program = restore_workloads::synthetic::build(200, seed);
+        let mut a = Cpu::new(&program);
+        let mut b = Cpu::new(&program);
+        for _ in 0..steps {
+            if a.is_halted() {
+                break;
+            }
+            let ra = a.step().unwrap();
+            let rb = b.step().unwrap();
+            prop_assert_eq!(ra, rb);
+        }
+        prop_assert!(a.arch_state_eq(&b));
+    }
+}

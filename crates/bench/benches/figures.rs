@@ -1,0 +1,112 @@
+//! Criterion wrappers around the figure regenerators, one per paper
+//! artifact, at reduced scale: `cargo bench` demonstrably reproduces
+//! every table/figure pipeline and reports how long each takes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use restore_core::fit::{figure8_sizes, FitScaling};
+use restore_inject::{
+    run_arch_campaign, run_uarch_campaign, ArchCampaignConfig, CfvMode, InjectionTarget,
+    UarchCampaignConfig,
+};
+use restore_perf::{profile_workload, PerfModel, Policy, FIGURE7_INTERVALS};
+use restore_uarch::UarchConfig;
+use restore_workloads::{Scale, WorkloadId};
+
+fn small_uarch_cfg(seed: u64) -> UarchCampaignConfig {
+    UarchCampaignConfig {
+        points_per_workload: 1,
+        trials_per_point: 4,
+        window_cycles: 2_000,
+        drain_cycles: 1_000,
+        warmup_cycles: 1_000,
+        seed,
+        ..UarchCampaignConfig::default()
+    }
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig2-arch-campaign", |b| {
+        b.iter(|| {
+            let cfg = ArchCampaignConfig {
+                trials_per_workload: 4,
+                window: 60_000,
+                ..ArchCampaignConfig::default()
+            };
+            let trials = run_arch_campaign(&cfg);
+            trials.iter().filter(|t| t.classify(100).label() == "exception").count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig4_5_6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig4-uarch-campaign", |b| {
+        b.iter(|| {
+            let trials = run_uarch_campaign(&small_uarch_cfg(2));
+            trials
+                .iter()
+                .filter(|t| t.classify(100, CfvMode::Perfect, false).is_covered())
+                .count()
+        })
+    });
+    g.bench_function("fig4-latches-only", |b| {
+        b.iter(|| {
+            let cfg = UarchCampaignConfig {
+                target: InjectionTarget::LatchesOnly,
+                ..small_uarch_cfg(3)
+            };
+            run_uarch_campaign(&cfg).len()
+        })
+    });
+    g.bench_function("fig5-fig6-classification", |b| {
+        let trials = run_uarch_campaign(&small_uarch_cfg(4));
+        b.iter(|| {
+            let mut covered = 0;
+            for interval in [25u64, 50, 100, 200, 500, 1000, 2000] {
+                for t in &trials {
+                    if t.classify(interval, CfvMode::HighConfidence, true).is_covered() {
+                        covered += 1;
+                    }
+                }
+            }
+            covered
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig7-profile-and-model", |b| {
+        b.iter(|| {
+            let p = profile_workload(
+                WorkloadId::Gzipx,
+                Scale::campaign(),
+                &UarchConfig::default(),
+                20_000,
+            );
+            let m = PerfModel::default();
+            FIGURE7_INTERVALS
+                .iter()
+                .map(|&i| m.speedup(&p, i, Policy::Immediate))
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("fig8-fit-series", |b| {
+        b.iter(|| FitScaling::paper().series(&figure8_sizes()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2, bench_fig4_5_6, bench_fig7, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! Criterion microbenchmarks of the simulation substrates: these bound
+//! how large a fault-injection campaign a given time budget affords.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use restore_core::{Checkpoint, CheckpointStore, RestoreConfig, RestoreController};
+use restore_isa::decode;
+use restore_uarch::{Pipeline, Stop, UarchConfig};
+use restore_workloads::{Scale, WorkloadId};
+
+fn bench_arch_simulator(c: &mut Criterion) {
+    let program = WorkloadId::Mcfx.build(Scale::campaign());
+    let mut g = c.benchmark_group("arch-simulator");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("step-10k-instructions", |b| {
+        b.iter_batched(
+            || restore_arch::Cpu::new(&program),
+            |mut cpu| {
+                cpu.run(10_000).unwrap();
+                cpu
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let program = WorkloadId::Mcfx.build(Scale::campaign());
+    let mut warm = Pipeline::new(UarchConfig::default(), &program);
+    for _ in 0..2_000 {
+        warm.cycle();
+    }
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("cycle-1k", |b| {
+        b.iter_batched(
+            || warm.clone(),
+            |mut p| {
+                for _ in 0..1_000 {
+                    if p.status() != Stop::Running {
+                        break;
+                    }
+                    p.cycle();
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("clone", |b| b.iter(|| warm.clone()));
+    g.bench_function("state-hash", |b| {
+        b.iter_batched(|| warm.clone(), |mut p| p.state_hash(), BatchSize::SmallInput)
+    });
+    g.bench_function("flip-bit", |b| {
+        b.iter_batched(
+            || warm.clone(),
+            |mut p| {
+                p.flip_bit(12_345);
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let program = WorkloadId::Gccx.build(Scale::campaign());
+    let words = program.text.clone();
+    let mut g = c.benchmark_group("isa");
+    g.throughput(Throughput::Elements(words.len() as u64));
+    g.bench_function("decode-text-segment", |b| {
+        b.iter(|| {
+            let mut ok = 0usize;
+            for &w in &words {
+                if decode(w).is_ok() {
+                    ok += 1;
+                }
+            }
+            ok
+        })
+    });
+    g.finish();
+}
+
+fn bench_checkpointing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpointing");
+    let ck = Checkpoint { regs: [7; 32], pc: 0x1_0000, retired: 0 };
+    g.bench_function("take-checkpoint", |b| {
+        b.iter_batched(
+            || CheckpointStore::new(ck.clone()),
+            |mut s| {
+                for i in 0..100u64 {
+                    s.record_store((0x1000 + 8 * (i % 64), 8, i));
+                    if i % 25 == 0 {
+                        s.take(Checkpoint { regs: [i; 32], pc: 0x1_0000, retired: i });
+                    }
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let program = WorkloadId::Mcfx.build(Scale::campaign());
+    let mut warm = Pipeline::new(UarchConfig::default(), &program);
+    for _ in 0..2_000 {
+        warm.cycle();
+    }
+    let regs = warm.arch_regs();
+    let pc = warm.retired_next_pc();
+    g.bench_function("pipeline-restore-checkpoint", |b| {
+        b.iter_batched(
+            || warm.clone(),
+            |mut p| {
+                p.restore_checkpoint(&regs, pc);
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_restore_controller(c: &mut Criterion) {
+    let program = WorkloadId::Vortexx.build(Scale::campaign());
+    let mut g = c.benchmark_group("restore-controller");
+    g.throughput(Throughput::Elements(5_000));
+    g.bench_function("run-5k-cycles", |b| {
+        b.iter_batched(
+            || {
+                RestoreController::new(
+                    Pipeline::new(UarchConfig::default(), &program),
+                    RestoreConfig::default(),
+                )
+            },
+            |mut c| {
+                c.run(5_000);
+                c
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_campaign_trial(c: &mut Criterion) {
+    use restore_inject::{run_uarch_workload, UarchCampaignConfig};
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    g.bench_function("uarch-trial-batch", |b| {
+        b.iter(|| {
+            let cfg = UarchCampaignConfig {
+                points_per_workload: 1,
+                trials_per_point: 4,
+                window_cycles: 2_000,
+                drain_cycles: 1_000,
+                ..UarchCampaignConfig::default()
+            };
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+            let mut out = Vec::new();
+            run_uarch_workload(&cfg, WorkloadId::Mcfx, &mut rng, &mut out);
+            out
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arch_simulator,
+    bench_pipeline,
+    bench_decode,
+    bench_checkpointing,
+    bench_restore_controller,
+    bench_campaign_trial
+);
+criterion_main!(benches);

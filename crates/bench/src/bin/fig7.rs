@@ -1,0 +1,49 @@
+//! Figure 7 — performance impact of false-positive symptoms: relative
+//! performance vs. checkpoint interval for the `imm` and `delayed`
+//! rollback policies.
+//!
+//! Usage: `fig7 [--cycles N] [--size N]`
+
+use restore_bench::arg_u64;
+use restore_perf::{profile_all, PerfModel, Policy, FIGURE7_INTERVALS};
+use restore_uarch::UarchConfig;
+use restore_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cycles = arg_u64(&args, "--cycles").unwrap_or(150_000);
+    let mut scale = Scale::campaign();
+    if let Some(n) = arg_u64(&args, "--size") {
+        scale.size = n as usize;
+    }
+
+    eprintln!("fig7: profiling 7 workloads for {cycles} cycles each ...");
+    let start = std::time::Instant::now();
+    let profiles = profile_all(scale, &UarchConfig::default(), cycles);
+    eprintln!("fig7: profiled in {:.1}s", start.elapsed().as_secs_f64());
+
+    for p in &profiles {
+        eprintln!(
+            "  {:8} ipc={:.2} mispredicts/kinstr={:.1} fp-symptoms/kinstr={:.2}",
+            p.workload.name(),
+            1.0 / p.cpi(),
+            1000.0 * p.mispredicts as f64 / p.instructions.max(1) as f64,
+            1000.0 * p.symptom_rate()
+        );
+    }
+
+    let model = PerfModel::default();
+    println!("# Figure 7 — performance impact of false positive symptoms");
+    println!("# rows: checkpoint interval; speedup relative to no-checkpoint baseline");
+    println!("{:<10}{:>10}{:>10}", "interval", "imm", "delayed");
+    for &i in &FIGURE7_INTERVALS {
+        let imm = model.mean_speedup(&profiles, i, Policy::Immediate);
+        let del = model.mean_speedup(&profiles, i, Policy::Delayed);
+        println!("{i:<10}{imm:>10.3}{del:>10.3}");
+    }
+    let at100 = model.mean_speedup(&profiles, 100, Policy::Immediate);
+    println!(
+        "\nperformance hit @100 (imm): {:.1}%  (paper: ~6%)",
+        100.0 * (1.0 - at100)
+    );
+}

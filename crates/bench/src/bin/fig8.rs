@@ -1,0 +1,86 @@
+//! Figure 8 — silent-data-corruption FIT rates as a function of design
+//! size for the four protection configurations, against the 1000-year
+//! MTBF goal line (115 FIT).
+//!
+//! By default the failure fractions are measured by a fresh campaign;
+//! `--paper` uses the paper's reported fractions instead, and
+//! `--points/--trials` scale the measurement.
+//!
+//! Usage: `fig8 [--paper] [--points N] [--trials N] [--seed S]`
+
+use restore_bench::{arg_flag, arg_u64, coverage_summary};
+use restore_core::fit::{figure8_sizes, FitScaling, MTBF_GOAL_FIT};
+use restore_inject::{run_uarch_campaign, CfvMode, UarchCampaignConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scaling = if arg_flag(&args, "--paper") {
+        eprintln!("fig8: using the paper's reported failure fractions");
+        FitScaling::paper()
+    } else {
+        let mut cfg = UarchCampaignConfig::default();
+        if let Some(p) = arg_u64(&args, "--points") {
+            cfg.points_per_workload = p as usize;
+        }
+        if let Some(t) = arg_u64(&args, "--trials") {
+            cfg.trials_per_point = t as usize;
+        }
+        if let Some(s) = arg_u64(&args, "--seed") {
+            cfg.seed = s;
+        }
+        eprintln!(
+            "fig8: measuring failure fractions ({} points x {} trials x 7 workloads) ...",
+            cfg.points_per_workload, cfg.trials_per_point
+        );
+        let trials = run_uarch_campaign(&cfg);
+        let base = coverage_summary(&trials, 100, CfvMode::HighConfidence, false);
+        let hard = coverage_summary(&trials, 100, CfvMode::HighConfidence, true);
+        eprintln!(
+            "fig8: measured fractions: baseline {:.3} restore {:.3} lhf {:.3} lhf+restore {:.3}",
+            base.failure_fraction,
+            base.residual_failure_fraction,
+            hard.failure_fraction,
+            hard.residual_failure_fraction
+        );
+        FitScaling::new(
+            base.failure_fraction.max(1e-4),
+            base.residual_failure_fraction.max(1e-4),
+            hard.failure_fraction.max(1e-4),
+            hard.residual_failure_fraction.max(1e-4),
+        )
+    };
+
+    println!("# Figure 8 — FIT rates with device scaling (0.001 FIT/bit raw)");
+    println!("# goal line: 1000-year MTBF = {MTBF_GOAL_FIT:.0} FIT");
+    println!(
+        "{:<12}{:>12}{:>12}{:>12}{:>14}",
+        "bits", "baseline", "ReStore", "lhf", "lhf+ReStore"
+    );
+    for (bits, base, restore, lhf, both) in scaling.series(&figure8_sizes()) {
+        println!(
+            "{:<12}{:>12.1}{:>12.1}{:>12.1}{:>14.1}",
+            format_bits(bits),
+            base,
+            restore,
+            lhf,
+            both
+        );
+    }
+    println!(
+        "\nMTBF improvement (lhf+ReStore over baseline): {:.1}x  (paper: ~7x)",
+        scaling.mtbf_improvement()
+    );
+    println!(
+        "largest design meeting the goal: baseline {} bits, lhf+ReStore {} bits",
+        format_bits(scaling.baseline.max_bits_at_goal()),
+        format_bits(scaling.lhf_restore.max_bits_at_goal())
+    );
+}
+
+fn format_bits(b: f64) -> String {
+    if b >= 1.0e6 {
+        format!("{:.1}M", b / 1.0e6)
+    } else {
+        format!("{:.0}k", b / 1.0e3)
+    }
+}

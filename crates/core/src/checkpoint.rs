@@ -1,0 +1,180 @@
+//! Architectural checkpointing (§2.1).
+//!
+//! A checkpoint is "a snapshot of the architectural register file and
+//! memory image at an instance in time". Registers are snapshotted
+//! directly; memory is checkpointed through an **undo log** of retired
+//! stores — semantically identical to the paper's gated store buffer
+//! (stores between checkpoints are provisional until the next checkpoint
+//! commits them), but expressed as inverse records so rollback is a
+//! reverse replay.
+//!
+//! Following §5.2.3, the manager keeps **two** live checkpoints and rolls
+//! back to the *older* one, supporting a rollback distance of at least one
+//! full interval (average 1.5× the interval).
+
+use restore_arch::Memory;
+
+/// One architectural checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Architectural register values.
+    pub regs: [u64; 32],
+    /// PC of the next instruction to execute.
+    pub pc: u64,
+    /// Global retired-instruction count at capture time.
+    pub retired: u64,
+}
+
+/// A store undo record: `(address, length, previous value)`.
+pub type UndoRecord = (u64, u64, u64);
+
+/// Two-deep checkpoint store with per-interval memory undo segments.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    older: Checkpoint,
+    newer: Option<Checkpoint>,
+    /// Undo records accumulated since `older` (segment boundary at
+    /// `newer.retired` is implicit in record order).
+    undo_older: Vec<UndoRecord>,
+    undo_newer: Vec<UndoRecord>,
+}
+
+impl CheckpointStore {
+    /// Starts checkpointing from an initial architectural state.
+    pub fn new(initial: Checkpoint) -> CheckpointStore {
+        CheckpointStore {
+            older: initial,
+            newer: None,
+            undo_older: Vec::new(),
+            undo_newer: Vec::new(),
+        }
+    }
+
+    /// The checkpoint a rollback would restore (the older of the two).
+    pub fn restore_point(&self) -> &Checkpoint {
+        &self.older
+    }
+
+    /// The most recent checkpoint.
+    pub fn newest(&self) -> &Checkpoint {
+        self.newer.as_ref().unwrap_or(&self.older)
+    }
+
+    /// Records a retired store's undo information.
+    pub fn record_store(&mut self, undo: UndoRecord) {
+        self.undo_newer.push(undo);
+    }
+
+    /// Takes a new checkpoint. The previous "newer" checkpoint becomes
+    /// the restore point and the oldest undo segment is discarded —
+    /// exactly the hardware behaviour of retiring the gated store buffer
+    /// segment past its recovery horizon.
+    pub fn take(&mut self, ck: Checkpoint) {
+        if let Some(n) = self.newer.take() {
+            self.older = n;
+            self.undo_older = std::mem::take(&mut self.undo_newer);
+        } else {
+            // Only one checkpoint existed: the undo accumulated so far
+            // shifts to the older segment.
+            self.undo_older = std::mem::take(&mut self.undo_newer);
+        }
+        self.newer = Some(ck);
+    }
+
+    /// Rolls memory back to the restore point by reverse-applying both
+    /// undo segments, and returns the restored checkpoint. The store is
+    /// reset to a single-checkpoint state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an undo record refers to unmapped memory (cannot happen
+    /// for records produced by retired stores: mappings never change).
+    pub fn rollback(&mut self, mem: &mut Memory) -> Checkpoint {
+        for (addr, len, old) in self
+            .undo_newer
+            .drain(..)
+            .rev()
+            .chain(self.undo_older.drain(..).rev())
+        {
+            let bytes = old.to_le_bytes();
+            mem.poke_bytes(addr, &bytes[..len as usize]);
+        }
+        self.newer = None;
+        self.older.clone()
+    }
+
+    /// Undo records currently buffered (both segments).
+    pub fn undo_len(&self) -> usize {
+        self.undo_older.len() + self.undo_newer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_arch::Perm;
+
+    fn ck(retired: u64) -> Checkpoint {
+        Checkpoint { regs: [retired; 32], pc: 0x1_0000 + retired * 4, retired }
+    }
+
+    fn mem() -> Memory {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x1000, Perm::RW);
+        m
+    }
+
+    #[test]
+    fn restore_point_is_the_older_of_two() {
+        let mut s = CheckpointStore::new(ck(0));
+        s.take(ck(100));
+        assert_eq!(s.restore_point().retired, 0);
+        assert_eq!(s.newest().retired, 100);
+        s.take(ck(200));
+        assert_eq!(s.restore_point().retired, 100);
+        assert_eq!(s.newest().retired, 200);
+    }
+
+    #[test]
+    fn rollback_reverses_stores_in_order() {
+        let mut m = mem();
+        let mut s = CheckpointStore::new(ck(0));
+        // Two stores to the same address across two intervals.
+        m.store_u64(0x1000, 111).unwrap();
+        s.record_store((0x1000, 8, 0));
+        s.take(ck(100));
+        m.store_u64(0x1000, 222).unwrap();
+        s.record_store((0x1000, 8, 111));
+        let restored = s.rollback(&mut m);
+        assert_eq!(restored.retired, 0);
+        assert_eq!(m.load_u64(0x1000).unwrap(), 0, "both intervals undone");
+        assert_eq!(s.undo_len(), 0);
+    }
+
+    #[test]
+    fn taking_a_checkpoint_discards_old_undo() {
+        let mut m = mem();
+        let mut s = CheckpointStore::new(ck(0));
+        m.store_u64(0x1008, 5).unwrap();
+        s.record_store((0x1008, 8, 0));
+        s.take(ck(100));
+        s.take(ck(200)); // first segment now beyond the horizon
+        m.store_u64(0x1008, 6).unwrap();
+        s.record_store((0x1008, 8, 5));
+        let restored = s.rollback(&mut m);
+        assert_eq!(restored.retired, 100);
+        // Only the newest store was undone; the horizon store persists.
+        assert_eq!(m.load_u64(0x1008).unwrap(), 5);
+    }
+
+    #[test]
+    fn sub_width_stores_roll_back() {
+        let mut m = mem();
+        m.store_u64(0x1010, 0x1122_3344_5566_7788).unwrap();
+        let mut s = CheckpointStore::new(ck(0));
+        m.store(0x1010, 1, 0xff).unwrap();
+        s.record_store((0x1010, 1, 0x88));
+        s.rollback(&mut m);
+        assert_eq!(m.load_u64(0x1010).unwrap(), 0x1122_3344_5566_7788);
+    }
+}

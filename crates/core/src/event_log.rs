@@ -1,0 +1,218 @@
+//! Event logs (§3.2.3).
+//!
+//! "We propose event logs that track and record the events leading up to
+//! a symptom. These event logs enable detection of soft errors during
+//! re-execution … and can provide strong speculation hints."
+//!
+//! The log records control-instruction outcomes between checkpoints.
+//! During re-execution after a rollback, each retired control instruction
+//! is compared against the original run: a divergence *proves* a soft
+//! error corrupted one of the executions, which powers error logging and
+//! the dynamic false-positive throttle.
+
+use restore_arch::Retired;
+
+/// One logged control-flow outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchOutcome {
+    /// Retired-instruction offset from the restore checkpoint.
+    pub offset: u64,
+    /// PC of the control instruction.
+    pub pc: u64,
+    /// Resolved direction.
+    pub taken: bool,
+    /// Resolved next PC.
+    pub next_pc: u64,
+}
+
+/// Result of checking one re-executed instruction against the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogCheck {
+    /// Matches the original execution.
+    Consistent,
+    /// Differs — a soft error is *detected* (one of the two executions
+    /// was corrupted).
+    Divergence {
+        /// The original outcome.
+        original: BranchOutcome,
+    },
+    /// The log has no entry at this offset (original run ended earlier,
+    /// or instruction was not a control instruction in the original).
+    Exhausted,
+}
+
+/// Branch-outcome event log covering the rollback window.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    entries: Vec<BranchOutcome>,
+    /// Offsets ≥ this belong to the current (newest) interval.
+    newer_start: usize,
+    cursor: usize,
+}
+
+impl EventLog {
+    /// Empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Records a retired instruction's control outcome (non-control
+    /// instructions are ignored).
+    pub fn record(&mut self, offset: u64, r: &Retired) {
+        if let Some(b) = r.branch {
+            self.entries.push(BranchOutcome {
+                offset,
+                pc: r.pc,
+                taken: b.taken,
+                next_pc: r.next_pc,
+            });
+        }
+    }
+
+    /// Marks an interval boundary: entries before the current point age
+    /// into the "older" segment; the oldest segment is discarded.
+    pub fn advance_interval(&mut self) {
+        self.entries.drain(..self.newer_start);
+        self.newer_start = self.entries.len();
+        self.cursor = 0;
+    }
+
+    /// Clears everything (after a rollback consumes the log).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.newer_start = 0;
+        self.cursor = 0;
+    }
+
+    /// Rewinds the comparison cursor (start of re-execution).
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Number of logged outcomes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no outcomes are logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Checks a re-executed retired instruction at `offset` from the
+    /// restored checkpoint against the original execution.
+    pub fn check(&mut self, offset: u64, r: &Retired) -> LogCheck {
+        let Some(b) = r.branch else { return LogCheck::Consistent };
+        // Skip log entries older than this offset (they were re-executed
+        // differently only if a divergence already fired).
+        while self
+            .entries
+            .get(self.cursor)
+            .map(|e| e.offset < offset)
+            .unwrap_or(false)
+        {
+            self.cursor += 1;
+        }
+        match self.entries.get(self.cursor) {
+            Some(e) if e.offset == offset => {
+                self.cursor += 1;
+                if e.pc == r.pc && e.taken == b.taken && e.next_pc == r.next_pc {
+                    LogCheck::Consistent
+                } else {
+                    LogCheck::Divergence { original: *e }
+                }
+            }
+            // No entry at this offset: the log has a coverage hole (a
+            // previous rollback consumed it) or ended. A genuine
+            // control-flow divergence still surfaces at the next covered
+            // offset as a PC mismatch.
+            Some(_) | None => LogCheck::Exhausted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_arch::BranchEffect;
+    use restore_isa::{BranchCond, Inst, Reg};
+
+    fn branch_retired(pc: u64, taken: bool, next_pc: u64) -> Retired {
+        Retired {
+            pc,
+            inst: Inst::CondBranch { cond: BranchCond::Eq, ra: Reg::T0, disp: 1 },
+            next_pc,
+            reg_write: None,
+            mem: None,
+            branch: Some(BranchEffect { taken, target: next_pc, conditional: true }),
+            halted: false,
+        }
+    }
+
+    fn alu_retired(pc: u64) -> Retired {
+        Retired {
+            pc,
+            inst: Inst::NOP,
+            next_pc: pc + 4,
+            reg_write: None,
+            mem: None,
+            branch: None,
+            halted: false,
+        }
+    }
+
+    #[test]
+    fn consistent_replay() {
+        let mut log = EventLog::new();
+        log.record(0, &alu_retired(0x100)); // ignored
+        log.record(1, &branch_retired(0x104, true, 0x200));
+        log.record(5, &branch_retired(0x210, false, 0x214));
+        log.rewind();
+        assert_eq!(log.check(0, &alu_retired(0x100)), LogCheck::Consistent);
+        assert_eq!(
+            log.check(1, &branch_retired(0x104, true, 0x200)),
+            LogCheck::Consistent
+        );
+        assert_eq!(
+            log.check(5, &branch_retired(0x210, false, 0x214)),
+            LogCheck::Consistent
+        );
+    }
+
+    #[test]
+    fn divergence_detects_soft_error() {
+        let mut log = EventLog::new();
+        log.record(1, &branch_retired(0x104, true, 0x200));
+        log.rewind();
+        match log.check(1, &branch_retired(0x104, false, 0x108)) {
+            LogCheck::Divergence { original } => {
+                assert!(original.taken);
+                assert_eq!(original.next_pc, 0x200);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_when_past_the_log() {
+        let mut log = EventLog::new();
+        log.record(1, &branch_retired(0x104, true, 0x200));
+        log.rewind();
+        let _ = log.check(1, &branch_retired(0x104, true, 0x200));
+        assert_eq!(
+            log.check(9, &branch_retired(0x300, true, 0x400)),
+            LogCheck::Exhausted
+        );
+    }
+
+    #[test]
+    fn interval_aging_discards_old_segment() {
+        let mut log = EventLog::new();
+        log.record(1, &branch_retired(0x104, true, 0x200));
+        log.advance_interval(); // seg1 -> older
+        log.record(2, &branch_retired(0x204, true, 0x300));
+        assert_eq!(log.len(), 2);
+        log.advance_interval(); // seg1 discarded
+        assert_eq!(log.len(), 1);
+    }
+}

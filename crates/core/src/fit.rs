@@ -1,0 +1,181 @@
+//! FIT-rate and MTBF modelling (§5.3, Figure 8).
+//!
+//! The paper extrapolates silent-data-corruption FIT rates across design
+//! sizes assuming a raw per-bit rate of 0.001 FIT (Hazucha & Svensson)
+//! and constant masking as designs grow. A configuration's effective FIT
+//! is the raw rate scaled by the fraction of upsets that end in failure
+//! after masking and any detection/recovery mechanism.
+
+/// Hours in a year (FIT is failures per 10⁹ device-hours).
+const HOURS_PER_YEAR: f64 = 8760.0;
+
+/// Widely used per-bit SRAM FIT estimate (paper cites 0.001 FIT/bit).
+pub const RAW_FIT_PER_BIT: f64 = 0.001;
+
+/// The paper's reliability goal: 1000-year MTBF ⇒ 115 FIT.
+pub const MTBF_GOAL_FIT: f64 = 1.0e9 / (1000.0 * HOURS_PER_YEAR);
+
+/// A protection configuration's effectiveness, as measured by fault
+/// injection: the fraction of raw bit upsets that become failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitModel {
+    /// Raw upsets per bit per 10⁹ hours.
+    pub fit_per_bit: f64,
+    /// Fraction of upsets that end as uncovered failures (after intrinsic
+    /// masking and any detection/recovery).
+    pub failure_fraction: f64,
+}
+
+impl FitModel {
+    /// Builds a model from a measured failure fraction.
+    pub fn new(failure_fraction: f64) -> FitModel {
+        assert!(
+            (0.0..=1.0).contains(&failure_fraction),
+            "failure fraction must be a probability"
+        );
+        FitModel { fit_per_bit: RAW_FIT_PER_BIT, failure_fraction }
+    }
+
+    /// Failure FIT rate for a design of `bits` state bits.
+    pub fn fit(&self, bits: f64) -> f64 {
+        bits * self.fit_per_bit * self.failure_fraction
+    }
+
+    /// Mean time between failures in years at the given design size.
+    pub fn mtbf_years(&self, bits: f64) -> f64 {
+        1.0e9 / self.fit(bits) / HOURS_PER_YEAR
+    }
+
+    /// Largest design size (bits) that still meets the 1000-year MTBF
+    /// goal under this model.
+    pub fn max_bits_at_goal(&self) -> f64 {
+        MTBF_GOAL_FIT / (self.fit_per_bit * self.failure_fraction)
+    }
+}
+
+/// The four configurations of Figure 8, parameterised by campaign-measured
+/// failure fractions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitScaling {
+    /// Unprotected pipeline (paper: ~7% of upsets fail).
+    pub baseline: FitModel,
+    /// Baseline + ReStore (paper: ~3.5%).
+    pub restore: FitModel,
+    /// Baseline + parity/ECC low-hanging fruit (paper: ~3%).
+    pub lhf: FitModel,
+    /// Both (paper: ~1%).
+    pub lhf_restore: FitModel,
+}
+
+impl FitScaling {
+    /// Builds the four models from measured failure fractions.
+    pub fn new(baseline: f64, restore: f64, lhf: f64, lhf_restore: f64) -> FitScaling {
+        FitScaling {
+            baseline: FitModel::new(baseline),
+            restore: FitModel::new(restore),
+            lhf: FitModel::new(lhf),
+            lhf_restore: FitModel::new(lhf_restore),
+        }
+    }
+
+    /// The paper's reported fractions, as a reference instance.
+    pub fn paper() -> FitScaling {
+        FitScaling::new(0.07, 0.035, 0.03, 0.01)
+    }
+
+    /// The headline claim: MTBF improvement of `lhf+restore` over the
+    /// baseline (paper: ≈ 7×).
+    pub fn mtbf_improvement(&self) -> f64 {
+        self.baseline.failure_fraction / self.lhf_restore.failure_fraction
+    }
+
+    /// Figure 8 series: for each design size, the FIT of all four
+    /// configurations: `(bits, baseline, restore, lhf, lhf_restore)`.
+    pub fn series(&self, sizes: &[f64]) -> Vec<(f64, f64, f64, f64, f64)> {
+        sizes
+            .iter()
+            .map(|&b| {
+                (
+                    b,
+                    self.baseline.fit(b),
+                    self.restore.fit(b),
+                    self.lhf.fit(b),
+                    self.lhf_restore.fit(b),
+                )
+            })
+            .collect()
+    }
+}
+
+/// The x-axis of Figure 8: 50k to 25.6M bits, doubling.
+pub fn figure8_sizes() -> Vec<f64> {
+    let mut v = Vec::new();
+    let mut b = 50_000.0;
+    while b <= 25_600_000.0 {
+        v.push(b);
+        b *= 2.0;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goal_line_is_115_fit() {
+        assert!((MTBF_GOAL_FIT - 114.155).abs() < 0.01);
+    }
+
+    #[test]
+    fn fit_scales_linearly_with_bits() {
+        let m = FitModel::new(0.07);
+        assert!((m.fit(100_000.0) - 7.0).abs() < 1e-9);
+        assert!((m.fit(200_000.0) - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mtbf_inverse_of_fit() {
+        let m = FitModel::new(0.07);
+        let bits = 1.0e6;
+        let years = m.mtbf_years(bits);
+        assert!((years * m.fit(bits) * HOURS_PER_YEAR - 1.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn paper_improvement_is_7x() {
+        let s = FitScaling::paper();
+        assert!((s.mtbf_improvement() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn protected_design_meets_goal_at_7x_the_size() {
+        // "the lhf+ReStore configuration yields a MTBF comparable to a
+        // design 1/7th the size"
+        let s = FitScaling::paper();
+        let ratio = s.lhf_restore.max_bits_at_goal() / s.baseline.max_bits_at_goal();
+        assert!((ratio - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure8_axis_shape() {
+        let sizes = figure8_sizes();
+        assert_eq!(sizes.first().copied(), Some(50_000.0));
+        assert_eq!(sizes.last().copied(), Some(25_600_000.0));
+        assert_eq!(sizes.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn fractions_are_validated() {
+        let _ = FitModel::new(1.5);
+    }
+
+    #[test]
+    fn series_rows_are_monotone_in_protection() {
+        let s = FitScaling::paper();
+        for (_, base, restore, lhf, both) in s.series(&figure8_sizes()) {
+            assert!(base > restore && restore > lhf && lhf > both);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # restore-core
+//!
+//! The ReStore architecture (Wang & Patel, DSN 2005): symptom-based soft
+//! error detection with checkpoint rollback — the paper's primary
+//! contribution.
+//!
+//! ReStore leverages the checkpointing hardware that high-performance
+//! processors already carry for speculation: checkpoints are taken every
+//! *n* instructions, and *symptoms* that hint at the presence of a soft
+//! error — ISA exceptions, high-confidence branch mispredictions, a
+//! saturated watchdog — trigger restoration of a previous checkpoint.
+//! If the error was transient, re-execution proceeds cleanly and the
+//! fault is detected and recovered; genuine exceptions recur and are
+//! delivered. This is **on-demand time redundancy**: the cost of
+//! redundant execution is paid only when an error is likely present.
+//!
+//! The pieces:
+//!
+//! * [`CheckpointStore`] — two-deep architectural checkpoints with a
+//!   store undo log (the gated store buffer of §2.1);
+//! * [`SymptomConfig`] / [`Symptom`] — the detector bank of §3;
+//! * [`EventLog`] — branch-outcome logs comparing original and redundant
+//!   executions (§3.2.3), enabling positive error detection and the
+//!   dynamic false-positive throttle;
+//! * [`RestoreController`] — the rollback/re-execution orchestrator;
+//! * [`fit`] — FIT/MTBF scaling model of §5.3 (Figure 8).
+//!
+//! # Examples
+//!
+//! Run a workload under ReStore and observe it complete with the correct
+//! output even though a fault is injected mid-flight:
+//!
+//! ```
+//! use restore_core::{RestoreConfig, RestoreController};
+//! use restore_uarch::{Pipeline, UarchConfig};
+//! use restore_workloads::{Scale, WorkloadId};
+//!
+//! let scale = Scale::smoke();
+//! let program = WorkloadId::Mcfx.build(scale);
+//! let pipe = Pipeline::new(UarchConfig::default(), &program);
+//! let mut restore = RestoreController::new(pipe, RestoreConfig::default());
+//! restore.run(2_000_000);
+//! assert_eq!(restore.output(), &[WorkloadId::Mcfx.expected(scale)]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod checkpoint;
+mod controller;
+mod event_log;
+pub mod fit;
+mod symptom;
+
+pub use checkpoint::{Checkpoint, CheckpointStore, UndoRecord};
+pub use controller::{RestoreConfig, RestoreController, RestoreOutcome, RestoreStats};
+pub use event_log::{BranchOutcome, EventLog, LogCheck};
+pub use fit::{FitModel, FitScaling};
+pub use symptom::{Symptom, SymptomConfig};

@@ -1,0 +1,320 @@
+//! Architectural-level (virtual machine) fault injection — the Figure 2
+//! study (§3.1).
+//!
+//! "We abstract away the processor implementation by assuming that a soft
+//! error has already corrupted architectural state … the fault model is a
+//! single bit flip in the result of a randomly chosen instruction."
+//!
+//! Each trial forks a golden and an injected architectural simulator at a
+//! random dynamic instruction, flips one bit of that instruction's result
+//! (destination register value or stored datum), and runs the pair in
+//! lockstep, recording the latency to each symptom class.
+
+use crate::classify::ArchCategory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use restore_arch::Cpu;
+use restore_workloads::{Scale, WorkloadId};
+
+/// Configuration of a Figure 2 campaign.
+#[derive(Debug, Clone)]
+pub struct ArchCampaignConfig {
+    /// Workload scale (paper: SPEC2000int reference runs).
+    pub scale: Scale,
+    /// Trials per workload (paper: ~1000).
+    pub trials_per_workload: usize,
+    /// Maximum instructions observed after injection. The paper observes
+    /// to program completion (its latency axis ends at "inf"); the
+    /// default comfortably exceeds every workload's remaining length, so
+    /// trials run to halt and masking is judged on final state.
+    pub window: u64,
+    /// RNG seed for injection point/bit selection.
+    pub seed: u64,
+    /// Restrict flips to the low 32 bits of each result — the §3.1
+    /// virtual-address-space sensitivity study.
+    pub low32: bool,
+}
+
+impl Default for ArchCampaignConfig {
+    fn default() -> Self {
+        ArchCampaignConfig {
+            scale: Scale::campaign(),
+            trials_per_workload: 150,
+            window: 300_000,
+            seed: 0xF16_2,
+            low32: false,
+        }
+    }
+}
+
+/// Outcome of one architectural injection trial: the latency (retired
+/// instructions after injection) to each first symptom, if observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchTrial {
+    /// Workload injected into.
+    pub workload: WorkloadId,
+    /// Latency to the first spurious exception.
+    pub exception: Option<u64>,
+    /// Latency to the first control-flow divergence from golden.
+    pub cfv: Option<u64>,
+    /// Latency to the first memory access with a corrupted address.
+    pub mem_addr: Option<u64>,
+    /// Latency to the first store of corrupted data (to a correct
+    /// address).
+    pub mem_data: Option<u64>,
+    /// Architectural state re-converged with golden by trial end.
+    pub masked: bool,
+}
+
+impl ArchTrial {
+    /// Classifies the trial at a detection-latency bound, with the
+    /// paper's precedence (exception > cfv > mem-addr > mem-data >
+    /// register).
+    pub fn classify(&self, latency_bound: u64) -> ArchCategory {
+        if self.masked {
+            return ArchCategory::Masked;
+        }
+        let within = |l: Option<u64>| l.map(|v| v <= latency_bound).unwrap_or(false);
+        if within(self.exception) {
+            ArchCategory::Exception
+        } else if within(self.cfv) {
+            ArchCategory::Cfv
+        } else if within(self.mem_addr) {
+            ArchCategory::MemAddr
+        } else if within(self.mem_data) {
+            ArchCategory::MemData
+        } else {
+            ArchCategory::Register
+        }
+    }
+}
+
+/// Runs the campaign over all seven workloads.
+///
+/// # Panics
+///
+/// Panics if a workload faults during its fault-free golden run (the
+/// workloads are exception-free by construction).
+pub fn run_arch_campaign(cfg: &ArchCampaignConfig) -> Vec<ArchTrial> {
+    let mut out = Vec::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for id in WorkloadId::ALL {
+        run_workload(cfg, id, &mut rng, &mut out);
+    }
+    out
+}
+
+/// Runs trials for a single workload (exposed for focused experiments).
+pub fn run_workload(
+    cfg: &ArchCampaignConfig,
+    id: WorkloadId,
+    rng: &mut StdRng,
+    out: &mut Vec<ArchTrial>,
+) {
+    let program = id.build(cfg.scale);
+    // Measure run length once.
+    let mut probe = Cpu::new(&program);
+    probe.run(5_000_000).expect("workloads are exception-free");
+    let run_len = probe.retired();
+
+    // Sorted injection points let one golden CPU sweep forward, forking a
+    // clone per trial — O(run_len) amortised instead of per-trial.
+    let mut points: Vec<u64> = (0..cfg.trials_per_workload)
+        .map(|_| rng.gen_range(run_len / 20..run_len.saturating_sub(10).max(run_len / 20 + 1)))
+        .collect();
+    points.sort_unstable();
+
+    let mut walker = Cpu::new(&program);
+    for k in points {
+        while walker.retired() < k && !walker.is_halted() {
+            walker.step().expect("golden never faults");
+        }
+        if walker.is_halted() {
+            break;
+        }
+        let bit = if cfg.low32 { rng.gen_range(0..32) } else { rng.gen_range(0..64) };
+        if let Some(trial) = run_trial(&walker, id, bit, cfg.window) {
+            out.push(trial);
+        }
+    }
+}
+
+/// Runs one trial from a golden CPU positioned at the injection point.
+/// Returns `None` if the instruction at the point produces no result to
+/// corrupt (fences, branches without link, PAL calls).
+fn run_trial(at: &Cpu, id: WorkloadId, bit: u32, window: u64) -> Option<ArchTrial> {
+    let mut golden = at.clone();
+    let mut injected = at.clone();
+
+    // Execute the victim instruction on both, then corrupt its result in
+    // the injected machine.
+    let g = golden.step().expect("golden never faults");
+    let i = injected.step().expect("same instruction");
+    debug_assert_eq!(g, i);
+    if let Some((reg, _)) = i.reg_write {
+        injected.regs.flip_bit(reg, bit);
+    } else if let Some(m) = i.mem {
+        if m.is_store {
+            let byte = (bit / 8) as u64 % m.len;
+            injected.mem.flip_bit(m.addr + byte, bit % 8);
+        } else {
+            return None;
+        }
+    } else {
+        return None;
+    }
+
+    let mut trial = ArchTrial {
+        workload: id,
+        exception: None,
+        cfv: None,
+        mem_addr: None,
+        mem_data: None,
+        masked: false,
+    };
+
+    for n in 1..=window {
+        if golden.is_halted() || injected.is_halted() {
+            break;
+        }
+        let g = match golden.step() {
+            Ok(g) => g,
+            Err(_) => break, // golden hit end-of-window conditions; stop
+        };
+        let i = match injected.step() {
+            Ok(i) => i,
+            Err(_) => {
+                trial.exception.get_or_insert(n);
+                break;
+            }
+        };
+        if i.pc != g.pc || i.next_pc != g.next_pc {
+            trial.cfv.get_or_insert(n);
+            // Control flow diverged: stop instruction-wise comparison of
+            // memory effects (streams no longer align) but keep running
+            // the injected side alone looking for a late exception.
+            for m in n + 1..=window {
+                if injected.is_halted() {
+                    break;
+                }
+                if injected.step().is_err() {
+                    trial.exception.get_or_insert(m);
+                    break;
+                }
+            }
+            break;
+        }
+        if let (Some(gm), Some(im)) = (g.mem, i.mem) {
+            if im.addr != gm.addr {
+                trial.mem_addr.get_or_insert(n);
+            } else if im.is_store && im.value != gm.value {
+                trial.mem_data.get_or_insert(n);
+            }
+        }
+    }
+
+    // Masking judgement (§3.1: "did not ultimately affect the executing
+    // application"): with both runs complete, the program's output and
+    // memory image decide; register residue after halt is dead by
+    // definition. If the window expired first, fall back to strict
+    // architectural equality.
+    let clean = if golden.is_halted() && injected.is_halted() {
+        injected.output() == golden.output() && injected.mem == golden.mem
+    } else {
+        injected.is_halted() == golden.is_halted() && injected.arch_state_eq(&golden)
+    };
+    trial.masked = trial.exception.is_none() && trial.cfv.is_none() && clean;
+    Some(trial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ArchCampaignConfig {
+        ArchCampaignConfig {
+            scale: Scale::smoke(),
+            trials_per_workload: 25,
+            window: 150_000,
+            seed: 7,
+            low32: false,
+        }
+    }
+
+    #[test]
+    fn campaign_produces_trials_for_all_workloads() {
+        let trials = run_arch_campaign(&quick_cfg());
+        assert!(trials.len() > 100, "only {} trials", trials.len());
+        let wls: std::collections::HashSet<_> = trials.iter().map(|t| t.workload).collect();
+        assert_eq!(wls.len(), 7);
+    }
+
+    #[test]
+    fn category_fractions_match_paper_shape() {
+        let mut cfg = quick_cfg();
+        cfg.trials_per_workload = 60;
+        let trials = run_arch_campaign(&cfg);
+        let total = trials.len() as f64;
+        let masked = trials.iter().filter(|t| t.masked).count() as f64 / total;
+        // Paper: ~59% masked at the architectural level (compiled SPEC
+        // code carries more dead values than our hand-written kernels, so
+        // we expect to land lower — see EXPERIMENTS.md). It must still be
+        // substantial and not overwhelming.
+        assert!((0.15..0.85).contains(&masked), "masked fraction {masked:.2}");
+        let exc_100 = trials
+            .iter()
+            .filter(|t| t.classify(100) == ArchCategory::Exception)
+            .count() as f64
+            / total;
+        // Paper: ~24% of all injections raise an exception within 100
+        // instructions — the dominant failing category.
+        assert!(exc_100 > 0.05, "exception@100 only {exc_100:.2}");
+    }
+
+    #[test]
+    fn classification_respects_precedence_and_latency() {
+        let t = ArchTrial {
+            workload: WorkloadId::Mcfx,
+            exception: Some(50),
+            cfv: Some(10),
+            mem_addr: Some(5),
+            mem_data: None,
+            masked: false,
+        };
+        assert_eq!(t.classify(4), ArchCategory::Register);
+        assert_eq!(t.classify(5), ArchCategory::MemAddr);
+        assert_eq!(t.classify(10), ArchCategory::Cfv);
+        assert_eq!(t.classify(50), ArchCategory::Exception);
+        assert_eq!(t.classify(10_000), ArchCategory::Exception);
+    }
+
+    #[test]
+    fn masked_trials_classify_masked_at_any_latency() {
+        let t = ArchTrial {
+            workload: WorkloadId::Gapx,
+            exception: None,
+            cfv: None,
+            mem_addr: None,
+            mem_data: None,
+            masked: true,
+        };
+        for l in [0, 100, 1_000_000] {
+            assert_eq!(t.classify(l), ArchCategory::Masked);
+        }
+    }
+
+    #[test]
+    fn coverage_grows_with_latency() {
+        let trials = run_arch_campaign(&quick_cfg());
+        let covered = |l: u64| {
+            trials
+                .iter()
+                .filter(|t| {
+                    matches!(t.classify(l), ArchCategory::Exception | ArchCategory::Cfv)
+                })
+                .count()
+        };
+        assert!(covered(25) <= covered(100));
+        assert!(covered(100) <= covered(1000));
+    }
+}

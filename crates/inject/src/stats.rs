@@ -1,0 +1,89 @@
+//! Statistical helpers for campaign reporting.
+//!
+//! The paper reports "a confidence interval of less than 0.9% at a 95%
+//! confidence level" for its 12–13k-trial campaigns; these helpers
+//! reproduce that arithmetic (normal-approximation binomial intervals) so
+//! every percentage printed by the benchmark harness carries its
+//! resolution.
+
+/// A proportion estimate with its 95% confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Proportion {
+    /// Successes.
+    pub count: u64,
+    /// Trials.
+    pub total: u64,
+}
+
+impl Proportion {
+    /// Creates an estimate from counts.
+    pub fn new(count: u64, total: u64) -> Proportion {
+        debug_assert!(count <= total);
+        Proportion { count, total }
+    }
+
+    /// Point estimate.
+    pub fn value(&self) -> f64 {
+        self.count as f64 / self.total.max(1) as f64
+    }
+
+    /// Normal-approximation half-width of the 95% confidence interval.
+    pub fn ci95(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let p = self.value();
+        1.96 * (p * (1.0 - p) / self.total as f64).sqrt()
+    }
+
+    /// Percentage with CI, e.g. `"23.4% ±0.8%"`.
+    pub fn percent(&self) -> String {
+        format!("{:.1}% ±{:.1}%", 100.0 * self.value(), 100.0 * self.ci95())
+    }
+}
+
+/// The worst-case (p = 0.5) 95% CI half-width for a trial count — the
+/// number the paper quotes.
+pub fn worst_case_ci95(total: u64) -> f64 {
+    Proportion::new(total / 2, total.max(1)).ci95()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_estimates() {
+        let p = Proportion::new(25, 100);
+        assert!((p.value() - 0.25).abs() < 1e-12);
+        assert_eq!(Proportion::new(0, 0).value(), 0.0);
+    }
+
+    #[test]
+    fn paper_scale_ci_is_under_0_9_percent() {
+        // 12,000–13,000 trials ⇒ < 0.9% at 95%, as §4.4 states.
+        assert!(worst_case_ci95(12_000) < 0.009);
+        assert!(worst_case_ci95(13_000) < 0.009);
+        // And 1,000 trials per benchmark for Figure 2 ⇒ ~3%.
+        assert!(worst_case_ci95(1_000) < 0.032);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small = Proportion::new(5, 10).ci95();
+        let large = Proportion::new(500, 1000).ci95();
+        assert!(large < small);
+    }
+
+    #[test]
+    fn extreme_proportions_have_tight_ci() {
+        assert!(Proportion::new(0, 1000).ci95() < 1e-9);
+        assert!(Proportion::new(1000, 1000).ci95() < 1e-9);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        let s = Proportion::new(234, 1000).percent();
+        assert!(s.starts_with("23.4% ±"), "{s}");
+    }
+}

@@ -1,0 +1,559 @@
+//! Microarchitectural fault injection — the Figures 4/5/6 studies (§5.1,
+//! §5.2).
+//!
+//! Each trial clones a warmed-up pipeline at a pre-selected random cycle,
+//! flips one uniformly chosen state bit, and monitors up to 10,000 cycles
+//! against a cached golden run from the same point (§4.2): watchdog
+//! deadlock, spurious exceptions, divergence of the retired stream
+//! (control flow vs. value corruption), fault-induced high-confidence
+//! branch mispredictions, and end-of-trial state comparison for the
+//! masked/latent/other split.
+
+use crate::classify::UarchCategory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use restore_arch::Retired;
+use restore_uarch::{Pipeline, StateCatalog, Stop, UarchConfig};
+use restore_workloads::{Scale, WorkloadId};
+use std::collections::HashSet;
+
+/// Which bits are eligible for injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectionTarget {
+    /// All latch and RAM state (Figure 4).
+    AllState,
+    /// Pipeline latches only (§5.1.2).
+    LatchesOnly,
+}
+
+/// How the cfv symptom is identified when classifying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CfvMode {
+    /// Perfect identification of incorrect control flow (Figure 4): any
+    /// divergence of retired control flow counts.
+    Perfect,
+    /// Realistic detection via JRS high-confidence mispredictions
+    /// (Figure 5).
+    HighConfidence,
+    /// The §5.2.1 ablation: a perfect confidence predictor — every
+    /// fault-induced misprediction counts ("a perfect confidence
+    /// predictor would yield nearly twice the error coverage").
+    AnyMispredict,
+}
+
+/// Configuration of a microarchitectural campaign.
+#[derive(Debug, Clone)]
+pub struct UarchCampaignConfig {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Pipeline configuration.
+    pub uarch: UarchConfig,
+    /// Injection points (cycles) per workload (paper: ~250–300 total
+    /// across the suite).
+    pub points_per_workload: usize,
+    /// Trials (random bits) per injection point (paper: ~48).
+    pub trials_per_point: usize,
+    /// Cycles of warm-up before the earliest injection point.
+    pub warmup_cycles: u64,
+    /// Observation window after injection (paper: 10,000 cycles).
+    pub window_cycles: u64,
+    /// Extra cycles allowed for the end-of-trial pipeline drain.
+    pub drain_cycles: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Eligible state.
+    pub target: InjectionTarget,
+}
+
+impl Default for UarchCampaignConfig {
+    fn default() -> Self {
+        UarchCampaignConfig {
+            scale: Scale::campaign(),
+            uarch: UarchConfig::default(),
+            points_per_workload: 6,
+            trials_per_point: 10,
+            warmup_cycles: 2_000,
+            window_cycles: 10_000,
+            drain_cycles: 3_000,
+            seed: 0xF4F5,
+            target: InjectionTarget::AllState,
+        }
+    }
+}
+
+/// How a trial's observation window ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndState {
+    /// Ran the full window; microarchitectural state identical to golden.
+    MaskedClean,
+    /// Ran the full window with matching architectural state, but residue
+    /// remains in (dead) microarchitectural state.
+    DeadResidue,
+    /// Ran the full window; architectural registers/memory differ from
+    /// golden while the retired streams matched — the fault is latent in
+    /// software-visible state.
+    Latent,
+    /// The window was cut short by an exception or deadlock.
+    Terminated,
+    /// Both runs halted (program completed) with identical final state.
+    Completed,
+}
+
+/// One microarchitectural injection trial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UarchTrial {
+    /// Workload injected into.
+    pub workload: WorkloadId,
+    /// Global bit index injected.
+    pub bit: u64,
+    /// Region (component) name of the bit.
+    pub region: &'static str,
+    /// `true` if the hardened pipeline's parity/ECC covers this bit.
+    pub lhf_protected: bool,
+    /// Latency (retired instructions after injection) to watchdog
+    /// saturation.
+    pub deadlock: Option<u64>,
+    /// Latency to a spurious exception at retire.
+    pub exception: Option<u64>,
+    /// Latency to the first control-flow divergence from golden.
+    pub pc_divergence: Option<u64>,
+    /// Latency to the first value divergence (register write or store
+    /// data/address) from golden.
+    pub value_divergence: Option<u64>,
+    /// Latency to the first fault-induced high-confidence misprediction.
+    pub hc_mispredict: Option<u64>,
+    /// Latency to the first fault-induced misprediction of any
+    /// confidence (the perfect-confidence-predictor ablation).
+    pub any_mispredict: Option<u64>,
+    /// Data-cache misses beyond the golden run's count (§3.3 candidate
+    /// symptom; can be negative when the fault shortens execution).
+    pub extra_dcache_misses: i64,
+    /// Data-TLB misses beyond the golden run's count.
+    pub extra_dtlb_misses: i64,
+    /// How the window ended.
+    pub end: EndState,
+}
+
+impl UarchTrial {
+    /// Ground truth: did this fault cause (or remain able to cause) a
+    /// failure?
+    pub fn is_failure(&self) -> bool {
+        self.deadlock.is_some()
+            || self.exception.is_some()
+            || self.pc_divergence.is_some()
+            || self.value_divergence.is_some()
+            || self.end == EndState::Latent
+    }
+
+    /// Classifies the trial for a checkpoint interval (detection-latency
+    /// bound), a cfv detection mode, and optionally the hardened
+    /// (parity/ECC) pipeline of §5.2.2.
+    pub fn classify(&self, interval: u64, cfv: CfvMode, hardened: bool) -> UarchCategory {
+        if hardened && self.lhf_protected {
+            // Parity/ECC detects and recovers the flip before it can
+            // propagate; like the paper we report these under `other`
+            // ("covered by ECC and will not cause data corruption").
+            return UarchCategory::Other;
+        }
+        if !self.is_failure() {
+            return match self.end {
+                EndState::MaskedClean | EndState::Completed => UarchCategory::Masked,
+                EndState::DeadResidue => UarchCategory::Other,
+                _ => UarchCategory::Masked,
+            };
+        }
+        let within = |l: Option<u64>| l.map(|v| v <= interval).unwrap_or(false);
+        if within(self.deadlock) {
+            return UarchCategory::Deadlock;
+        }
+        if within(self.exception) {
+            return UarchCategory::Exception;
+        }
+        let cfv_hit = match cfv {
+            CfvMode::Perfect => within(self.pc_divergence),
+            CfvMode::HighConfidence => within(self.hc_mispredict),
+            CfvMode::AnyMispredict => within(self.any_mispredict),
+        };
+        if cfv_hit {
+            return UarchCategory::Cfv;
+        }
+        if self.pc_divergence.is_some() || self.value_divergence.is_some() {
+            UarchCategory::Sdc
+        } else {
+            UarchCategory::Latent
+        }
+    }
+}
+
+/// Cached golden observation from one injection point.
+#[derive(Debug)]
+struct GoldenRun {
+    trace: Vec<Retired>,
+    /// `(retired_before, pc)` of golden high-confidence mispredicts.
+    hc_events: HashSet<(u64, u64)>,
+    /// `(retired_before, pc)` of all golden conditional mispredicts.
+    all_events: HashSet<(u64, u64)>,
+    end_state_hash: u64,
+    end_regs: [u64; 32],
+    end_mem: restore_arch::Memory,
+    halted: bool,
+    retired: u64,
+    dcache_misses: u64,
+    dtlb_misses: u64,
+}
+
+/// Stops fetch and runs until the machine is empty (or `max` cycles).
+/// An empty machine must stop cycling before the retirement watchdog
+/// misreads the idle period as a deadlock.
+fn drain(pipe: &mut Pipeline, max: u64) {
+    pipe.set_fetch_enabled(false);
+    for _ in 0..max {
+        if pipe.status() != Stop::Running || pipe.in_flight() == 0 {
+            break;
+        }
+        pipe.cycle();
+    }
+    pipe.set_fetch_enabled(true);
+}
+
+fn golden_run(at: &Pipeline, cfg: &UarchCampaignConfig) -> GoldenRun {
+    let mut g = at.clone();
+    let base_retired = g.retired();
+    let mut trace = Vec::new();
+    let mut hc = HashSet::new();
+    let mut all = HashSet::new();
+    for _ in 0..cfg.window_cycles {
+        if g.status() != Stop::Running {
+            break;
+        }
+        let r = g.cycle();
+        assert!(r.exception.is_none(), "golden run raised an exception");
+        assert!(!r.deadlock, "golden run deadlocked");
+        for m in &r.mispredicts {
+            if m.conditional {
+                all.insert((m.retired_before - base_retired, m.pc));
+                if m.high_confidence {
+                    hc.insert((m.retired_before - base_retired, m.pc));
+                }
+            }
+        }
+        trace.extend(r.retired);
+    }
+    drain(&mut g, cfg.drain_cycles);
+    GoldenRun {
+        trace,
+        hc_events: hc,
+        all_events: all,
+        end_state_hash: g.state_hash(),
+        end_regs: g.arch_regs(),
+        end_mem: g.memory().clone(),
+        halted: g.status() == Stop::Halted,
+        retired: g.retired(),
+        dcache_misses: g.miss_counters().1,
+        dtlb_misses: g.miss_counters().3,
+    }
+}
+
+/// Draws a global bit index for the configured target.
+fn draw_bit(rng: &mut StdRng, catalog: &StateCatalog, target: InjectionTarget) -> u64 {
+    match target {
+        InjectionTarget::AllState => rng.gen_range(0..catalog.total_bits),
+        InjectionTarget::LatchesOnly => catalog.latch_bit(rng.gen_range(0..catalog.latch_bits())),
+    }
+}
+
+fn run_trial(
+    at: &Pipeline,
+    golden: &GoldenRun,
+    catalog: &StateCatalog,
+    id: WorkloadId,
+    bit: u64,
+    cfg: &UarchCampaignConfig,
+) -> UarchTrial {
+    let mut pipe = at.clone();
+    let base_retired = pipe.retired();
+    pipe.flip_bit(bit);
+
+    let region = catalog.region_of(bit).map(|r| r.name).unwrap_or("?");
+    let mut trial = UarchTrial {
+        workload: id,
+        bit,
+        region,
+        lhf_protected: catalog.lhf_protected(bit),
+        deadlock: None,
+        exception: None,
+        pc_divergence: None,
+        value_divergence: None,
+        hc_mispredict: None,
+        any_mispredict: None,
+        extra_dcache_misses: 0,
+        extra_dtlb_misses: 0,
+        end: EndState::MaskedClean,
+    };
+
+    let mut idx = 0usize; // next golden trace index to compare
+    let mut terminated = false;
+    // A control-flow violation means the *wrong instruction executed*: a
+    // sustained PC divergence from the golden stream. A single-event PC
+    // label mismatch that immediately re-aligns is a corrupted reporting
+    // field (e.g. a flipped ROB `pc`), which is data corruption, not cfv.
+    let mut pending_cfv: Option<u64> = None;
+    let mut cfv_confirmed = false;
+    for _ in 0..cfg.window_cycles {
+        if pipe.status() != Stop::Running {
+            break;
+        }
+        let lat_now = |p: &Pipeline| p.retired() - base_retired;
+        let r = pipe.cycle();
+        for m in &r.mispredicts {
+            if !m.conditional {
+                continue;
+            }
+            let key = (m.retired_before - base_retired, m.pc);
+            if !golden.all_events.contains(&key) {
+                trial.any_mispredict.get_or_insert(key.0 + 1);
+            }
+            if m.high_confidence && !golden.hc_events.contains(&key) {
+                trial.hc_mispredict.get_or_insert(key.0 + 1);
+            }
+        }
+        for ret in &r.retired {
+            if cfv_confirmed {
+                break; // streams no longer aligned; nothing to compare
+            }
+            let Some(g) = golden.trace.get(idx) else { break };
+            let lat = idx as u64 + 1;
+            if ret.pc != g.pc {
+                match pending_cfv {
+                    Some(at) => {
+                        trial.pc_divergence.get_or_insert(at);
+                        cfv_confirmed = true;
+                    }
+                    None => pending_cfv = Some(lat),
+                }
+            } else {
+                // A one-off PC label mismatch whose dataflow matched was a
+                // corrupted reporting field (e.g. a flipped ROB `pc`): it
+                // redirects nothing and writes nothing wrong, so it is not
+                // a failure. Any real effect shows up as a reg/mem
+                // mismatch or as end-of-trial residue.
+                pending_cfv = None;
+                if ret.reg_write != g.reg_write
+                    || ret.mem != g.mem
+                    || ret.halted != g.halted
+                {
+                    trial.value_divergence.get_or_insert(lat);
+                }
+            }
+            idx += 1;
+        }
+        if r.deadlock {
+            trial.deadlock = Some(lat_now(&pipe));
+            terminated = true;
+        }
+        if r.exception.is_some() {
+            trial.exception = Some(lat_now(&pipe));
+            terminated = true;
+        }
+    }
+    // A pending divergence on the final compared event is indistinguishable
+    // from a label flip; end-of-trial state comparison adjudicates it.
+    let _ = pending_cfv;
+
+    let (_, dc, _, dt) = pipe.miss_counters();
+    trial.extra_dcache_misses = dc as i64 - golden.dcache_misses as i64;
+    trial.extra_dtlb_misses = dt as i64 - golden.dtlb_misses as i64;
+    trial.end = if terminated {
+        EndState::Terminated
+    } else {
+        drain(&mut pipe, cfg.drain_cycles);
+        match pipe.status() {
+            Stop::Deadlock => {
+                // Saturation during the drain still counts.
+                trial.deadlock.get_or_insert(pipe.retired() - base_retired);
+                EndState::Terminated
+            }
+            Stop::Exception(_) => {
+                trial.exception.get_or_insert(pipe.retired() - base_retired);
+                EndState::Terminated
+            }
+            _ => {
+                let arch_clean = pipe.arch_regs() == golden.end_regs
+                    && pipe.memory() == &golden.end_mem
+                    && pipe.retired() == golden.retired
+                    && (pipe.status() == Stop::Halted) == golden.halted;
+                if !arch_clean {
+                    EndState::Latent
+                } else if pipe.state_hash() == golden.end_state_hash {
+                    if golden.halted {
+                        EndState::Completed
+                    } else {
+                        EndState::MaskedClean
+                    }
+                } else {
+                    EndState::DeadResidue
+                }
+            }
+        }
+    };
+    trial
+}
+
+/// Runs the campaign over all seven workloads.
+pub fn run_uarch_campaign(cfg: &UarchCampaignConfig) -> Vec<UarchTrial> {
+    let mut out = Vec::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for id in WorkloadId::ALL {
+        run_workload(cfg, id, &mut rng, &mut out);
+    }
+    out
+}
+
+/// Runs trials for a single workload.
+pub fn run_workload(
+    cfg: &UarchCampaignConfig,
+    id: WorkloadId,
+    rng: &mut StdRng,
+    out: &mut Vec<UarchTrial>,
+) {
+    let program = id.build(cfg.scale);
+    let mut walker = Pipeline::new(cfg.uarch.clone(), &program);
+    let catalog = walker.catalog();
+
+    // Pre-selected random injection cycles (paper §4.4), sorted so one
+    // walker sweeps forward.
+    let span = cfg.window_cycles * 4;
+    let mut points: Vec<u64> = (0..cfg.points_per_workload)
+        .map(|_| cfg.warmup_cycles + rng.gen_range(0..span))
+        .collect();
+    points.sort_unstable();
+
+    for cycle in points {
+        while walker.cycles() < cycle && walker.status() == Stop::Running {
+            walker.cycle();
+        }
+        if walker.status() != Stop::Running {
+            break;
+        }
+        let golden = golden_run(&walker, cfg);
+        for _ in 0..cfg.trials_per_point {
+            let bit = draw_bit(rng, &catalog, cfg.target);
+            out.push(run_trial(&walker, &golden, &catalog, id, bit, cfg));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> UarchCampaignConfig {
+        UarchCampaignConfig {
+            scale: Scale::campaign(),
+            points_per_workload: 2,
+            trials_per_point: 6,
+            warmup_cycles: 500,
+            window_cycles: 2_000,
+            drain_cycles: 1_500,
+            seed: 3,
+            ..UarchCampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_runs_and_masks_dominate() {
+        let trials = run_uarch_campaign(&quick());
+        assert!(trials.len() >= 70, "{} trials", trials.len());
+        let failures = trials.iter().filter(|t| t.is_failure()).count();
+        let frac = failures as f64 / trials.len() as f64;
+        // Paper: ~7–8% of injections fail. Small windows and samples
+        // justify slack, but masking must clearly dominate.
+        assert!(frac < 0.45, "failure fraction {frac:.2} implausibly high");
+    }
+
+    #[test]
+    fn latch_only_draws_from_latch_regions() {
+        let cfg = UarchCampaignConfig { target: InjectionTarget::LatchesOnly, ..quick() };
+        let program = WorkloadId::Mcfx.build(cfg.scale);
+        let mut pipe = restore_uarch::Pipeline::new(cfg.uarch.clone(), &program);
+        let catalog = pipe.catalog();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let bit = draw_bit(&mut rng, &catalog, cfg.target);
+            let region = catalog.region_of(bit).unwrap();
+            assert_eq!(region.kind, restore_uarch::StateKind::Latch, "{}", region.name);
+        }
+    }
+
+    #[test]
+    fn hardened_classification_moves_protected_bits_to_other() {
+        let t = UarchTrial {
+            workload: WorkloadId::Mcfx,
+            bit: 0,
+            region: "phys-regfile",
+            lhf_protected: true,
+            deadlock: None,
+            exception: Some(10),
+            pc_divergence: None,
+            value_divergence: None,
+            hc_mispredict: None,
+            any_mispredict: None,
+            extra_dcache_misses: 0,
+            extra_dtlb_misses: 0,
+            end: EndState::Terminated,
+        };
+        assert_eq!(t.classify(100, CfvMode::Perfect, false), UarchCategory::Exception);
+        assert_eq!(t.classify(100, CfvMode::Perfect, true), UarchCategory::Other);
+    }
+
+    #[test]
+    fn classification_precedence_and_latency() {
+        let t = UarchTrial {
+            workload: WorkloadId::Mcfx,
+            bit: 0,
+            region: "scheduler",
+            lhf_protected: false,
+            deadlock: Some(500),
+            exception: Some(50),
+            pc_divergence: Some(20),
+            value_divergence: Some(5),
+            hc_mispredict: Some(80),
+            any_mispredict: Some(30),
+            extra_dcache_misses: 0,
+            extra_dtlb_misses: 0,
+            end: EndState::Terminated,
+        };
+        use CfvMode::*;
+        assert_eq!(t.classify(10, Perfect, false), UarchCategory::Sdc);
+        assert_eq!(t.classify(20, Perfect, false), UarchCategory::Cfv);
+        assert_eq!(t.classify(50, Perfect, false), UarchCategory::Exception);
+        assert_eq!(t.classify(500, Perfect, false), UarchCategory::Deadlock);
+        // Realistic cfv detection fires later than perfect.
+        assert_eq!(t.classify(20, HighConfidence, false), UarchCategory::Sdc);
+        assert_eq!(t.classify(80, HighConfidence, false), UarchCategory::Exception);
+        // The perfect-confidence ablation sits between the two.
+        assert_eq!(t.classify(30, AnyMispredict, false), UarchCategory::Cfv);
+    }
+
+    #[test]
+    fn perfect_cfv_covers_at_least_as_much_as_jrs() {
+        let trials = run_uarch_campaign(&quick());
+        for interval in [25u64, 100, 1000] {
+            let cover = |mode: CfvMode| {
+                trials
+                    .iter()
+                    .filter(|t| t.classify(interval, mode, false).is_covered())
+                    .count()
+            };
+            assert!(
+                cover(CfvMode::Perfect) >= cover(CfvMode::HighConfidence),
+                "interval {interval}"
+            );
+            // Perfect confidence covers at least as much as JRS (§5.2.1).
+            assert!(
+                cover(CfvMode::AnyMispredict) >= cover(CfvMode::HighConfidence),
+                "interval {interval}"
+            );
+        }
+    }
+}

@@ -1,0 +1,704 @@
+//! Label-resolving assembler builder.
+//!
+//! [`Asm`] is a programmatic assembler: workloads call one method per
+//! instruction, bind labels for control flow, and [`Asm::finish`] resolves
+//! every branch displacement (checking 21-bit range) into a
+//! [`Program`] text image.
+//!
+//! # Examples
+//!
+//! ```
+//! use restore_isa::{Asm, Reg};
+//! # fn main() -> Result<(), restore_isa::AsmError> {
+//! let mut a = Asm::new("count", restore_isa::layout::TEXT_BASE);
+//! a.li(Reg::T0, 10);
+//! let top = a.label();
+//! a.bind(top)?;
+//! a.subq_lit(Reg::T0, 1, Reg::T0);
+//! a.bne(Reg::T0, top);
+//! a.halt();
+//! let prog = a.finish()?;
+//! assert!(prog.len() >= 4);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{
+    layout, AluOp, BranchCond, FenceKind, Inst, JumpKind, MemWidth, Operand, PalFunc, Program, Reg,
+};
+use core::fmt;
+
+/// A forward- or backward-referencable code location.
+///
+/// Created by [`Asm::label`], attached to an address by [`Asm::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors produced while assembling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound when `finish` ran.
+    UnboundLabel(Label),
+    /// A label was bound twice.
+    Rebound(Label),
+    /// A resolved branch displacement exceeded the signed 21-bit field.
+    BranchOutOfRange {
+        /// Address of the branch instruction.
+        at: u64,
+        /// Address of the target label.
+        target: u64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {l:?} referenced but never bound"),
+            AsmError::Rebound(l) => write!(f, "label {l:?} bound more than once"),
+            AsmError::BranchOutOfRange { at, target } => {
+                write!(f, "branch at {at:#x} to {target:#x} exceeds 21-bit displacement")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone, Copy)]
+enum FixupKind {
+    CondBranch(BranchCond, Reg),
+    Br(Reg),
+    Bsr(Reg),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fixup {
+    word_index: usize,
+    label: Label,
+    kind: FixupKind,
+}
+
+/// Programmatic assembler for the ReStore ISA.
+///
+/// See the module-level docs for a usage example. Instruction-emitting
+/// methods return `&mut Self` only where chaining reads naturally; most
+/// return nothing, matching how assembly listings are written line by line.
+#[derive(Debug)]
+pub struct Asm {
+    name: String,
+    base: u64,
+    words: Vec<u32>,
+    labels: Vec<Option<u64>>,
+    fixups: Vec<Fixup>,
+    symbols: Vec<(String, u64)>,
+}
+
+impl Asm {
+    /// Starts assembling a program named `name` with its text segment at
+    /// `base`.
+    pub fn new(name: impl Into<String>, base: u64) -> Asm {
+        Asm {
+            name: name.into(),
+            base,
+            words: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            symbols: Vec::new(),
+        }
+    }
+
+    /// Address of the next instruction to be emitted.
+    pub fn here(&self) -> u64 {
+        self.base + 4 * self.words.len() as u64
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::Rebound`] if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), AsmError> {
+        let slot = &mut self.labels[label.0];
+        if slot.is_some() {
+            return Err(AsmError::Rebound(label));
+        }
+        *slot = Some(self.base + 4 * self.words.len() as u64);
+        Ok(())
+    }
+
+    /// Creates a label already bound to the current location.
+    pub fn bind_here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l).expect("fresh label cannot be rebound");
+        l
+    }
+
+    /// Records `name` as a symbol for the current location.
+    pub fn symbol(&mut self, name: impl Into<String>) {
+        let here = self.here();
+        self.symbols.push((name.into(), here));
+    }
+
+    /// Emits an already-constructed instruction.
+    pub fn emit(&mut self, inst: Inst) {
+        self.words.push(inst.encode());
+    }
+
+    /// Emits a raw 32-bit word (used by tests to plant illegal encodings).
+    pub fn emit_raw(&mut self, word: u32) {
+        self.words.push(word);
+    }
+
+    // ---- memory format -------------------------------------------------
+
+    /// `lda ra, disp(rb)`.
+    pub fn lda(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.emit(Inst::Lda { ra, rb, disp });
+    }
+
+    /// `ldah ra, disp(rb)`.
+    pub fn ldah(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.emit(Inst::Ldah { ra, rb, disp });
+    }
+
+    /// `ldq ra, disp(rb)`.
+    pub fn ldq(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.emit(Inst::Load { width: MemWidth::Quad, ra, rb, disp });
+    }
+
+    /// `ldl ra, disp(rb)` (sign-extending 32-bit load).
+    pub fn ldl(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.emit(Inst::Load { width: MemWidth::Long, ra, rb, disp });
+    }
+
+    /// `ldwu ra, disp(rb)` (zero-extending 16-bit load).
+    pub fn ldwu(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.emit(Inst::Load { width: MemWidth::Word, ra, rb, disp });
+    }
+
+    /// `ldbu ra, disp(rb)` (zero-extending byte load).
+    pub fn ldbu(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.emit(Inst::Load { width: MemWidth::Byte, ra, rb, disp });
+    }
+
+    /// `stq ra, disp(rb)`.
+    pub fn stq(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.emit(Inst::Store { width: MemWidth::Quad, ra, rb, disp });
+    }
+
+    /// `stl ra, disp(rb)`.
+    pub fn stl(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.emit(Inst::Store { width: MemWidth::Long, ra, rb, disp });
+    }
+
+    /// `stw ra, disp(rb)`.
+    pub fn stw(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.emit(Inst::Store { width: MemWidth::Word, ra, rb, disp });
+    }
+
+    /// `stb ra, disp(rb)`.
+    pub fn stb(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.emit(Inst::Store { width: MemWidth::Byte, ra, rb, disp });
+    }
+
+    // ---- operate format ------------------------------------------------
+
+    /// Emits any operate-format instruction: `rc = op(ra, rb)`.
+    pub fn op(&mut self, op: AluOp, ra: Reg, rb: impl Into<Operand>, rc: Reg) {
+        self.emit(Inst::Op { op, ra, rb: rb.into(), rc });
+    }
+
+    /// `addq ra, rb, rc`.
+    pub fn addq(&mut self, ra: Reg, rb: Reg, rc: Reg) {
+        self.op(AluOp::Addq, ra, rb, rc);
+    }
+
+    /// `addq ra, #lit, rc`.
+    pub fn addq_lit(&mut self, ra: Reg, lit: u8, rc: Reg) {
+        self.op(AluOp::Addq, ra, lit, rc);
+    }
+
+    /// `subq ra, rb, rc`.
+    pub fn subq(&mut self, ra: Reg, rb: Reg, rc: Reg) {
+        self.op(AluOp::Subq, ra, rb, rc);
+    }
+
+    /// `subq ra, #lit, rc`.
+    pub fn subq_lit(&mut self, ra: Reg, lit: u8, rc: Reg) {
+        self.op(AluOp::Subq, ra, lit, rc);
+    }
+
+    /// `mulq ra, rb, rc`.
+    pub fn mulq(&mut self, ra: Reg, rb: Reg, rc: Reg) {
+        self.op(AluOp::Mulq, ra, rb, rc);
+    }
+
+    /// `and ra, rb_or_lit, rc`.
+    pub fn and(&mut self, ra: Reg, rb: impl Into<Operand>, rc: Reg) {
+        self.op(AluOp::And, ra, rb, rc);
+    }
+
+    /// `bis (or) ra, rb_or_lit, rc`.
+    pub fn bis(&mut self, ra: Reg, rb: impl Into<Operand>, rc: Reg) {
+        self.op(AluOp::Bis, ra, rb, rc);
+    }
+
+    /// `xor ra, rb_or_lit, rc`.
+    pub fn xor(&mut self, ra: Reg, rb: impl Into<Operand>, rc: Reg) {
+        self.op(AluOp::Xor, ra, rb, rc);
+    }
+
+    /// `sll ra, rb_or_lit, rc`.
+    pub fn sll(&mut self, ra: Reg, rb: impl Into<Operand>, rc: Reg) {
+        self.op(AluOp::Sll, ra, rb, rc);
+    }
+
+    /// `srl ra, rb_or_lit, rc`.
+    pub fn srl(&mut self, ra: Reg, rb: impl Into<Operand>, rc: Reg) {
+        self.op(AluOp::Srl, ra, rb, rc);
+    }
+
+    /// `sra ra, rb_or_lit, rc`.
+    pub fn sra(&mut self, ra: Reg, rb: impl Into<Operand>, rc: Reg) {
+        self.op(AluOp::Sra, ra, rb, rc);
+    }
+
+    /// `cmpeq ra, rb_or_lit, rc`.
+    pub fn cmpeq(&mut self, ra: Reg, rb: impl Into<Operand>, rc: Reg) {
+        self.op(AluOp::Cmpeq, ra, rb, rc);
+    }
+
+    /// `cmplt ra, rb_or_lit, rc`.
+    pub fn cmplt(&mut self, ra: Reg, rb: impl Into<Operand>, rc: Reg) {
+        self.op(AluOp::Cmplt, ra, rb, rc);
+    }
+
+    /// `cmple ra, rb_or_lit, rc`.
+    pub fn cmple(&mut self, ra: Reg, rb: impl Into<Operand>, rc: Reg) {
+        self.op(AluOp::Cmple, ra, rb, rc);
+    }
+
+    /// `cmpult ra, rb_or_lit, rc`.
+    pub fn cmpult(&mut self, ra: Reg, rb: impl Into<Operand>, rc: Reg) {
+        self.op(AluOp::Cmpult, ra, rb, rc);
+    }
+
+    /// `s8addq ra, rb, rc` — `rc = 8*ra + rb`, the array-index idiom.
+    pub fn s8addq(&mut self, ra: Reg, rb: Reg, rc: Reg) {
+        self.op(AluOp::S8addq, ra, rb, rc);
+    }
+
+    /// `s4addq ra, rb, rc`.
+    pub fn s4addq(&mut self, ra: Reg, rb: Reg, rc: Reg) {
+        self.op(AluOp::S4addq, ra, rb, rc);
+    }
+
+    // ---- control flow --------------------------------------------------
+
+    fn branch_fixup(&mut self, kind: FixupKind, label: Label) {
+        self.fixups.push(Fixup {
+            word_index: self.words.len(),
+            label,
+            kind,
+        });
+        // Placeholder; patched in `finish`.
+        self.words.push(0);
+    }
+
+    /// Conditional branch to `label`.
+    pub fn cond_branch(&mut self, cond: BranchCond, ra: Reg, label: Label) {
+        self.branch_fixup(FixupKind::CondBranch(cond, ra), label);
+    }
+
+    /// `beq ra, label`.
+    pub fn beq(&mut self, ra: Reg, label: Label) {
+        self.cond_branch(BranchCond::Eq, ra, label);
+    }
+
+    /// `bne ra, label`.
+    pub fn bne(&mut self, ra: Reg, label: Label) {
+        self.cond_branch(BranchCond::Ne, ra, label);
+    }
+
+    /// `blt ra, label`.
+    pub fn blt(&mut self, ra: Reg, label: Label) {
+        self.cond_branch(BranchCond::Lt, ra, label);
+    }
+
+    /// `ble ra, label`.
+    pub fn ble(&mut self, ra: Reg, label: Label) {
+        self.cond_branch(BranchCond::Le, ra, label);
+    }
+
+    /// `bge ra, label`.
+    pub fn bge(&mut self, ra: Reg, label: Label) {
+        self.cond_branch(BranchCond::Ge, ra, label);
+    }
+
+    /// `bgt ra, label`.
+    pub fn bgt(&mut self, ra: Reg, label: Label) {
+        self.cond_branch(BranchCond::Gt, ra, label);
+    }
+
+    /// `blbs ra, label` (branch if low bit set).
+    pub fn blbs(&mut self, ra: Reg, label: Label) {
+        self.cond_branch(BranchCond::Lbs, ra, label);
+    }
+
+    /// `blbc ra, label` (branch if low bit clear).
+    pub fn blbc(&mut self, ra: Reg, label: Label) {
+        self.cond_branch(BranchCond::Lbc, ra, label);
+    }
+
+    /// Unconditional `br zero, label`.
+    pub fn br(&mut self, label: Label) {
+        self.branch_fixup(FixupKind::Br(Reg::ZERO), label);
+    }
+
+    /// `bsr ra, label` — call a subroutine.
+    pub fn bsr(&mut self, label: Label) {
+        self.branch_fixup(FixupKind::Bsr(Reg::RA), label);
+    }
+
+    /// `jmp ra, (rb)`.
+    pub fn jmp(&mut self, ra: Reg, rb: Reg) {
+        self.emit(Inst::Jump { kind: JumpKind::Jmp, ra, rb });
+    }
+
+    /// `jsr ra, (rb)` — indirect call.
+    pub fn jsr(&mut self, ra: Reg, rb: Reg) {
+        self.emit(Inst::Jump { kind: JumpKind::Jsr, ra, rb });
+    }
+
+    /// `ret zero, (ra)` — subroutine return.
+    pub fn ret(&mut self) {
+        self.emit(Inst::Jump {
+            kind: JumpKind::Ret,
+            ra: Reg::ZERO,
+            rb: Reg::RA,
+        });
+    }
+
+    // ---- PAL and fences --------------------------------------------------
+
+    /// `call_pal halt`.
+    pub fn halt(&mut self) {
+        self.emit(Inst::Pal(PalFunc::Halt));
+    }
+
+    /// `call_pal putc` — emit low byte of `a0`.
+    pub fn putc(&mut self) {
+        self.emit(Inst::Pal(PalFunc::Putc));
+    }
+
+    /// `call_pal outq` — log `a0` as a 64-bit output value.
+    pub fn outq(&mut self) {
+        self.emit(Inst::Pal(PalFunc::Outq));
+    }
+
+    /// `mb` — memory barrier (checkpoint-forcing sync event).
+    pub fn mb(&mut self) {
+        self.emit(Inst::Fence(FenceKind::Mb));
+    }
+
+    /// `trapb` — trap barrier.
+    pub fn trapb(&mut self) {
+        self.emit(Inst::Fence(FenceKind::Trapb));
+    }
+
+    // ---- pseudo-instructions --------------------------------------------
+
+    /// `nop` (`bis zero, zero, zero`).
+    pub fn nop(&mut self) {
+        self.emit(Inst::NOP);
+    }
+
+    /// `mov src, dst` (`bis src, src, dst`).
+    pub fn mov(&mut self, src: Reg, dst: Reg) {
+        self.op(AluOp::Bis, src, src, dst);
+    }
+
+    /// `clr dst` (`bis zero, zero, dst`).
+    pub fn clr(&mut self, dst: Reg) {
+        self.op(AluOp::Bis, Reg::ZERO, Reg::ZERO, dst);
+    }
+
+    /// Materialises an arbitrary 64-bit constant into `dst`.
+    ///
+    /// Uses `lda` for 16-bit values, an exact `ldah`+`lda` pair for 32-bit
+    /// values, and a shift/or byte sequence for wider constants. The
+    /// emitted sequence is value-exact for every `i64`.
+    pub fn li(&mut self, dst: Reg, value: i64) {
+        if let Ok(v16) = i16::try_from(value) {
+            self.lda(dst, v16, Reg::ZERO);
+            return;
+        }
+        if let Ok(v32) = i32::try_from(value) {
+            // hi/lo split: value = hi*65536 + lo where lo is signed 16-bit.
+            // Values just below i32::MAX make hi overflow i16 (the classic
+            // Alpha `ldah` corner); those fall through to the general path.
+            let lo = v32 as i16;
+            let hi = (v32 as i64 - lo as i64) >> 16;
+            if let Ok(hi) = i16::try_from(hi) {
+                self.ldah(dst, hi, Reg::ZERO);
+                if lo != 0 {
+                    self.lda(dst, lo, dst);
+                }
+                return;
+            }
+        }
+        // General case: build byte-by-byte from the most significant
+        // non-zero byte. Always exact; at most 16 instructions.
+        let mut started = false;
+        self.clr(dst);
+        for b in value.to_be_bytes() {
+            if started {
+                self.sll(dst, 8u8, dst);
+            }
+            if b != 0 {
+                self.bis(dst, b, dst);
+                started = true;
+            }
+        }
+    }
+
+    /// Materialises an address constant (convenience for `li` with a `u64`
+    /// that fits in the positive `i64` range used by the memory layout).
+    pub fn la(&mut self, dst: Reg, addr: u64) {
+        debug_assert!(addr <= i64::MAX as u64, "layout addresses are positive");
+        self.li(dst, addr as i64);
+    }
+
+    /// Finalises the program: resolves all fixups and returns the image.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any referenced label is unbound or a branch
+    /// displacement is out of range.
+    pub fn finish(self) -> Result<Program, AsmError> {
+        let Asm {
+            name,
+            base,
+            mut words,
+            labels,
+            fixups,
+            symbols,
+        } = self;
+        for f in fixups {
+            let target = labels[f.label.0].ok_or(AsmError::UnboundLabel(f.label))?;
+            let at = base + 4 * f.word_index as u64;
+            let delta = target.wrapping_sub(at.wrapping_add(4)) as i64;
+            debug_assert_eq!(delta % 4, 0);
+            let disp = delta / 4;
+            if !(-(1i64 << 20)..(1i64 << 20)).contains(&disp) {
+                return Err(AsmError::BranchOutOfRange { at, target });
+            }
+            let disp = disp as i32;
+            let inst = match f.kind {
+                FixupKind::CondBranch(cond, ra) => Inst::CondBranch { cond, ra, disp },
+                FixupKind::Br(ra) => Inst::Br { ra, disp },
+                FixupKind::Bsr(ra) => Inst::Bsr { ra, disp },
+            };
+            words[f.word_index] = inst.encode();
+        }
+        let mut prog = Program::new(name);
+        prog.text_base = base;
+        prog.entry = base;
+        prog.text = words;
+        for (s, addr) in symbols {
+            prog.symbols.insert(s, addr);
+        }
+        Ok(prog)
+    }
+}
+
+/// Convenience constructor at the conventional text base.
+impl Default for Asm {
+    fn default() -> Self {
+        Asm::new("unnamed", layout::TEXT_BASE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    #[test]
+    fn backward_branch_resolves() {
+        let mut a = Asm::new("t", 0x1_0000);
+        let top = a.bind_here();
+        a.nop();
+        a.bne(Reg::T0, top);
+        let p = a.finish().unwrap();
+        // branch at 0x10004, target 0x10000 => disp = (0x10000 - 0x10008)/4 = -2
+        match decode(p.text[1]).unwrap() {
+            Inst::CondBranch { disp, .. } => assert_eq!(disp, -2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_branch_resolves() {
+        let mut a = Asm::new("t", 0x1_0000);
+        let done = a.label();
+        a.beq(Reg::T0, done);
+        a.nop();
+        a.nop();
+        a.bind(done).unwrap();
+        a.halt();
+        let p = a.finish().unwrap();
+        match decode(p.text[0]).unwrap() {
+            Inst::CondBranch { disp, .. } => assert_eq!(disp, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new("t", 0x1_0000);
+        let l = a.label();
+        a.br(l);
+        assert!(matches!(a.finish(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn rebinding_is_an_error() {
+        let mut a = Asm::new("t", 0x1_0000);
+        let l = a.bind_here();
+        assert_eq!(a.bind(l), Err(AsmError::Rebound(l)));
+    }
+
+    #[test]
+    fn li_16_bit_is_single_instruction() {
+        let mut a = Asm::new("t", 0x1_0000);
+        a.li(Reg::T0, -5);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn li_32_bit_is_exact() {
+        // Check the +0x8000 hi/lo decomposition on awkward values.
+        for v in [
+            0x7fff_i64,
+            0x8000,
+            0xffff,
+            0x1_0000,
+            0x7fff_ffff,
+            -0x8000_0000,
+            0x1234_5678,
+            -0x1234_5678,
+            0x0001_0000,
+            0x1000_0000,
+        ] {
+            let mut a = Asm::new("t", 0x1_0000);
+            a.li(Reg::T0, v);
+            let p = a.finish().unwrap();
+            assert_eq!(interpret_li(&p.text), v, "li({v:#x})");
+        }
+    }
+
+    /// Interprets an emitted `li` sequence (lda/ldah/clr/sll/bis) to the
+    /// value it materialises.
+    fn interpret_li(words: &[u32]) -> i64 {
+        use crate::Operand;
+        let mut acc: i64 = 0;
+        for &w in words {
+            match decode(w).unwrap() {
+                Inst::Lda { disp, .. } => acc += disp as i64,
+                Inst::Ldah { disp, .. } => acc += (disp as i64) << 16,
+                Inst::Op {
+                    op: AluOp::Bis,
+                    ra,
+                    rb,
+                    ..
+                } => {
+                    if ra == Reg::ZERO {
+                        // clr or bis-with-literal onto zero
+                        match rb {
+                            Operand::Reg(Reg::ZERO) => acc = 0,
+                            Operand::Lit(l) => acc |= l as i64,
+                            _ => panic!("unexpected bis"),
+                        }
+                    } else {
+                        match rb {
+                            Operand::Lit(l) => acc |= l as i64,
+                            _ => panic!("unexpected bis"),
+                        }
+                    }
+                }
+                Inst::Op {
+                    op: AluOp::Sll,
+                    rb: Operand::Lit(s),
+                    ..
+                } => acc = ((acc as u64) << s) as i64,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn li_64_bit_general_path_is_exact() {
+        for v in [
+            i64::MAX,
+            i64::MIN,
+            0x7fff_8000,
+            0x7fff_ffff,
+            -1,
+            0x0123_4567_89ab_cdef,
+            -0x0123_4567_89ab_cdef,
+            1 << 62,
+            u32::MAX as i64 + 1,
+        ] {
+            let mut a = Asm::new("t", 0x1_0000);
+            a.li(Reg::T0, v);
+            let p = a.finish().unwrap();
+            assert_eq!(interpret_li(&p.text), v, "li({v:#x})");
+        }
+    }
+
+    #[test]
+    fn symbols_recorded_at_correct_addresses() {
+        let mut a = Asm::new("t", 0x1_0000);
+        a.nop();
+        a.symbol("after_one");
+        a.nop();
+        let p = a.finish().unwrap();
+        assert_eq!(p.symbol("after_one"), Some(0x1_0004));
+    }
+
+    #[test]
+    fn bsr_links_ra() {
+        let mut a = Asm::new("t", 0x1_0000);
+        let f = a.label();
+        a.bsr(f);
+        a.halt();
+        a.bind(f).unwrap();
+        a.ret();
+        let p = a.finish().unwrap();
+        match decode(p.text[0]).unwrap() {
+            Inst::Bsr { ra, disp } => {
+                assert_eq!(ra, Reg::RA);
+                assert_eq!(disp, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

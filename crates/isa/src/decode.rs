@@ -1,0 +1,269 @@
+//! Instruction decoding from 32-bit words.
+
+use crate::opcodes::{self, op};
+use crate::{Inst, MemWidth, Operand, Reg};
+use core::fmt;
+
+/// Error returned when a 32-bit word is not a defined instruction.
+///
+/// In the fault-injection experiments this error *is* data: a bit flip that
+/// lands in the opcode or function field of an in-flight instruction latch
+/// produces an undefined encoding, which the pipeline reports as an
+/// illegal-instruction exception — one of the ReStore symptoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecodeError {
+    /// The offending word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction encoding {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Sign-extends the low 21 bits of a branch displacement field.
+#[inline]
+fn branch_disp(word: u32) -> i32 {
+    ((word & 0x001f_ffff) as i32) << 11 >> 11
+}
+
+/// Decodes a 32-bit word into an [`Inst`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode or function code is undefined,
+/// or if reserved must-be-zero fields are set in an operate- or
+/// jump-format word. Strict field checking widens the set of encodings a
+/// bit flip can invalidate, which mirrors real decoders that check
+/// reserved fields.
+///
+/// # Examples
+///
+/// ```
+/// use restore_isa::{decode, Inst, PalFunc};
+/// assert_eq!(decode(0).unwrap(), Inst::Pal(PalFunc::Halt));
+/// assert!(decode(0x7fff_ffff).is_err()); // opcode 0x1f is undefined
+/// ```
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let opcode = word >> 26;
+    let ra = Reg::from_field(word >> 21);
+    let rb = Reg::from_field(word >> 16);
+    let err = Err(DecodeError { word });
+    match opcode {
+        op::PAL => match opcodes::pal_func(word & 0x03ff_ffff) {
+            Some(f) => Ok(Inst::Pal(f)),
+            None => err,
+        },
+        op::LDA => Ok(Inst::Lda {
+            ra,
+            rb,
+            disp: word as u16 as i16,
+        }),
+        op::LDAH => Ok(Inst::Ldah {
+            ra,
+            rb,
+            disp: word as u16 as i16,
+        }),
+        op::LDBU | op::LDWU | op::LDL | op::LDQ => Ok(Inst::Load {
+            width: match opcode {
+                op::LDBU => MemWidth::Byte,
+                op::LDWU => MemWidth::Word,
+                op::LDL => MemWidth::Long,
+                _ => MemWidth::Quad,
+            },
+            ra,
+            rb,
+            disp: word as u16 as i16,
+        }),
+        op::STB | op::STW | op::STL | op::STQ => Ok(Inst::Store {
+            width: match opcode {
+                op::STB => MemWidth::Byte,
+                op::STW => MemWidth::Word,
+                op::STL => MemWidth::Long,
+                _ => MemWidth::Quad,
+            },
+            ra,
+            rb,
+            disp: word as u16 as i16,
+        }),
+        op::INTA | op::INTL | op::INTS | op::INTM => {
+            let func = (word >> 5) & 0x7f;
+            let Some(alu) = opcodes::alu_op(opcode, func) else {
+                return err;
+            };
+            let rc = Reg::from_field(word);
+            let rb_operand = if word & (1 << 12) != 0 {
+                Operand::Lit(((word >> 13) & 0xff) as u8)
+            } else {
+                // Bits 15:13 are must-be-zero in register form.
+                if (word >> 13) & 0x7 != 0 {
+                    return err;
+                }
+                Operand::Reg(rb)
+            };
+            Ok(Inst::Op {
+                op: alu,
+                ra,
+                rb: rb_operand,
+                rc,
+            })
+        }
+        op::MISC => match opcodes::fence_kind(word & 0xffff) {
+            Some(k) if (word >> 16) & 0x3ff == 0 => Ok(Inst::Fence(k)),
+            _ => err,
+        },
+        op::JUMP => {
+            // Bits 13:0 are must-be-zero.
+            if word & 0x3fff != 0 {
+                return err;
+            }
+            Ok(Inst::Jump {
+                kind: opcodes::jump_kind(word >> 14),
+                ra,
+                rb,
+            })
+        }
+        op::BR => Ok(Inst::Br {
+            ra,
+            disp: branch_disp(word),
+        }),
+        op::BSR => Ok(Inst::Bsr {
+            ra,
+            disp: branch_disp(word),
+        }),
+        _ => match opcodes::branch_cond(opcode) {
+            Some(cond) => Ok(Inst::CondBranch {
+                cond,
+                ra,
+                disp: branch_disp(word),
+            }),
+            None => err,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, BranchCond, FenceKind, JumpKind, PalFunc};
+
+    #[test]
+    fn round_trip_representative_instructions() {
+        let insts = [
+            Inst::Pal(PalFunc::Halt),
+            Inst::Pal(PalFunc::Outq),
+            Inst::Lda {
+                ra: Reg::T0,
+                rb: Reg::SP,
+                disp: -32768,
+            },
+            Inst::Ldah {
+                ra: Reg::GP,
+                rb: Reg::ZERO,
+                disp: 0x1000,
+            },
+            Inst::Load {
+                width: MemWidth::Long,
+                ra: Reg::V0,
+                rb: Reg::A0,
+                disp: 4,
+            },
+            Inst::Store {
+                width: MemWidth::Byte,
+                ra: Reg::T1,
+                rb: Reg::S0,
+                disp: 255,
+            },
+            Inst::Op {
+                op: AluOp::Umulh,
+                ra: Reg::T2,
+                rb: Operand::Lit(0),
+                rc: Reg::T3,
+            },
+            Inst::Op {
+                op: AluOp::Cmovgt,
+                ra: Reg::T2,
+                rb: Operand::Reg(Reg::T4),
+                rc: Reg::T3,
+            },
+            Inst::CondBranch {
+                cond: BranchCond::Ge,
+                ra: Reg::T5,
+                disp: -(1 << 20),
+            },
+            Inst::Br {
+                ra: Reg::ZERO,
+                disp: (1 << 20) - 1,
+            },
+            Inst::Bsr { ra: Reg::RA, disp: 12 },
+            Inst::Jump {
+                kind: JumpKind::Ret,
+                ra: Reg::ZERO,
+                rb: Reg::RA,
+            },
+            Inst::Fence(FenceKind::Mb),
+            Inst::Fence(FenceKind::Trapb),
+            Inst::NOP,
+        ];
+        for i in insts {
+            assert_eq!(decode(i.encode()), Ok(i), "{i:?}");
+        }
+    }
+
+    #[test]
+    fn undefined_opcode_is_illegal() {
+        for opcode in [0x01u32, 0x07, 0x1f, 0x2f, 0x37] {
+            assert!(decode(opcode << 26).is_err(), "opcode {opcode:#x}");
+        }
+    }
+
+    #[test]
+    fn undefined_alu_func_is_illegal() {
+        // INTA with func 0x7f is undefined.
+        let w = (0x10 << 26) | (0x7f << 5);
+        assert!(decode(w).is_err());
+    }
+
+    #[test]
+    fn reserved_fields_must_be_zero() {
+        // Register-form operate with sbz bits set.
+        let base = Inst::Op {
+            op: AluOp::Addq,
+            ra: Reg::T0,
+            rb: Operand::Reg(Reg::T1),
+            rc: Reg::T2,
+        }
+        .encode();
+        assert!(decode(base | (1 << 13)).is_err());
+        // Jump with low bits set.
+        let j = Inst::Jump {
+            kind: JumpKind::Jmp,
+            ra: Reg::ZERO,
+            rb: Reg::T0,
+        }
+        .encode();
+        assert!(decode(j | 1).is_err());
+    }
+
+    #[test]
+    fn branch_disp_sign_extension() {
+        let i = Inst::CondBranch {
+            cond: BranchCond::Eq,
+            ra: Reg::T0,
+            disp: -1,
+        };
+        match decode(i.encode()).unwrap() {
+            Inst::CondBranch { disp, .. } => assert_eq!(disp, -1),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_error_displays_word() {
+        let e = decode(0x7fff_ffff).unwrap_err();
+        assert_eq!(e.to_string(), "illegal instruction encoding 0x7fffffff");
+    }
+}

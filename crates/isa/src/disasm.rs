@@ -1,0 +1,188 @@
+//! Disassembly of instructions to human-readable text.
+
+use crate::{Inst, MemWidth, PalFunc};
+use core::fmt;
+
+/// Wrapper that formats an instruction as assembly text, given the PC it
+/// sits at (needed to render branch targets as absolute addresses).
+///
+/// # Examples
+///
+/// ```
+/// use restore_isa::{Disasm, Inst, Reg};
+/// let i = Inst::Lda { ra: Reg::T0, rb: Reg::SP, disp: 16 };
+/// assert_eq!(Disasm::new(i, 0x1000).to_string(), "lda     t0, 16(sp)");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Disasm {
+    inst: Inst,
+    pc: u64,
+}
+
+impl Disasm {
+    /// Creates a disassembly view of `inst` located at `pc`.
+    pub fn new(inst: Inst, pc: u64) -> Self {
+        Disasm { inst, pc }
+    }
+
+    fn branch_target(&self, disp: i32) -> u64 {
+        self.pc
+            .wrapping_add(4)
+            .wrapping_add((disp as i64 as u64).wrapping_mul(4))
+    }
+}
+
+fn load_mnemonic(width: MemWidth) -> &'static str {
+    match width {
+        MemWidth::Byte => "ldbu",
+        MemWidth::Word => "ldwu",
+        MemWidth::Long => "ldl",
+        MemWidth::Quad => "ldq",
+    }
+}
+
+fn store_mnemonic(width: MemWidth) -> &'static str {
+    match width {
+        MemWidth::Byte => "stb",
+        MemWidth::Word => "stw",
+        MemWidth::Long => "stl",
+        MemWidth::Quad => "stq",
+    }
+}
+
+impl fmt::Display for Disasm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inst {
+            Inst::Pal(func) => {
+                let name = match func {
+                    PalFunc::Halt => "halt",
+                    PalFunc::Putc => "putc",
+                    PalFunc::Outq => "outq",
+                };
+                write!(f, "call_pal {name}")
+            }
+            Inst::Lda { ra, rb, disp } => write!(f, "lda     {ra}, {disp}({rb})"),
+            Inst::Ldah { ra, rb, disp } => write!(f, "ldah    {ra}, {disp}({rb})"),
+            Inst::Load {
+                width,
+                ra,
+                rb,
+                disp,
+            } => write!(f, "{:-7} {ra}, {disp}({rb})", load_mnemonic(width)),
+            Inst::Store {
+                width,
+                ra,
+                rb,
+                disp,
+            } => write!(f, "{:-7} {ra}, {disp}({rb})", store_mnemonic(width)),
+            Inst::Op { op, ra, rb, rc } => {
+                if self.inst == Inst::NOP {
+                    write!(f, "nop")
+                } else {
+                    write!(f, "{:-7} {ra}, {rb}, {rc}", op.mnemonic())
+                }
+            }
+            Inst::CondBranch { cond, ra, disp } => write!(
+                f,
+                "{:-7} {ra}, {:#x}",
+                cond.mnemonic(),
+                self.branch_target(disp)
+            ),
+            Inst::Br { ra, disp } => {
+                write!(f, "br      {ra}, {:#x}", self.branch_target(disp))
+            }
+            Inst::Bsr { ra, disp } => {
+                write!(f, "bsr     {ra}, {:#x}", self.branch_target(disp))
+            }
+            Inst::Jump { kind, ra, rb } => {
+                write!(f, "{:-7} {ra}, ({rb})", kind.mnemonic())
+            }
+            Inst::Fence(k) => write!(
+                f,
+                "{}",
+                match k {
+                    crate::FenceKind::Mb => "mb",
+                    crate::FenceKind::Trapb => "trapb",
+                }
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, BranchCond, Operand, Reg};
+
+    #[test]
+    fn nop_prints_as_nop() {
+        assert_eq!(Disasm::new(Inst::NOP, 0).to_string(), "nop");
+    }
+
+    #[test]
+    fn branch_targets_are_absolute() {
+        let i = Inst::CondBranch {
+            cond: BranchCond::Ne,
+            ra: Reg::T0,
+            disp: -2,
+        };
+        // target = pc + 4 - 8 = pc - 4
+        assert_eq!(Disasm::new(i, 0x1008).to_string(), "bne     t0, 0x1004");
+    }
+
+    #[test]
+    fn operate_with_literal() {
+        let i = Inst::Op {
+            op: AluOp::Sll,
+            ra: Reg::T0,
+            rb: Operand::Lit(3),
+            rc: Reg::T1,
+        };
+        assert_eq!(Disasm::new(i, 0).to_string(), "sll     t0, #3, t1");
+    }
+
+    #[test]
+    fn every_instruction_kind_renders_nonempty() {
+        use crate::{FenceKind, JumpKind, MemWidth, PalFunc};
+        let insts = [
+            Inst::Pal(PalFunc::Putc),
+            Inst::Lda {
+                ra: Reg::T0,
+                rb: Reg::SP,
+                disp: 0,
+            },
+            Inst::Ldah {
+                ra: Reg::T0,
+                rb: Reg::SP,
+                disp: 0,
+            },
+            Inst::Load {
+                width: MemWidth::Quad,
+                ra: Reg::T0,
+                rb: Reg::SP,
+                disp: 0,
+            },
+            Inst::Store {
+                width: MemWidth::Word,
+                ra: Reg::T0,
+                rb: Reg::SP,
+                disp: 0,
+            },
+            Inst::Br {
+                ra: Reg::ZERO,
+                disp: 0,
+            },
+            Inst::Bsr { ra: Reg::RA, disp: 0 },
+            Inst::Jump {
+                kind: JumpKind::Ret,
+                ra: Reg::ZERO,
+                rb: Reg::RA,
+            },
+            Inst::Fence(FenceKind::Mb),
+            Inst::Fence(FenceKind::Trapb),
+        ];
+        for i in insts {
+            assert!(!Disasm::new(i, 0x1000).to_string().is_empty());
+        }
+    }
+}

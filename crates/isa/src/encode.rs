@@ -1,0 +1,183 @@
+//! Instruction encoding to 32-bit words.
+
+use crate::opcodes::{self, op};
+use crate::{Inst, Operand, Reg};
+
+#[inline]
+fn mem_format(opcode: u32, ra: Reg, rb: Reg, disp: i16) -> u32 {
+    (opcode << 26) | ((ra.index() as u32) << 21) | ((rb.index() as u32) << 16) | (disp as u16 as u32)
+}
+
+#[inline]
+fn branch_format(opcode: u32, ra: Reg, disp: i32) -> u32 {
+    (opcode << 26) | ((ra.index() as u32) << 21) | ((disp as u32) & 0x001f_ffff)
+}
+
+impl Inst {
+    /// Encodes the instruction into its 32-bit binary form.
+    ///
+    /// Encoding is total: every representable [`Inst`] has an encoding, and
+    /// [`decode`](crate::decode()) inverts it exactly (see the property
+    /// tests in this crate).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use restore_isa::{decode, Inst, Reg};
+    /// let i = Inst::Lda { ra: Reg::T0, rb: Reg::SP, disp: -8 };
+    /// assert_eq!(decode(i.encode()).unwrap(), i);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if a branch displacement exceeds the signed 21-bit field.
+    /// The [`Asm`](crate::Asm) builder checks ranges before constructing
+    /// instructions, so assembled programs never trip this.
+    pub fn encode(&self) -> u32 {
+        match *self {
+            Inst::Pal(f) => (op::PAL << 26) | opcodes::pal_code(f),
+            Inst::Lda { ra, rb, disp } => mem_format(op::LDA, ra, rb, disp),
+            Inst::Ldah { ra, rb, disp } => mem_format(op::LDAH, ra, rb, disp),
+            Inst::Load {
+                width,
+                ra,
+                rb,
+                disp,
+            } => mem_format(opcodes::load_op(width), ra, rb, disp),
+            Inst::Store {
+                width,
+                ra,
+                rb,
+                disp,
+            } => mem_format(opcodes::store_op(width), ra, rb, disp),
+            Inst::Op { op: alu, ra, rb, rc } => {
+                let (opcode, func) = opcodes::alu_codes(alu);
+                let base = (opcode << 26)
+                    | ((ra.index() as u32) << 21)
+                    | (func << 5)
+                    | (rc.index() as u32);
+                match rb {
+                    Operand::Reg(rb) => base | ((rb.index() as u32) << 16),
+                    Operand::Lit(lit) => base | ((lit as u32) << 13) | (1 << 12),
+                }
+            }
+            Inst::CondBranch { cond, ra, disp } => {
+                assert!(
+                    (-(1 << 20)..(1 << 20)).contains(&disp),
+                    "branch displacement {disp} out of 21-bit range"
+                );
+                branch_format(opcodes::branch_op(cond), ra, disp)
+            }
+            Inst::Br { ra, disp } => {
+                assert!(
+                    (-(1 << 20)..(1 << 20)).contains(&disp),
+                    "branch displacement {disp} out of 21-bit range"
+                );
+                branch_format(op::BR, ra, disp)
+            }
+            Inst::Bsr { ra, disp } => {
+                assert!(
+                    (-(1 << 20)..(1 << 20)).contains(&disp),
+                    "branch displacement {disp} out of 21-bit range"
+                );
+                branch_format(op::BSR, ra, disp)
+            }
+            Inst::Jump { kind, ra, rb } => {
+                (op::JUMP << 26)
+                    | ((ra.index() as u32) << 21)
+                    | ((rb.index() as u32) << 16)
+                    | (opcodes::jump_hint(kind) << 14)
+            }
+            Inst::Fence(k) => (op::MISC << 26) | opcodes::fence_code(k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AluOp, BranchCond, FenceKind, Inst, JumpKind, MemWidth, Operand, PalFunc, Reg};
+
+    #[test]
+    fn lda_bit_layout() {
+        let i = Inst::Lda {
+            ra: Reg::T0,
+            rb: Reg::SP,
+            disp: -1,
+        };
+        let w = i.encode();
+        assert_eq!(w >> 26, 0x08);
+        assert_eq!((w >> 21) & 0x1f, 1); // t0 = r1
+        assert_eq!((w >> 16) & 0x1f, 30); // sp = r30
+        assert_eq!(w & 0xffff, 0xffff);
+    }
+
+    #[test]
+    fn operate_literal_sets_bit_12() {
+        let i = Inst::Op {
+            op: AluOp::Addq,
+            ra: Reg::T0,
+            rb: Operand::Lit(0xff),
+            rc: Reg::T1,
+        };
+        let w = i.encode();
+        assert_eq!((w >> 12) & 1, 1);
+        assert_eq!((w >> 13) & 0xff, 0xff);
+        let i = Inst::Op {
+            op: AluOp::Addq,
+            ra: Reg::T0,
+            rb: Operand::Reg(Reg::T2),
+            rc: Reg::T1,
+        };
+        assert_eq!((i.encode() >> 12) & 1, 0);
+    }
+
+    #[test]
+    fn branch_displacement_is_21_bit_twos_complement() {
+        let i = Inst::CondBranch {
+            cond: BranchCond::Eq,
+            ra: Reg::T0,
+            disp: -2,
+        };
+        assert_eq!(i.encode() & 0x1f_ffff, 0x1f_fffe);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 21-bit range")]
+    fn branch_displacement_overflow_panics() {
+        let _ = Inst::Br {
+            ra: Reg::ZERO,
+            disp: 1 << 20,
+        }
+        .encode();
+    }
+
+    #[test]
+    fn distinct_instructions_get_distinct_words() {
+        let insts = [
+            Inst::Pal(PalFunc::Halt),
+            Inst::Pal(PalFunc::Putc),
+            Inst::NOP,
+            Inst::Fence(FenceKind::Mb),
+            Inst::Fence(FenceKind::Trapb),
+            Inst::Jump {
+                kind: JumpKind::Ret,
+                ra: Reg::ZERO,
+                rb: Reg::RA,
+            },
+            Inst::Load {
+                width: MemWidth::Quad,
+                ra: Reg::T0,
+                rb: Reg::SP,
+                disp: 0,
+            },
+            Inst::Store {
+                width: MemWidth::Quad,
+                ra: Reg::T0,
+                rb: Reg::SP,
+                disp: 0,
+            },
+        ];
+        let words: std::collections::HashSet<u32> = insts.iter().map(|i| i.encode()).collect();
+        assert_eq!(words.len(), insts.len());
+    }
+}

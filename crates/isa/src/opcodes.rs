@@ -1,0 +1,363 @@
+//! Binary opcode and function-code assignments.
+//!
+//! The layout follows the Alpha AXP format conventions:
+//!
+//! ```text
+//! PAL:     op[31:26] func[25:0]
+//! Memory:  op[31:26] ra[25:21] rb[20:16] disp[15:0]
+//! Branch:  op[31:26] ra[25:21] disp[20:0]            (word displacement)
+//! Operate: op[31:26] ra[25:21] rb[20:16] 000 0 func[11:5] rc[4:0]
+//!          op[31:26] ra[25:21] lit[20:13]   1 func[11:5] rc[4:0]
+//! Jump:    op[31:26] ra[25:21] rb[20:16] hint[15:14] 0...
+//! ```
+//!
+//! Any opcode or function code not listed here decodes to
+//! [`DecodeError::IllegalInstruction`](crate::DecodeError) — which is
+//! load-bearing for fault injection: a flipped bit in an instruction latch
+//! frequently lands on an undefined encoding and manifests as the
+//! illegal-instruction exception symptom.
+
+use crate::{AluOp, BranchCond, FenceKind, JumpKind, MemWidth, PalFunc};
+
+/// Six-bit primary opcodes.
+pub mod op {
+    /// Opcode/function code `pal`.
+    pub const PAL: u32 = 0x00;
+    /// Opcode/function code `lda`.
+    pub const LDA: u32 = 0x08;
+    /// Opcode/function code `ldah`.
+    pub const LDAH: u32 = 0x09;
+    /// Opcode/function code `ldbu`.
+    pub const LDBU: u32 = 0x0a;
+    /// Opcode/function code `ldwu`.
+    pub const LDWU: u32 = 0x0c;
+    /// Opcode/function code `stw`.
+    pub const STW: u32 = 0x0d;
+    /// Opcode/function code `stb`.
+    pub const STB: u32 = 0x0e;
+    /// Opcode/function code `inta`.
+    pub const INTA: u32 = 0x10;
+    /// Opcode/function code `intl`.
+    pub const INTL: u32 = 0x11;
+    /// Opcode/function code `ints`.
+    pub const INTS: u32 = 0x12;
+    /// Opcode/function code `intm`.
+    pub const INTM: u32 = 0x13;
+    /// Opcode/function code `misc`.
+    pub const MISC: u32 = 0x18;
+    /// Opcode/function code `jump`.
+    pub const JUMP: u32 = 0x1a;
+    /// Opcode/function code `ldl`.
+    pub const LDL: u32 = 0x28;
+    /// Opcode/function code `ldq`.
+    pub const LDQ: u32 = 0x29;
+    /// Opcode/function code `stl`.
+    pub const STL: u32 = 0x2c;
+    /// Opcode/function code `stq`.
+    pub const STQ: u32 = 0x2d;
+    /// Opcode/function code `br`.
+    pub const BR: u32 = 0x30;
+    /// Opcode/function code `bsr`.
+    pub const BSR: u32 = 0x34;
+    /// Opcode/function code `blbc`.
+    pub const BLBC: u32 = 0x38;
+    /// Opcode/function code `beq`.
+    pub const BEQ: u32 = 0x39;
+    /// Opcode/function code `blt`.
+    pub const BLT: u32 = 0x3a;
+    /// Opcode/function code `ble`.
+    pub const BLE: u32 = 0x3b;
+    /// Opcode/function code `blbs`.
+    pub const BLBS: u32 = 0x3c;
+    /// Opcode/function code `bne`.
+    pub const BNE: u32 = 0x3d;
+    /// Opcode/function code `bge`.
+    pub const BGE: u32 = 0x3e;
+    /// Opcode/function code `bgt`.
+    pub const BGT: u32 = 0x3f;
+}
+
+/// PAL function codes (26-bit field).
+pub mod pal {
+    /// Opcode/function code `halt`.
+    pub const HALT: u32 = 0x0000;
+    /// Opcode/function code `putc`.
+    pub const PUTC: u32 = 0x0001;
+    /// Opcode/function code `outq`.
+    pub const OUTQ: u32 = 0x0002;
+}
+
+/// MISC (fence) function codes (16-bit displacement field reused).
+pub mod misc {
+    /// Opcode/function code `trapb`.
+    pub const TRAPB: u32 = 0x0000;
+    /// Opcode/function code `mb`.
+    pub const MB: u32 = 0x4000;
+}
+
+/// Maps a PAL function code to its enum, if defined.
+pub fn pal_func(code: u32) -> Option<PalFunc> {
+    match code {
+        pal::HALT => Some(PalFunc::Halt),
+        pal::PUTC => Some(PalFunc::Putc),
+        pal::OUTQ => Some(PalFunc::Outq),
+        _ => None,
+    }
+}
+
+/// Maps a PAL enum to its function code.
+pub fn pal_code(f: PalFunc) -> u32 {
+    match f {
+        PalFunc::Halt => pal::HALT,
+        PalFunc::Putc => pal::PUTC,
+        PalFunc::Outq => pal::OUTQ,
+    }
+}
+
+/// Maps a MISC function code to a fence kind, if defined.
+pub fn fence_kind(code: u32) -> Option<FenceKind> {
+    match code {
+        misc::TRAPB => Some(FenceKind::Trapb),
+        misc::MB => Some(FenceKind::Mb),
+        _ => None,
+    }
+}
+
+/// Maps a fence kind to its MISC function code.
+pub fn fence_code(k: FenceKind) -> u32 {
+    match k {
+        FenceKind::Trapb => misc::TRAPB,
+        FenceKind::Mb => misc::MB,
+    }
+}
+
+/// Memory opcode for a load of the given width, plus whether it
+/// sign-extends.
+pub fn load_op(width: MemWidth) -> u32 {
+    match width {
+        MemWidth::Byte => op::LDBU,
+        MemWidth::Word => op::LDWU,
+        MemWidth::Long => op::LDL,
+        MemWidth::Quad => op::LDQ,
+    }
+}
+
+/// Memory opcode for a store of the given width.
+pub fn store_op(width: MemWidth) -> u32 {
+    match width {
+        MemWidth::Byte => op::STB,
+        MemWidth::Word => op::STW,
+        MemWidth::Long => op::STL,
+        MemWidth::Quad => op::STQ,
+    }
+}
+
+/// Conditional-branch opcode for a condition.
+pub fn branch_op(cond: BranchCond) -> u32 {
+    match cond {
+        BranchCond::Lbc => op::BLBC,
+        BranchCond::Eq => op::BEQ,
+        BranchCond::Lt => op::BLT,
+        BranchCond::Le => op::BLE,
+        BranchCond::Lbs => op::BLBS,
+        BranchCond::Ne => op::BNE,
+        BranchCond::Ge => op::BGE,
+        BranchCond::Gt => op::BGT,
+    }
+}
+
+/// Condition for a conditional-branch opcode, if it is one.
+pub fn branch_cond(opcode: u32) -> Option<BranchCond> {
+    match opcode {
+        op::BLBC => Some(BranchCond::Lbc),
+        op::BEQ => Some(BranchCond::Eq),
+        op::BLT => Some(BranchCond::Lt),
+        op::BLE => Some(BranchCond::Le),
+        op::BLBS => Some(BranchCond::Lbs),
+        op::BNE => Some(BranchCond::Ne),
+        op::BGE => Some(BranchCond::Ge),
+        op::BGT => Some(BranchCond::Gt),
+        _ => None,
+    }
+}
+
+/// Jump hint values for the jump-format `kind` field.
+pub fn jump_hint(kind: JumpKind) -> u32 {
+    match kind {
+        JumpKind::Jmp => 0,
+        JumpKind::Jsr => 1,
+        JumpKind::Ret => 2,
+        JumpKind::JsrCo => 3,
+    }
+}
+
+/// Jump kind for a hint value (the field is two bits, so total).
+pub fn jump_kind(hint: u32) -> JumpKind {
+    match hint & 3 {
+        0 => JumpKind::Jmp,
+        1 => JumpKind::Jsr,
+        2 => JumpKind::Ret,
+        _ => JumpKind::JsrCo,
+    }
+}
+
+/// `(opcode, func)` pair for an ALU op.
+pub fn alu_codes(alu: AluOp) -> (u32, u32) {
+    use AluOp::*;
+    match alu {
+        Addl => (op::INTA, 0x00),
+        Addq => (op::INTA, 0x20),
+        Subl => (op::INTA, 0x09),
+        Subq => (op::INTA, 0x29),
+        Addlv => (op::INTA, 0x40),
+        Addqv => (op::INTA, 0x60),
+        Sublv => (op::INTA, 0x49),
+        Subqv => (op::INTA, 0x69),
+        S4addq => (op::INTA, 0x22),
+        S8addq => (op::INTA, 0x32),
+        S4subq => (op::INTA, 0x2b),
+        S8subq => (op::INTA, 0x3b),
+        Cmpeq => (op::INTA, 0x2d),
+        Cmplt => (op::INTA, 0x4d),
+        Cmple => (op::INTA, 0x6d),
+        Cmpult => (op::INTA, 0x1d),
+        Cmpule => (op::INTA, 0x3d),
+        And => (op::INTL, 0x00),
+        Bic => (op::INTL, 0x08),
+        Bis => (op::INTL, 0x20),
+        Ornot => (op::INTL, 0x28),
+        Xor => (op::INTL, 0x40),
+        Eqv => (op::INTL, 0x48),
+        Cmovlbs => (op::INTL, 0x14),
+        Cmovlbc => (op::INTL, 0x16),
+        Cmoveq => (op::INTL, 0x24),
+        Cmovne => (op::INTL, 0x26),
+        Cmovlt => (op::INTL, 0x44),
+        Cmovge => (op::INTL, 0x46),
+        Cmovle => (op::INTL, 0x64),
+        Cmovgt => (op::INTL, 0x66),
+        Sll => (op::INTS, 0x39),
+        Srl => (op::INTS, 0x34),
+        Sra => (op::INTS, 0x3c),
+        Mull => (op::INTM, 0x00),
+        Mulq => (op::INTM, 0x20),
+        Umulh => (op::INTM, 0x30),
+        Mullv => (op::INTM, 0x40),
+        Mulqv => (op::INTM, 0x60),
+    }
+}
+
+/// ALU op for an `(opcode, func)` pair, if defined.
+pub fn alu_op(opcode: u32, func: u32) -> Option<AluOp> {
+    use AluOp::*;
+    let a = match (opcode, func) {
+        (op::INTA, 0x00) => Addl,
+        (op::INTA, 0x20) => Addq,
+        (op::INTA, 0x09) => Subl,
+        (op::INTA, 0x29) => Subq,
+        (op::INTA, 0x40) => Addlv,
+        (op::INTA, 0x60) => Addqv,
+        (op::INTA, 0x49) => Sublv,
+        (op::INTA, 0x69) => Subqv,
+        (op::INTA, 0x22) => S4addq,
+        (op::INTA, 0x32) => S8addq,
+        (op::INTA, 0x2b) => S4subq,
+        (op::INTA, 0x3b) => S8subq,
+        (op::INTA, 0x2d) => Cmpeq,
+        (op::INTA, 0x4d) => Cmplt,
+        (op::INTA, 0x6d) => Cmple,
+        (op::INTA, 0x1d) => Cmpult,
+        (op::INTA, 0x3d) => Cmpule,
+        (op::INTL, 0x00) => And,
+        (op::INTL, 0x08) => Bic,
+        (op::INTL, 0x20) => Bis,
+        (op::INTL, 0x28) => Ornot,
+        (op::INTL, 0x40) => Xor,
+        (op::INTL, 0x48) => Eqv,
+        (op::INTL, 0x14) => Cmovlbs,
+        (op::INTL, 0x16) => Cmovlbc,
+        (op::INTL, 0x24) => Cmoveq,
+        (op::INTL, 0x26) => Cmovne,
+        (op::INTL, 0x44) => Cmovlt,
+        (op::INTL, 0x46) => Cmovge,
+        (op::INTL, 0x64) => Cmovle,
+        (op::INTL, 0x66) => Cmovgt,
+        (op::INTS, 0x39) => Sll,
+        (op::INTS, 0x34) => Srl,
+        (op::INTS, 0x3c) => Sra,
+        (op::INTM, 0x00) => Mull,
+        (op::INTM, 0x20) => Mulq,
+        (op::INTM, 0x30) => Umulh,
+        (op::INTM, 0x40) => Mullv,
+        (op::INTM, 0x60) => Mulqv,
+        _ => return None,
+    };
+    Some(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every ALU op must survive the codes → op → codes round trip.
+    #[test]
+    fn alu_code_tables_are_inverses() {
+        use AluOp::*;
+        let all = [
+            Addl, Addq, Subl, Subq, Addlv, Addqv, Sublv, Subqv, S4addq, S8addq, S4subq, S8subq,
+            Cmpeq, Cmplt, Cmple, Cmpult, Cmpule, And, Bic, Bis, Ornot, Xor, Eqv, Cmoveq, Cmovne,
+            Cmovlt, Cmovge, Cmovle, Cmovgt, Cmovlbs, Cmovlbc, Sll, Srl, Sra, Mull, Mulq, Umulh,
+            Mullv, Mulqv,
+        ];
+        for a in all {
+            let (o, f) = alu_codes(a);
+            assert_eq!(alu_op(o, f), Some(a), "{a:?}");
+        }
+    }
+
+    #[test]
+    fn alu_codes_are_unique() {
+        use std::collections::HashSet;
+        use AluOp::*;
+        let all = [
+            Addl, Addq, Subl, Subq, Addlv, Addqv, Sublv, Subqv, S4addq, S8addq, S4subq, S8subq,
+            Cmpeq, Cmplt, Cmple, Cmpult, Cmpule, And, Bic, Bis, Ornot, Xor, Eqv, Cmoveq, Cmovne,
+            Cmovlt, Cmovge, Cmovle, Cmovgt, Cmovlbs, Cmovlbc, Sll, Srl, Sra, Mull, Mulq, Umulh,
+            Mullv, Mulqv,
+        ];
+        let codes: HashSet<_> = all.iter().map(|&a| alu_codes(a)).collect();
+        assert_eq!(codes.len(), all.len());
+    }
+
+    #[test]
+    fn branch_tables_are_inverses() {
+        for c in [
+            BranchCond::Lbc,
+            BranchCond::Eq,
+            BranchCond::Lt,
+            BranchCond::Le,
+            BranchCond::Lbs,
+            BranchCond::Ne,
+            BranchCond::Ge,
+            BranchCond::Gt,
+        ] {
+            assert_eq!(branch_cond(branch_op(c)), Some(c));
+        }
+        assert_eq!(branch_cond(op::LDQ), None);
+    }
+
+    #[test]
+    fn jump_hints_round_trip() {
+        for k in [JumpKind::Jmp, JumpKind::Jsr, JumpKind::Ret, JumpKind::JsrCo] {
+            assert_eq!(jump_kind(jump_hint(k)), k);
+        }
+    }
+
+    #[test]
+    fn undefined_codes_are_rejected() {
+        assert_eq!(alu_op(op::INTA, 0x7f), None);
+        assert_eq!(alu_op(0x2f, 0x00), None);
+        assert_eq!(pal_func(0x3ff), None);
+        assert_eq!(fence_kind(0x1234), None);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests: encode/decode are exact inverses over the whole
+//! instruction space, and decoding is total (never panics) over all 2³²
+//! words.
+
+use proptest::prelude::*;
+use restore_isa::{
+    decode, AluOp, BranchCond, FenceKind, Inst, JumpKind, MemWidth, Operand, PalFunc, Reg,
+};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::new(i).unwrap())
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    use AluOp::*;
+    prop::sample::select(vec![
+        Addl, Addq, Subl, Subq, Addlv, Addqv, Sublv, Subqv, S4addq, S8addq, S4subq, S8subq, Cmpeq,
+        Cmplt, Cmple, Cmpult, Cmpule, And, Bic, Bis, Ornot, Xor, Eqv, Cmoveq, Cmovne, Cmovlt,
+        Cmovge, Cmovle, Cmovgt, Cmovlbs, Cmovlbc, Sll, Srl, Sra, Mull, Mulq, Umulh, Mullv, Mulqv,
+    ])
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_reg().prop_map(Operand::Reg),
+        any::<u8>().prop_map(Operand::Lit),
+    ]
+}
+
+fn arb_width() -> impl Strategy<Value = MemWidth> {
+    prop::sample::select(vec![
+        MemWidth::Byte,
+        MemWidth::Word,
+        MemWidth::Long,
+        MemWidth::Quad,
+    ])
+}
+
+fn arb_cond() -> impl Strategy<Value = BranchCond> {
+    use BranchCond::*;
+    prop::sample::select(vec![Lbc, Eq, Lt, Le, Lbs, Ne, Ge, Gt])
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let disp21 = -(1i32 << 20)..(1i32 << 20);
+    prop_oneof![
+        prop::sample::select(vec![PalFunc::Halt, PalFunc::Putc, PalFunc::Outq])
+            .prop_map(Inst::Pal),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(ra, rb, disp)| Inst::Lda { ra, rb, disp }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(ra, rb, disp)| Inst::Ldah { ra, rb, disp }),
+        (arb_width(), arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(width, ra, rb, disp)| Inst::Load { width, ra, rb, disp }),
+        (arb_width(), arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(width, ra, rb, disp)| Inst::Store { width, ra, rb, disp }),
+        (arb_alu_op(), arb_reg(), arb_operand(), arb_reg())
+            .prop_map(|(op, ra, rb, rc)| Inst::Op { op, ra, rb, rc }),
+        (arb_cond(), arb_reg(), disp21.clone())
+            .prop_map(|(cond, ra, disp)| Inst::CondBranch { cond, ra, disp }),
+        (arb_reg(), disp21.clone()).prop_map(|(ra, disp)| Inst::Br { ra, disp }),
+        (arb_reg(), disp21).prop_map(|(ra, disp)| Inst::Bsr { ra, disp }),
+        (
+            prop::sample::select(vec![
+                JumpKind::Jmp,
+                JumpKind::Jsr,
+                JumpKind::Ret,
+                JumpKind::JsrCo
+            ]),
+            arb_reg(),
+            arb_reg()
+        )
+            .prop_map(|(kind, ra, rb)| Inst::Jump { kind, ra, rb }),
+        prop::sample::select(vec![FenceKind::Mb, FenceKind::Trapb]).prop_map(Inst::Fence),
+    ]
+}
+
+proptest! {
+    /// Every constructible instruction round-trips through its encoding.
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        let word = inst.encode();
+        prop_assert_eq!(decode(word), Ok(inst));
+    }
+
+    /// Decoding any 32-bit word either fails cleanly or yields an
+    /// instruction that re-encodes to the same word (canonical encodings).
+    #[test]
+    fn decode_is_total_and_canonical(word in any::<u32>()) {
+        if let Ok(inst) = decode(word) {
+            prop_assert_eq!(inst.encode(), word,
+                "decoded {:?} re-encodes differently", inst);
+        }
+    }
+
+    /// Disassembly never panics on decodable words.
+    #[test]
+    fn disasm_is_total(word in any::<u32>(), pc in any::<u64>()) {
+        if let Ok(inst) = decode(word) {
+            let _ = restore_isa::Disasm::new(inst, pc & !3).to_string();
+        }
+    }
+
+    /// `dest()` never reports the zero register.
+    #[test]
+    fn dest_is_never_zero_reg(inst in arb_inst()) {
+        if let Some(d) = inst.dest() {
+            prop_assert!(!d.is_zero());
+        }
+    }
+
+    /// An instruction has at most three sources and all are valid regs.
+    #[test]
+    fn sources_bounded(inst in arb_inst()) {
+        let srcs: Vec<_> = inst.sources().collect();
+        prop_assert!(srcs.len() <= 3);
+    }
+}

@@ -1,0 +1,158 @@
+//! Pipeline configuration.
+
+/// Configuration of the out-of-order pipeline.
+///
+/// Defaults follow the paper's §4.1 processor model: a 12-stage,
+/// 6-issue-wide superscalar comparable to the Alpha 21264 / AMD Athlon,
+/// with up to 132 instructions in flight, a 32-entry scheduler and a
+/// 64-entry reorder buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UarchConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions decoded/renamed per cycle.
+    pub decode_width: u32,
+    /// Instructions retired per cycle.
+    pub retire_width: u32,
+    /// Fetch queue entries.
+    pub fetch_queue: usize,
+    /// Scheduler (issue window) entries.
+    pub sched_entries: usize,
+    /// Reorder buffer entries.
+    pub rob_entries: usize,
+    /// Physical registers (Alpha 21264 class: 32 architectural + one per
+    /// ROB entry; rename stalls when the free list empties).
+    pub phys_regs: usize,
+    /// Load queue entries.
+    pub ldq_entries: usize,
+    /// Store queue entries.
+    pub stq_entries: usize,
+    /// Branch order buffer entries (outstanding unresolved branches).
+    pub bob_entries: usize,
+    /// Return address stack depth.
+    pub ras_entries: usize,
+    /// Branch predictor table entries (bimodal/gshare/chooser, each).
+    pub bpred_entries: usize,
+    /// Global history bits.
+    pub history_bits: u32,
+    /// Branch target buffer entries (direct-mapped).
+    pub btb_entries: usize,
+    /// JRS confidence predictor entries.
+    pub jrs_entries: usize,
+    /// JRS resetting-counter ceiling (4-bit counters → 15).
+    pub jrs_max: u8,
+    /// Counter value at or above which a prediction is "high confidence".
+    pub jrs_threshold: u8,
+    /// ALU pipes (also execute branches beyond the dedicated one).
+    pub alu_units: u32,
+    /// Dedicated branch pipe count.
+    pub br_units: u32,
+    /// Address-generation/memory pipes.
+    pub agen_units: u32,
+    /// Single-cycle ALU latency (cycles).
+    pub alu_latency: u32,
+    /// Multiply latency (cycles).
+    pub mul_latency: u32,
+    /// L1 data cache hit latency (cycles, added to AGEN).
+    pub dcache_hit_latency: u32,
+    /// L1 miss penalty (cycles).
+    pub cache_miss_penalty: u32,
+    /// TLB miss penalty (cycles).
+    pub tlb_miss_penalty: u32,
+    /// L1 cache line size (bytes).
+    pub cache_line: u64,
+    /// L1 instruction cache sets × ways.
+    pub icache_sets: usize,
+    /// I-cache associativity.
+    pub icache_ways: usize,
+    /// L1 data cache sets.
+    pub dcache_sets: usize,
+    /// D-cache associativity.
+    pub dcache_ways: usize,
+    /// TLB entries (fully associative, per side).
+    pub tlb_entries: usize,
+    /// Extra front-end depth in cycles (fetch→rename occupancy), modelling
+    /// the 12-stage pipe's refill penalty after a flush.
+    pub frontend_depth: u32,
+    /// Watchdog timeout: cycles without a retirement before the deadlock
+    /// symptom fires (§4.2's "maximum expected latency between
+    /// instruction retirements").
+    pub watchdog_cycles: u64,
+}
+
+impl Default for UarchConfig {
+    fn default() -> Self {
+        UarchConfig {
+            fetch_width: 4,
+            decode_width: 4,
+            retire_width: 4,
+            fetch_queue: 32,
+            sched_entries: 32,
+            rob_entries: 64,
+            phys_regs: 96,
+            ldq_entries: 16,
+            stq_entries: 16,
+            bob_entries: 8,
+            ras_entries: 16,
+            bpred_entries: 4096,
+            history_bits: 12,
+            btb_entries: 512,
+            jrs_entries: 1024,
+            jrs_max: 15,
+            jrs_threshold: 15,
+            alu_units: 3,
+            br_units: 1,
+            agen_units: 2,
+            alu_latency: 1,
+            mul_latency: 4,
+            dcache_hit_latency: 2,
+            cache_miss_penalty: 8,
+            tlb_miss_penalty: 20,
+            cache_line: 64,
+            icache_sets: 64,
+            icache_ways: 4,
+            dcache_sets: 64,
+            dcache_ways: 4,
+            tlb_entries: 64,
+            frontend_depth: 6,
+            watchdog_cycles: 1000,
+        }
+    }
+}
+
+impl UarchConfig {
+    /// A scaled-down pipeline for fast unit tests.
+    pub fn tiny() -> UarchConfig {
+        UarchConfig {
+            fetch_queue: 8,
+            sched_entries: 8,
+            rob_entries: 16,
+            phys_regs: 48,
+            ldq_entries: 4,
+            stq_entries: 4,
+            bob_entries: 4,
+            ..UarchConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_model() {
+        let c = UarchConfig::default();
+        assert_eq!(c.sched_entries, 32);
+        assert_eq!(c.rob_entries, 64);
+        assert_eq!(c.alu_units + c.br_units + c.agen_units, 6); // 6-issue
+        assert_eq!(c.jrs_max, 15); // 4-bit resetting counters
+    }
+
+    #[test]
+    fn tiny_is_smaller_but_valid() {
+        let c = UarchConfig::tiny();
+        assert!(c.phys_regs >= 32 + c.rob_entries.min(16));
+        assert!(c.rob_entries >= c.sched_entries);
+    }
+}

@@ -1,0 +1,402 @@
+//! Circular queues and the physical-register free list.
+//!
+//! The head/length pointers of these queues are themselves latches and are
+//! fault-injectable; [`CircQ::sanitize`] re-establishes the Rust-side
+//! invariants after a flip (a corrupted pointer still wreaks havoc — wrong
+//! entries become visible — but never indexes out of bounds).
+
+use crate::state::{FieldClass, StateVisitor};
+
+/// Fixed-capacity circular queue addressed by absolute slot index.
+///
+/// Entries are pushed at the tail and popped from the head; `slot`/`slot_mut`
+/// give direct access for out-of-order completion by stored index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircQ<T> {
+    slots: Vec<T>,
+    head: u64,
+    len: u64,
+}
+
+impl<T: Default + Clone> CircQ<T> {
+    /// Creates a queue of `cap` default-initialised slots.
+    pub fn new(cap: usize) -> CircQ<T> {
+        CircQ { slots: vec![T::default(); cap.max(1)], head: 0, len: 0 }
+    }
+
+    /// Capacity.
+    pub fn cap(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` if no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` if no slots remain.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.cap()
+    }
+
+    /// Pushes at the tail, returning the absolute slot index used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if full; callers check [`CircQ::is_full`] first.
+    pub fn push(&mut self, v: T) -> usize {
+        assert!(!self.is_full(), "queue overflow");
+        let idx = ((self.head + self.len) % self.cap() as u64) as usize;
+        self.slots[idx] = v;
+        self.len += 1;
+        idx
+    }
+
+    /// Absolute slot index of the oldest entry, if any.
+    pub fn head_idx(&self) -> Option<usize> {
+        (!self.is_empty()).then(|| (self.head % self.cap() as u64) as usize)
+    }
+
+    /// Oldest entry.
+    pub fn front(&self) -> Option<&T> {
+        self.head_idx().map(|i| &self.slots[i])
+    }
+
+    /// Oldest entry, mutable.
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        self.head_idx().map(|i| &mut self.slots[i])
+    }
+
+    /// Pops the oldest entry (clone), if any.
+    pub fn pop_front(&mut self) -> Option<T> {
+        let i = self.head_idx()?;
+        let v = self.slots[i].clone();
+        self.head = (self.head + 1) % self.cap() as u64;
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// Drops the youngest entry.
+    pub fn pop_back(&mut self) -> Option<T> {
+        if self.is_empty() {
+            return None;
+        }
+        self.len -= 1;
+        let idx = ((self.head + self.len) % self.cap() as u64) as usize;
+        Some(self.slots[idx].clone())
+    }
+
+    /// Youngest entry.
+    pub fn back(&self) -> Option<&T> {
+        if self.is_empty() {
+            return None;
+        }
+        let idx = ((self.head + self.len - 1) % self.cap() as u64) as usize;
+        Some(&self.slots[idx])
+    }
+
+    /// Direct slot access (for completion by stored index). The index is
+    /// reduced modulo capacity so corrupted stored indices stay in
+    /// bounds.
+    pub fn slot(&self, idx: usize) -> &T {
+        &self.slots[idx % self.cap()]
+    }
+
+    /// Direct mutable slot access.
+    pub fn slot_mut(&mut self, idx: usize) -> &mut T {
+        let c = self.cap();
+        &mut self.slots[idx % c]
+    }
+
+    /// Iterates `(absolute_slot_index, &entry)` oldest→youngest.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        let cap = self.cap() as u64;
+        let head = self.head;
+        (0..self.len).map(move |k| {
+            let idx = ((head + k) % cap) as usize;
+            (idx, &self.slots[idx])
+        })
+    }
+
+    /// Removes every live entry.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Visits the head/len pointers (latch bits) and every slot's payload
+    /// via `f`. Call [`CircQ::sanitize`] afterwards when the visitor may
+    /// have mutated state.
+    pub fn visit_with<V: StateVisitor>(
+        &mut self,
+        v: &mut V,
+        mut f: impl FnMut(&mut T, &mut V),
+    ) {
+        let ptr_width = (64 - (self.cap() as u64).leading_zeros()).max(1);
+        v.word(&mut self.head, ptr_width, FieldClass::Control);
+        v.word(&mut self.len, ptr_width + 1, FieldClass::Control);
+        for s in self.slots.iter_mut() {
+            f(s, v);
+        }
+    }
+
+    /// Clamps pointers back into range after a bit flip.
+    pub fn sanitize(&mut self) {
+        self.head %= self.cap() as u64;
+        self.len = self.len.min(self.cap() as u64);
+    }
+}
+
+/// Physical-register free list: a hardware-style circular buffer where
+/// rename advances the head (allocate) and retire advances the tail
+/// (release). Branch checkpoints snapshot only the head pointer; restoring
+/// it instantly re-frees every register allocated down the wrong path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreeList {
+    slots: Vec<u8>,
+    /// Allocation pointer (modular counter over `2 * cap`).
+    head: u64,
+    /// Release pointer (modular counter over `2 * cap`).
+    tail: u64,
+}
+
+impl FreeList {
+    /// Builds a free list over `phys_regs` registers with registers
+    /// `32..phys_regs` initially free (0–31 back the architectural
+    /// state).
+    pub fn new(phys_regs: usize) -> FreeList {
+        let cap = phys_regs;
+        let mut slots = vec![0u8; cap];
+        let free = phys_regs - 32;
+        for (i, s) in slots.iter_mut().enumerate().take(free) {
+            *s = (32 + i) as u8;
+        }
+        FreeList { slots, head: 0, tail: free as u64 }
+    }
+
+    fn cap(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    fn wrap(&self, x: u64) -> u64 {
+        x % (2 * self.cap())
+    }
+
+    /// Free registers currently available.
+    pub fn available(&self) -> u64 {
+        (self.tail + 2 * self.cap() - self.head) % (2 * self.cap())
+    }
+
+    /// Allocates a register, or `None` if empty.
+    pub fn alloc(&mut self) -> Option<u8> {
+        if self.available() == 0 {
+            return None;
+        }
+        let t = self.slots[(self.head % self.cap()) as usize];
+        self.head = self.wrap(self.head + 1);
+        Some(t)
+    }
+
+    /// Releases a register at retire.
+    pub fn release(&mut self, tag: u8) {
+        if self.available() >= self.cap() {
+            // Pointer corruption made the buffer look full; dropping the
+            // release mirrors hardware losing a register (deadlock fuel).
+            return;
+        }
+        let i = (self.tail % self.cap()) as usize;
+        self.slots[i] = tag;
+        self.tail = self.wrap(self.tail + 1);
+    }
+
+    /// Current head counter (snapshot for branch checkpoints).
+    pub fn head_snapshot(&self) -> u64 {
+        self.head
+    }
+
+    /// Restores the head counter from a checkpoint, re-freeing every
+    /// register allocated since.
+    ///
+    /// Alias-safety contract: between taking `snapshot` and restoring it,
+    /// only registers allocated *before* the snapshot may be released.
+    /// The pipeline guarantees this by construction — releases happen at
+    /// in-order retire, and an instruction younger than the snapshotting
+    /// branch cannot retire before that branch resolves (which discards
+    /// the snapshot). Violating the contract would duplicate a tag in the
+    /// free pool; `injection_proptest::free_list_never_aliases` pins the
+    /// contract down.
+    pub fn restore_head(&mut self, snapshot: u64) {
+        self.head = self.wrap(snapshot);
+    }
+
+    /// Rebuilds the free list from scratch given the set of live
+    /// registers (used for full flushes after exceptions): every register
+    /// not in `live` becomes free, ascending.
+    pub fn rebuild(&mut self, live: impl Iterator<Item = u8>) {
+        let cap = self.cap();
+        let mut is_live = vec![false; self.slots.len()];
+        for t in live {
+            is_live[t as usize % self.slots.len()] = true;
+        }
+        self.head = 0;
+        self.tail = 0;
+        for t in 0..self.slots.len() as u8 {
+            if !is_live[t as usize] {
+                self.slots[(self.tail % cap) as usize] = t;
+                self.tail += 1;
+            }
+        }
+    }
+
+    /// Visits pointers and contents (RAM region in the hardened-pipeline
+    /// ECC domain).
+    pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+        let ptr_width = 64 - (2 * self.cap()).leading_zeros();
+        v.word(&mut self.head, ptr_width, FieldClass::Control);
+        v.word(&mut self.tail, ptr_width, FieldClass::Control);
+        for s in self.slots.iter_mut() {
+            v.word8(s, 7, FieldClass::Control);
+        }
+        self.head = self.wrap(self.head);
+        self.tail = self.wrap(self.tail);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_slot_indices() {
+        let mut q: CircQ<u32> = CircQ::new(4);
+        assert!(q.is_empty());
+        let a = q.push(10);
+        let b = q.push(20);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(q.front(), Some(&10));
+        assert_eq!(q.pop_front(), Some(10));
+        assert_eq!(q.front(), Some(&20));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn wraparound() {
+        let mut q: CircQ<u32> = CircQ::new(2);
+        q.push(1);
+        q.push(2);
+        assert!(q.is_full());
+        q.pop_front();
+        let idx = q.push(3);
+        assert_eq!(idx, 0); // wrapped
+        assert_eq!(q.pop_front(), Some(2));
+        assert_eq!(q.pop_front(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "queue overflow")]
+    fn overflow_panics() {
+        let mut q: CircQ<u32> = CircQ::new(1);
+        q.push(1);
+        q.push(2);
+    }
+
+    #[test]
+    fn pop_back_squashes_youngest() {
+        let mut q: CircQ<u32> = CircQ::new(4);
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.pop_back(), Some(3));
+        assert_eq!(q.back(), Some(&2));
+        let order: Vec<u32> = q.iter().map(|(_, &v)| v).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn slot_access_is_modular() {
+        let mut q: CircQ<u32> = CircQ::new(4);
+        q.push(9);
+        assert_eq!(*q.slot(0), 9);
+        assert_eq!(*q.slot(4), 9); // wraps
+        *q.slot_mut(8) = 11;
+        assert_eq!(q.front(), Some(&11));
+    }
+
+    #[test]
+    fn sanitize_clamps_pointers() {
+        let mut q: CircQ<u32> = CircQ::new(4);
+        q.push(1);
+        q.head = 77;
+        q.len = 99;
+        q.sanitize();
+        assert!(q.head < 4);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn free_list_alloc_release_cycle() {
+        let mut f = FreeList::new(48);
+        assert_eq!(f.available(), 16);
+        let t = f.alloc().unwrap();
+        assert_eq!(t, 32);
+        assert_eq!(f.available(), 15);
+        f.release(t);
+        assert_eq!(f.available(), 16);
+    }
+
+    #[test]
+    fn free_list_exhaustion() {
+        let mut f = FreeList::new(34);
+        assert_eq!(f.alloc(), Some(32));
+        assert_eq!(f.alloc(), Some(33));
+        assert_eq!(f.alloc(), None);
+    }
+
+    #[test]
+    fn head_restore_refrees_wrong_path_allocations() {
+        let mut f = FreeList::new(40);
+        let snap = f.head_snapshot();
+        let a = f.alloc().unwrap();
+        let b = f.alloc().unwrap();
+        assert_eq!(f.available(), 6);
+        f.restore_head(snap);
+        assert_eq!(f.available(), 8);
+        // The same tags come back in order.
+        assert_eq!(f.alloc(), Some(a));
+        assert_eq!(f.alloc(), Some(b));
+    }
+
+    #[test]
+    fn interleaved_release_survives_restore() {
+        let mut f = FreeList::new(36);
+        let snap = f.head_snapshot();
+        let _a = f.alloc().unwrap();
+        f.release(3); // an older register retires meanwhile
+        f.restore_head(snap);
+        assert_eq!(f.available(), 5); // 4 originally free + released 3
+    }
+
+    #[test]
+    fn rebuild_frees_exactly_the_dead() {
+        let mut f = FreeList::new(40);
+        f.rebuild([0u8, 1, 39].into_iter());
+        assert_eq!(f.available(), 37);
+        let first = f.alloc().unwrap();
+        assert_eq!(first, 2); // 0 and 1 are live
+    }
+
+    #[test]
+    fn release_when_corrupt_full_is_dropped() {
+        let mut f = FreeList::new(34);
+        // Corrupt: pretend everything is free already.
+        f.head = 0;
+        f.tail = 34;
+        assert_eq!(f.available(), 34);
+        f.release(5); // must not panic or grow
+        assert_eq!(f.available(), 34);
+    }
+}

@@ -1,0 +1,483 @@
+//! In-flight instruction state: fetch-queue entries, scheduler entries,
+//! reorder-buffer entries, load/store-queue entries and execute-pipe
+//! latches.
+//!
+//! Every struct here is fault-injectable: its `visit_state` walks the
+//! bits a latch-level model would expose. The 32-bit **encoded
+//! instruction word** travels with each in-flight instruction as its
+//! control word; consumers re-decode it at each use, so a bit flip in any
+//! latch takes architectural effect exactly as it would in hardware
+//! (illegal encodings, retargeted ALU functions, bent displacements).
+//! Sequence numbers and cycle timestamps are simulation artifacts and are
+//! not visited.
+
+use crate::state::{FieldClass, StateVisitor};
+
+/// Exception codes carried in ROB entries (3 bits + a 64-bit auxiliary
+/// value — an address or the offending word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ExcCode {
+    /// No exception.
+    None = 0,
+    /// Load access violation.
+    LoadAccess = 1,
+    /// Store access violation.
+    StoreAccess = 2,
+    /// Load alignment fault.
+    LoadAlign = 3,
+    /// Store alignment fault.
+    StoreAlign = 4,
+    /// Arithmetic overflow trap.
+    Arith = 5,
+    /// Illegal instruction.
+    Illegal = 6,
+    /// Instruction fetch fault.
+    Fetch = 7,
+}
+
+impl ExcCode {
+    /// Decodes a 3-bit field (total: every value maps to a code).
+    pub fn from_bits(v: u8) -> ExcCode {
+        match v & 7 {
+            0 => ExcCode::None,
+            1 => ExcCode::LoadAccess,
+            2 => ExcCode::StoreAccess,
+            3 => ExcCode::LoadAlign,
+            4 => ExcCode::StoreAlign,
+            5 => ExcCode::Arith,
+            6 => ExcCode::Illegal,
+            _ => ExcCode::Fetch,
+        }
+    }
+}
+
+/// Functional role assigned to a uop at rename. Stored as a 3-bit control
+/// field; a flip that makes the role disagree with the re-decoded word is
+/// reported as an illegal-instruction exception (hardware would take a
+/// machine check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Role {
+    /// Integer ALU operation (including `lda`/`ldah`).
+    Alu = 0,
+    /// Memory load.
+    Load = 1,
+    /// Memory store.
+    Store = 2,
+    /// Conditional branch.
+    CondBr = 3,
+    /// Unconditional direct branch (`br`/`bsr`).
+    BrLink = 4,
+    /// Indirect jump (`jmp`/`jsr`/`ret`).
+    Jump = 5,
+    /// Completed-at-rename uop (PAL, fence, poisoned fetch).
+    Direct = 6,
+}
+
+impl Role {
+    /// Decodes a 3-bit field.
+    pub fn from_bits(v: u8) -> Role {
+        match v & 7 {
+            0 => Role::Alu,
+            1 => Role::Load,
+            2 => Role::Store,
+            3 => Role::CondBr,
+            4 => Role::BrLink,
+            5 => Role::Jump,
+            _ => Role::Direct,
+        }
+    }
+
+    /// `true` for the three control-flow roles.
+    pub fn is_control(self) -> bool {
+        matches!(self, Role::CondBr | Role::BrLink | Role::Jump)
+    }
+}
+
+/// Branch prediction details attached to a fetched control instruction.
+///
+/// `taken`/`target` are latch bits (injectable); the history snapshot,
+/// confidence assessment and RAS snapshot feed only predictor updates and
+/// recovery, so they follow the paper's predictor-state exclusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PredInfo {
+    /// Predicted direction (always `true` for unconditional control).
+    pub taken: bool,
+    /// Predicted next PC (target if taken, fall-through otherwise).
+    pub next_pc: u64,
+    /// Global history used for the prediction (excluded from injection).
+    pub used_ghr: u64,
+    /// JRS high-confidence flag at prediction time (excluded).
+    pub high_conf: bool,
+    /// RAS top-of-stack after fetch of this instruction (excluded).
+    pub ras_top: u32,
+}
+
+impl PredInfo {
+    fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+        v.flag(&mut self.taken);
+        v.word(&mut self.next_pc, 64, FieldClass::Data);
+    }
+}
+
+/// One fetch-queue slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FqEntry {
+    /// Fetch PC.
+    pub pc: u64,
+    /// Fetched instruction word.
+    pub word: u32,
+    /// `true` if instruction fetch itself faulted (poisoned slot).
+    pub fetch_fault: bool,
+    /// Prediction made at fetch for control instructions.
+    pub pred: PredInfo,
+}
+
+impl FqEntry {
+    /// Visits the slot's latch bits.
+    pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+        v.word(&mut self.pc, 64, FieldClass::Data);
+        v.word32(&mut self.word, 32, FieldClass::Control);
+        v.flag(&mut self.fetch_fault);
+        self.pred.visit(v);
+    }
+}
+
+/// A source operand tag in the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SrcTag {
+    /// Physical register tag.
+    pub tag: u8,
+    /// `true` when the producing value is available.
+    pub ready: bool,
+    /// `true` if this source slot is in use.
+    pub used: bool,
+}
+
+impl SrcTag {
+    fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+        v.word8(&mut self.tag, 7, FieldClass::Control);
+        v.flag(&mut self.ready);
+        v.flag(&mut self.used);
+    }
+}
+
+/// One scheduler (issue window) entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedEntry {
+    /// Occupied flag.
+    pub valid: bool,
+    /// Encoded instruction word (the control word).
+    pub word: u32,
+    /// Instruction PC (needed by branch units).
+    pub pc: u64,
+    /// ROB index this uop completes into.
+    pub rob_idx: u8,
+    /// Functional role.
+    pub role: u8,
+    /// Sources: `[0]`=ra or base, `[1]`=rb or store data, `[2]`=cmov old
+    /// destination.
+    pub src: [SrcTag; 3],
+    /// Destination physical register.
+    pub dest: u8,
+    /// `true` if the uop writes a register.
+    pub has_dest: bool,
+    /// Load/store queue slot for memory uops.
+    pub mem_idx: u8,
+    /// Age for oldest-first select (simulation artifact, not visited).
+    pub seq: u64,
+}
+
+impl SchedEntry {
+    /// Visits the entry's latch bits.
+    pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+        v.flag(&mut self.valid);
+        v.word32(&mut self.word, 32, FieldClass::Control);
+        v.word(&mut self.pc, 64, FieldClass::Data);
+        v.word8(&mut self.rob_idx, 7, FieldClass::Control);
+        v.word8(&mut self.role, 3, FieldClass::Control);
+        for s in self.src.iter_mut() {
+            s.visit(v);
+        }
+        v.word8(&mut self.dest, 7, FieldClass::Control);
+        v.flag(&mut self.has_dest);
+        v.word8(&mut self.mem_idx, 5, FieldClass::Control);
+    }
+
+    /// `true` when every used source is ready.
+    pub fn ready(&self) -> bool {
+        self.valid && self.src.iter().all(|s| !s.used || s.ready)
+    }
+}
+
+/// One reorder-buffer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RobEntry {
+    /// Instruction PC.
+    pub pc: u64,
+    /// Encoded instruction word.
+    pub word: u32,
+    /// Functional role.
+    pub role: u8,
+    /// Destination physical register.
+    pub phys_dest: u8,
+    /// Previous mapping of the destination architectural register.
+    pub old_dest: u8,
+    /// Destination architectural register index.
+    pub arch_dest: u8,
+    /// `true` if the uop writes a register.
+    pub has_dest: bool,
+    /// Execution finished (result available / effects computed).
+    pub completed: bool,
+    /// Exception code (0 = none).
+    pub exc: u8,
+    /// Exception auxiliary value (faulting address or word).
+    pub exc_aux: u64,
+    /// Load/store queue slot for memory uops.
+    pub mem_idx: u8,
+    /// Branch order buffer slot for control uops.
+    pub bob_idx: u8,
+    /// Prediction made at fetch.
+    pub pred: PredInfo,
+    /// Predictor/JRS already trained at resolve (mispredicts train
+    /// immediately so confidence resets before any rollback).
+    pub trained: bool,
+    /// Memory-order violation: do not retire; flush and re-execute from
+    /// this instruction.
+    pub replay: bool,
+    /// Resolved direction for control uops.
+    pub actual_taken: bool,
+    /// PC of the next instruction (resolved).
+    pub next_pc: u64,
+    /// Age (simulation artifact, not visited).
+    pub seq: u64,
+}
+
+impl RobEntry {
+    /// Visits the entry's bits (classified RAM-resident; the ROB is an
+    /// SRAM structure in the paper's model).
+    pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+        v.word(&mut self.pc, 64, FieldClass::Data);
+        v.word32(&mut self.word, 32, FieldClass::Control);
+        v.word8(&mut self.role, 3, FieldClass::Control);
+        v.word8(&mut self.phys_dest, 7, FieldClass::Control);
+        v.word8(&mut self.old_dest, 7, FieldClass::Control);
+        v.word8(&mut self.arch_dest, 5, FieldClass::Control);
+        v.flag(&mut self.has_dest);
+        v.flag(&mut self.completed);
+        v.word8(&mut self.exc, 3, FieldClass::Control);
+        v.word(&mut self.exc_aux, 64, FieldClass::Data);
+        v.word8(&mut self.mem_idx, 5, FieldClass::Control);
+        v.word8(&mut self.bob_idx, 4, FieldClass::Control);
+        self.pred.visit(v);
+        v.flag(&mut self.trained);
+        v.flag(&mut self.replay);
+        v.flag(&mut self.actual_taken);
+        v.word(&mut self.next_pc, 64, FieldClass::Data);
+    }
+}
+
+/// One load-queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LdqEntry {
+    /// Effective address (valid once `addr_ready`).
+    pub addr: u64,
+    /// Address generated.
+    pub addr_ready: bool,
+    /// log2 of access size.
+    pub width_log2: u8,
+    /// Sign-extend the loaded value (`ldl`).
+    pub sext: bool,
+    /// Destination physical register.
+    pub dest: u8,
+    /// `true` if the load writes a register (loads to `r31` are
+    /// prefetches).
+    pub has_dest: bool,
+    /// ROB index to complete.
+    pub rob_idx: u8,
+    /// Value returned (for retire reporting).
+    pub value: u64,
+    /// Load has produced its value.
+    pub completed: bool,
+    /// Age (artifact).
+    pub seq: u64,
+    /// Cycle at which the cache/TLB latency expires (artifact).
+    pub ready_at: u64,
+    /// Memory access issued, awaiting latency (artifact).
+    pub mem_issued: bool,
+    /// Value was obtained speculatively, bypassing older stores with
+    /// unresolved addresses (memory dependence speculation).
+    pub speculative: bool,
+}
+
+impl LdqEntry {
+    /// Visits the entry's latch bits.
+    pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+        v.word(&mut self.addr, 64, FieldClass::Data);
+        v.flag(&mut self.addr_ready);
+        v.word8(&mut self.width_log2, 2, FieldClass::Control);
+        v.flag(&mut self.sext);
+        v.word8(&mut self.dest, 7, FieldClass::Control);
+        v.flag(&mut self.has_dest);
+        v.word8(&mut self.rob_idx, 7, FieldClass::Control);
+        v.word(&mut self.value, 64, FieldClass::Data);
+        v.flag(&mut self.completed);
+        v.flag(&mut self.speculative);
+    }
+}
+
+/// One store-queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StqEntry {
+    /// Effective address (valid once `addr_ready`).
+    pub addr: u64,
+    /// Address generated.
+    pub addr_ready: bool,
+    /// Store data.
+    pub data: u64,
+    /// Data captured.
+    pub data_ready: bool,
+    /// log2 of access size.
+    pub width_log2: u8,
+    /// ROB index to complete.
+    pub rob_idx: u8,
+    /// Age (artifact).
+    pub seq: u64,
+}
+
+impl StqEntry {
+    /// Visits the entry's latch bits.
+    pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+        v.word(&mut self.addr, 64, FieldClass::Data);
+        v.flag(&mut self.addr_ready);
+        v.word(&mut self.data, 64, FieldClass::Data);
+        v.flag(&mut self.data_ready);
+        v.word8(&mut self.width_log2, 2, FieldClass::Control);
+        v.word8(&mut self.rob_idx, 7, FieldClass::Control);
+    }
+}
+
+/// An instruction in flight between register read and writeback: the
+/// regread/execute pipeline latches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecLatch {
+    /// Occupied flag.
+    pub valid: bool,
+    /// Encoded instruction word.
+    pub word: u32,
+    /// Instruction PC.
+    pub pc: u64,
+    /// Operand values latched at register read.
+    pub a: u64,
+    /// Second operand (or store data).
+    pub b: u64,
+    /// Third operand (cmov old destination).
+    pub c: u64,
+    /// Destination physical register.
+    pub dest: u8,
+    /// `true` if the uop writes a register.
+    pub has_dest: bool,
+    /// Functional role.
+    pub role: u8,
+    /// ROB index to complete.
+    pub rob_idx: u8,
+    /// Load/store queue slot for memory uops.
+    pub mem_idx: u8,
+    /// Age (artifact).
+    pub seq: u64,
+    /// Writeback cycle (artifact).
+    pub finish_at: u64,
+}
+
+impl ExecLatch {
+    /// Visits the latch bits.
+    pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+        v.flag(&mut self.valid);
+        v.word32(&mut self.word, 32, FieldClass::Control);
+        v.word(&mut self.pc, 64, FieldClass::Data);
+        v.word(&mut self.a, 64, FieldClass::Data);
+        v.word(&mut self.b, 64, FieldClass::Data);
+        v.word(&mut self.c, 64, FieldClass::Data);
+        v.word8(&mut self.dest, 7, FieldClass::Control);
+        v.flag(&mut self.has_dest);
+        v.word8(&mut self.role, 3, FieldClass::Control);
+        v.word8(&mut self.rob_idx, 7, FieldClass::Control);
+        v.word8(&mut self.mem_idx, 5, FieldClass::Control);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{BitCounter, BitFlipper, FaultState, StateKind};
+
+    struct One<T>(T);
+    impl FaultState for One<SchedEntry> {
+        fn visit_state<V: StateVisitor>(&mut self, v: &mut V) {
+            v.region("t", StateKind::Latch);
+            self.0.visit(v);
+        }
+    }
+
+    #[test]
+    fn exc_code_round_trips() {
+        for v in 0..8u8 {
+            assert_eq!(ExcCode::from_bits(v) as u8, v);
+        }
+    }
+
+    #[test]
+    fn role_round_trips() {
+        for v in 0..7u8 {
+            assert_eq!(Role::from_bits(v) as u8, v);
+        }
+        assert_eq!(Role::from_bits(7), Role::Direct);
+        assert!(Role::CondBr.is_control());
+        assert!(!Role::Load.is_control());
+    }
+
+    #[test]
+    fn sched_entry_ready_logic() {
+        let mut e = SchedEntry {
+            valid: true,
+            src: [
+                SrcTag { tag: 1, ready: false, used: true },
+                SrcTag { tag: 2, ready: true, used: true },
+                SrcTag::default(),
+            ],
+            ..SchedEntry::default()
+        };
+        assert!(!e.ready());
+        e.src[0].ready = true;
+        assert!(e.ready());
+        e.valid = false;
+        assert!(!e.ready());
+    }
+
+    #[test]
+    fn sched_entry_flip_is_involutive_over_every_bit() {
+        let mut probe = One(SchedEntry::default());
+        let mut c = BitCounter::default();
+        probe.visit_state(&mut c);
+        let template = SchedEntry {
+            valid: true,
+            word: 0xdead_beef,
+            pc: 0x1_0000,
+            rob_idx: 9,
+            role: 2,
+            src: [SrcTag { tag: 0x7f, ready: true, used: true }; 3],
+            dest: 0x55,
+            has_dest: true,
+            mem_idx: 3,
+            seq: 42,
+        };
+        for bit in 0..c.bits {
+            let mut e = One(template);
+            e.visit_state(&mut BitFlipper::new(bit));
+            assert_ne!(e.0, template, "bit {bit} had no effect");
+            e.visit_state(&mut BitFlipper::new(bit));
+            assert_eq!(e.0, template, "bit {bit} not involutive");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Cross-simulator lockstep: the fault-free pipeline must retire exactly
+//! the stream the architectural simulator executes — same PCs, same
+//! register writes, same memory effects, same outputs. This is the
+//! correctness foundation under every fault-injection experiment: without
+//! it, "divergence from golden" would measure simulator bugs, not soft
+//! errors.
+
+use restore_arch::{Cpu, Retired};
+use restore_uarch::{Pipeline, Stop, UarchConfig};
+use restore_workloads::{synthetic, Scale, WorkloadId};
+
+/// Runs the pipeline until `n` instructions retire (or it stops), checking
+/// each retired event against the architectural simulator.
+fn lockstep(program: &restore_isa::Program, cfg: UarchConfig, limit: u64) -> (u64, Stop) {
+    let mut cpu = Cpu::new(program);
+    let mut pipe = Pipeline::new(cfg, program);
+    let mut checked = 0u64;
+    while checked < limit && pipe.status() == Stop::Running {
+        let report = pipe.cycle();
+        assert!(
+            report.exception.is_none(),
+            "pipeline raised {:?} after {checked} instructions (arch would not)",
+            report.exception
+        );
+        assert!(!report.deadlock, "pipeline deadlocked after {checked} instructions");
+        for r in &report.retired {
+            let expected: Retired = cpu
+                .step()
+                .unwrap_or_else(|e| panic!("arch exception {e} at instruction {checked}"));
+            assert_eq!(
+                r, &expected,
+                "retired event #{checked} diverged (pipeline vs arch)"
+            );
+            checked += 1;
+        }
+        assert!(
+            pipe.cycles() < 400 + 40 * limit,
+            "IPC collapsed: {} cycles for {checked} instructions",
+            pipe.cycles()
+        );
+    }
+    // Outputs observed so far must agree.
+    assert_eq!(pipe.output(), &cpu.output()[..pipe.output().len()]);
+    (checked, pipe.status())
+}
+
+#[test]
+fn straightline_arithmetic() {
+    let mut a = restore_isa::Asm::new("t", restore_isa::layout::TEXT_BASE);
+    use restore_isa::Reg;
+    a.li(Reg::T0, 1000);
+    a.li(Reg::T1, 3);
+    a.mulq(Reg::T0, Reg::T1, Reg::T2);
+    a.addq_lit(Reg::T2, 7, Reg::T2);
+    a.mov(Reg::T2, Reg::A0);
+    a.outq();
+    a.halt();
+    let p = a.finish().unwrap();
+    let (n, stop) = lockstep(&p, UarchConfig::default(), 100);
+    assert_eq!(stop, Stop::Halted);
+    assert!(n >= 7);
+}
+
+#[test]
+fn loops_and_branches() {
+    let mut a = restore_isa::Asm::new("t", restore_isa::layout::TEXT_BASE);
+    use restore_isa::Reg;
+    a.clr(Reg::V0);
+    a.li(Reg::T0, 200);
+    let top = a.bind_here();
+    a.addq(Reg::V0, Reg::T0, Reg::V0);
+    a.subq_lit(Reg::T0, 1, Reg::T0);
+    a.bgt(Reg::T0, top);
+    a.mov(Reg::V0, Reg::A0);
+    a.outq();
+    a.halt();
+    let p = a.finish().unwrap();
+    let (_, stop) = lockstep(&p, UarchConfig::default(), 10_000);
+    assert_eq!(stop, Stop::Halted);
+}
+
+#[test]
+fn calls_returns_and_stack() {
+    let mut a = restore_isa::Asm::new("t", restore_isa::layout::TEXT_BASE);
+    use restore_isa::Reg;
+    let func = a.label();
+    a.li(Reg::S0, 50);
+    a.clr(Reg::A1);
+    let top = a.bind_here();
+    a.mov(Reg::S0, Reg::A0);
+    a.bsr(func);
+    a.addq(Reg::A1, Reg::V0, Reg::A1);
+    a.subq_lit(Reg::S0, 1, Reg::S0);
+    a.bgt(Reg::S0, top);
+    a.mov(Reg::A1, Reg::A0);
+    a.outq();
+    a.halt();
+    a.bind(func).unwrap();
+    a.subq_lit(Reg::SP, 16, Reg::SP);
+    a.stq(Reg::A0, 0, Reg::SP);
+    a.ldq(Reg::V0, 0, Reg::SP);
+    a.addq(Reg::V0, Reg::V0, Reg::V0);
+    a.addq_lit(Reg::SP, 16, Reg::SP);
+    a.ret();
+    let p = a.finish().unwrap();
+    let (_, stop) = lockstep(&p, UarchConfig::default(), 10_000);
+    assert_eq!(stop, Stop::Halted);
+}
+
+#[test]
+fn store_load_forwarding_patterns() {
+    let mut a = restore_isa::Asm::new("t", restore_isa::layout::TEXT_BASE);
+    use restore_isa::Reg;
+    // Rapid same-address store→load chains of mixed widths.
+    a.li(Reg::T0, 0x0123_4567);
+    a.stq(Reg::T0, -8, Reg::SP);
+    a.ldq(Reg::T1, -8, Reg::SP);
+    a.stl(Reg::T1, -16, Reg::SP);
+    a.ldl(Reg::T2, -16, Reg::SP);
+    a.stb(Reg::T2, -24, Reg::SP);
+    a.ldbu(Reg::T3, -24, Reg::SP);
+    a.addq(Reg::T1, Reg::T2, Reg::A0);
+    a.addq(Reg::A0, Reg::T3, Reg::A0);
+    a.outq();
+    a.halt();
+    let p = a.finish().unwrap();
+    let (_, stop) = lockstep(&p, UarchConfig::default(), 100);
+    assert_eq!(stop, Stop::Halted);
+}
+
+#[test]
+fn every_workload_locksteps_at_default_config() {
+    for id in WorkloadId::ALL {
+        let p = id.build(Scale::smoke());
+        let (n, _) = lockstep(&p, UarchConfig::default(), 30_000);
+        assert!(n > 1000, "{id}: only {n} instructions checked");
+    }
+}
+
+#[test]
+fn every_workload_locksteps_at_tiny_config() {
+    for id in WorkloadId::ALL {
+        let p = id.build(Scale::smoke());
+        let (n, _) = lockstep(&p, UarchConfig::tiny(), 15_000);
+        assert!(n > 1000, "{id}: only {n} instructions checked");
+    }
+}
+
+#[test]
+fn synthetic_fuzz_locksteps() {
+    for seed in 0..30 {
+        let p = synthetic::build(400, seed);
+        let (_, stop) = lockstep(&p, UarchConfig::default(), 100_000);
+        assert_eq!(stop, Stop::Halted, "seed {seed}");
+    }
+}
+
+#[test]
+fn synthetic_fuzz_locksteps_tiny() {
+    for seed in 100..115 {
+        let p = synthetic::build(300, seed);
+        let (_, stop) = lockstep(&p, UarchConfig::tiny(), 100_000);
+        assert_eq!(stop, Stop::Halted, "seed {seed}");
+    }
+}
+
+#[test]
+fn workloads_complete_with_matching_output() {
+    // End-to-end: run a whole workload to halt on the pipeline alone and
+    // check the final output against the Rust mirror.
+    for id in [WorkloadId::Mcfx, WorkloadId::Parserx, WorkloadId::Vortexx] {
+        let scale = Scale { size: 24, seed: 7 };
+        let p = id.build(scale);
+        let mut pipe = Pipeline::new(UarchConfig::default(), &p);
+        for _ in 0..4_000_000 {
+            if pipe.status() != Stop::Running {
+                break;
+            }
+            pipe.cycle();
+        }
+        assert_eq!(pipe.status(), Stop::Halted, "{id}");
+        assert_eq!(pipe.output(), &[id.expected(scale)], "{id}");
+    }
+}

@@ -1,0 +1,197 @@
+//! `bzip2x` — counting sort + move-to-front coding (SPEC `bzip2`
+//! analogue).
+//!
+//! `bzip2` block-sorts its input and then move-to-front codes it. This
+//! kernel performs a stable counting sort of a compressible byte buffer
+//! (histogram, prefix sum, scatter) followed by an MTF pass with a linear
+//! symbol search and shift — table-walking loops with data-dependent trip
+//! counts.
+
+use crate::util::{compressible_bytes, rng, words_to_bytes};
+use restore_isa::{layout, Asm, Program, Reg};
+
+const SYMS: u64 = 256;
+
+/// MTF-phase repetitions so any scale runs ≥ ~50k instructions. The MTF
+/// table is deliberately NOT reset between rounds; later rounds see a
+/// warm table (small ranks), which is deterministic and mirrored in
+/// [`expected`].
+fn mtf_rounds(n: usize) -> u64 {
+    (50_000 / (n as u64 * 25)).max(1)
+}
+
+// Permissions are page-granular, so segments with different
+// writability must not share a page: every region is page-aligned.
+fn hist_base() -> u64 {
+    layout::DATA_BASE
+}
+fn mtf_base() -> u64 {
+    page_align(hist_base() + 8 * SYMS)
+}
+fn input_base() -> u64 {
+    page_align(mtf_base() + SYMS)
+}
+fn output_base(n: usize) -> u64 {
+    page_align(input_base() + n as u64)
+}
+
+fn page_align(a: u64) -> u64 {
+    (a + 0xfff) & !0xfff
+}
+
+/// Builds the program. `size` is the buffer length (minimum 64).
+pub fn build(size: usize, seed: u64) -> Program {
+    let n = size.max(64);
+    let buf = compressible_bytes(&mut rng(seed), n);
+
+    let mut a = Asm::new("bzip2x", layout::TEXT_BASE);
+    a.la(Reg::S0, input_base());
+    a.la(Reg::S1, hist_base());
+    a.la(Reg::S2, output_base(n));
+    a.la(Reg::S3, mtf_base());
+    a.li(Reg::S5, n as i64);
+    a.clr(Reg::V0);
+
+    // Phase 1: histogram. for i in 0..n: hist[buf[i]] += 1
+    a.clr(Reg::T0); // i
+    let h_loop = a.bind_here();
+    a.addq(Reg::T0, Reg::S0, Reg::T1);
+    a.ldbu(Reg::T2, 0, Reg::T1);
+    a.s8addq(Reg::T2, Reg::S1, Reg::T3);
+    a.ldq(Reg::T4, 0, Reg::T3);
+    a.addq_lit(Reg::T4, 1, Reg::T4);
+    a.stq(Reg::T4, 0, Reg::T3);
+    a.addq_lit(Reg::T0, 1, Reg::T0);
+    a.cmplt(Reg::T0, Reg::S5, Reg::T5);
+    a.bne(Reg::T5, h_loop);
+
+    // Phase 2: exclusive prefix sum in place: hist[s] = start offset.
+    a.clr(Reg::T0); // s
+    a.clr(Reg::T1); // running total
+    a.li(Reg::T6, SYMS as i64); // 256 exceeds the 8-bit literal range
+    let p_loop = a.bind_here();
+    a.s8addq(Reg::T0, Reg::S1, Reg::T3);
+    a.ldq(Reg::T4, 0, Reg::T3);
+    a.stq(Reg::T1, 0, Reg::T3);
+    a.addq(Reg::T1, Reg::T4, Reg::T1);
+    a.addq_lit(Reg::T0, 1, Reg::T0);
+    a.cmplt(Reg::T0, Reg::T6, Reg::T5);
+    a.bne(Reg::T5, p_loop);
+
+    // Phase 3: stable scatter: out[hist[b]++] = b.
+    a.clr(Reg::T0);
+    let s_loop = a.bind_here();
+    a.addq(Reg::T0, Reg::S0, Reg::T1);
+    a.ldbu(Reg::T2, 0, Reg::T1);
+    a.s8addq(Reg::T2, Reg::S1, Reg::T3);
+    a.ldq(Reg::T4, 0, Reg::T3); // position
+    a.addq(Reg::T4, Reg::S2, Reg::T6);
+    a.stb(Reg::T2, 0, Reg::T6);
+    a.addq_lit(Reg::T4, 1, Reg::T4);
+    a.stq(Reg::T4, 0, Reg::T3);
+    a.addq_lit(Reg::T0, 1, Reg::T0);
+    a.cmplt(Reg::T0, Reg::S5, Reg::T5);
+    a.bne(Reg::T5, s_loop);
+
+    // Phase 4: MTF over the sorted output; checksum += rank each step.
+    a.li(Reg::T7, mtf_rounds(n) as i64);
+    let mtf_round = a.bind_here();
+    a.clr(Reg::T0); // i
+    let m_loop = a.bind_here();
+    a.addq(Reg::T0, Reg::S2, Reg::T1);
+    a.ldbu(Reg::T2, 0, Reg::T1); // symbol b
+    // find rank j with mtf[j] == b (guaranteed to exist)
+    a.clr(Reg::T3); // j
+    let find_loop = a.bind_here();
+    let found = a.label();
+    a.addq(Reg::T3, Reg::S3, Reg::T4);
+    a.ldbu(Reg::T5, 0, Reg::T4);
+    a.cmpeq(Reg::T5, Reg::T2, Reg::T6);
+    a.bne(Reg::T6, found);
+    a.addq_lit(Reg::T3, 1, Reg::T3);
+    a.br(find_loop);
+    a.bind(found).expect("fresh label");
+    a.addq(Reg::V0, Reg::T3, Reg::V0);
+    // shift mtf[0..j) up one: for k = j; k > 0; k--: mtf[k] = mtf[k-1]
+    let shift_done = a.label();
+    let shift_loop = a.bind_here();
+    a.beq(Reg::T3, shift_done);
+    a.addq(Reg::T3, Reg::S3, Reg::T4);
+    a.ldbu(Reg::T5, -1, Reg::T4);
+    a.stb(Reg::T5, 0, Reg::T4);
+    a.subq_lit(Reg::T3, 1, Reg::T3);
+    a.br(shift_loop);
+    a.bind(shift_done).expect("fresh label");
+    a.stb(Reg::T2, 0, Reg::S3); // mtf[0] = b
+    a.addq_lit(Reg::T0, 1, Reg::T0);
+    a.cmplt(Reg::T0, Reg::S5, Reg::T5);
+    a.bne(Reg::T5, m_loop);
+    a.subq_lit(Reg::T7, 1, Reg::T7);
+    a.bgt(Reg::T7, mtf_round);
+
+    a.mov(Reg::V0, Reg::A0);
+    a.outq();
+    a.halt();
+
+    let mut p = a.finish().expect("bzip2x assembles");
+    p.add_data(hist_base(), words_to_bytes(&vec![0u64; SYMS as usize]), true);
+    let identity: Vec<u8> = (0..=255u8).collect();
+    p.add_data(mtf_base(), identity, true);
+    p.add_data(input_base(), buf, false);
+    p.add_data(output_base(n), vec![0u8; n], true);
+    p
+}
+
+/// Rust mirror of the kernel.
+pub fn expected(size: usize, seed: u64) -> u64 {
+    let n = size.max(64);
+    let buf = compressible_bytes(&mut rng(seed), n);
+    let mut sorted = buf.clone();
+    sorted.sort_unstable();
+    let mut mtf: Vec<u8> = (0..=255).collect();
+    let mut checksum = 0u64;
+    for _ in 0..mtf_rounds(n) {
+        for &b in &sorted {
+            let j = mtf.iter().position(|&x| x == b).expect("symbol present");
+            checksum = checksum.wrapping_add(j as u64);
+            mtf.remove(j);
+            mtf.insert(0, b);
+        }
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_arch::{Cpu, RunExit};
+
+    #[test]
+    fn output_matches_rust_mirror() {
+        let p = build(128, 17);
+        let mut cpu = Cpu::new(&p);
+        assert_eq!(cpu.run(8_000_000).unwrap(), RunExit::Halted);
+        assert_eq!(cpu.output(), &[expected(128, 17)]);
+    }
+
+    #[test]
+    fn sorted_output_lands_in_memory() {
+        let n = 128;
+        let p = build(n, 17);
+        let mut cpu = Cpu::new(&p);
+        cpu.run(8_000_000).unwrap();
+        let mut out = vec![0u8; n];
+        cpu.mem.peek_bytes(output_base(n), &mut out);
+        let mut expect = compressible_bytes(&mut rng(17), n);
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn layout_regions_do_not_overlap() {
+        let n = 4096;
+        assert!(hist_base() + 8 * SYMS <= mtf_base());
+        assert!(mtf_base() + SYMS <= input_base());
+        assert!(input_base() + n as u64 <= output_base(n));
+    }
+}

@@ -1,0 +1,190 @@
+//! `gapx` — computational group theory kernels (SPEC `gap` analogue).
+//!
+//! `gap` is a group-theory system whose workhorses are permutation
+//! composition and multi-precision integer arithmetic. This kernel
+//! repeatedly composes two permutations (`p ∘ q`) through gather loads,
+//! then runs a carry-propagating multi-limb accumulation, and checksums
+//! `Σ i·p[i]`.
+
+use crate::util::{permutation, rng, words_to_bytes};
+use restore_isa::{layout, Asm, Program, Reg};
+
+/// Composition passes scale so any scale runs ≥ ~50k instructions.
+fn compose_passes(n: usize) -> u64 {
+    (50_000 / (n as u64 * 16)).max(10)
+}
+const LIMBS: u64 = 8;
+const BIG_ADDS: u64 = 64;
+
+fn p_base() -> u64 {
+    layout::DATA_BASE
+}
+fn q_base(n: usize) -> u64 {
+    p_base() + 8 * n as u64
+}
+fn r_base(n: usize) -> u64 {
+    q_base(n) + 8 * n as u64
+}
+fn bignum_base(n: usize) -> u64 {
+    r_base(n) + 8 * n as u64
+}
+
+/// Builds the program. `size` is the permutation degree (minimum 16).
+pub fn build(size: usize, seed: u64) -> Program {
+    let n = size.max(16);
+    let mut r = rng(seed);
+    let p_perm: Vec<u64> = permutation(&mut r, n).iter().map(|&x| x as u64).collect();
+    let q_perm: Vec<u64> = permutation(&mut r, n).iter().map(|&x| x as u64).collect();
+    let big_b: Vec<u64> = (0..LIMBS)
+        .map(|_| rand::Rng::gen::<u64>(&mut r))
+        .collect();
+
+    let mut a = Asm::new("gapx", layout::TEXT_BASE);
+    a.la(Reg::S0, p_base());
+    a.la(Reg::S1, q_base(n));
+    a.la(Reg::S2, r_base(n));
+    a.li(Reg::S4, n as i64);
+    a.li(Reg::S5, compose_passes(n) as i64);
+    a.clr(Reg::V0);
+
+    // ---- permutation composition: r[i] = p[q[i]], then p ← r ----
+    let pass_top = a.bind_here();
+    a.clr(Reg::T0); // i
+    let comp_loop = a.bind_here();
+    a.s8addq(Reg::T0, Reg::S1, Reg::T1);
+    a.ldq(Reg::T2, 0, Reg::T1); // q[i]
+    a.s8addq(Reg::T2, Reg::S0, Reg::T3);
+    a.ldq(Reg::T4, 0, Reg::T3); // p[q[i]]
+    a.s8addq(Reg::T0, Reg::S2, Reg::T5);
+    a.stq(Reg::T4, 0, Reg::T5); // r[i]
+    a.addq_lit(Reg::T0, 1, Reg::T0);
+    a.cmplt(Reg::T0, Reg::S4, Reg::T6);
+    a.bne(Reg::T6, comp_loop);
+    // copy r → p
+    a.clr(Reg::T0);
+    let copy_loop = a.bind_here();
+    a.s8addq(Reg::T0, Reg::S2, Reg::T1);
+    a.ldq(Reg::T2, 0, Reg::T1);
+    a.s8addq(Reg::T0, Reg::S0, Reg::T3);
+    a.stq(Reg::T2, 0, Reg::T3);
+    a.addq_lit(Reg::T0, 1, Reg::T0);
+    a.cmplt(Reg::T0, Reg::S4, Reg::T6);
+    a.bne(Reg::T6, copy_loop);
+    a.subq_lit(Reg::S5, 1, Reg::S5);
+    a.bgt(Reg::S5, pass_top);
+
+    // ---- multi-limb accumulation: acc += B, BIG_ADDS times ----
+    // acc limbs at bignum_base, B limbs at bignum_base + 8*LIMBS.
+    a.la(Reg::S3, bignum_base(n));
+    a.li(Reg::S5, BIG_ADDS as i64);
+    let big_top = a.bind_here();
+    a.clr(Reg::T0); // limb k
+    a.clr(Reg::T7); // carry
+    let limb_loop = a.bind_here();
+    a.s8addq(Reg::T0, Reg::S3, Reg::T1); // &acc[k]
+    a.ldq(Reg::T2, 0, Reg::T1); // acc[k]
+    a.ldq(Reg::T3, 8 * LIMBS as i16, Reg::T1); // b[k]
+    a.addq(Reg::T2, Reg::T3, Reg::T4); // partial
+    a.cmpult(Reg::T4, Reg::T2, Reg::T5); // carry-out 1
+    a.addq(Reg::T4, Reg::T7, Reg::T6); // + carry-in
+    a.cmpult(Reg::T6, Reg::T4, Reg::T7); // carry-out 2
+    a.addq(Reg::T7, Reg::T5, Reg::T7); // combined carry (0..=1 each)
+    a.stq(Reg::T6, 0, Reg::T1);
+    a.addq_lit(Reg::T0, 1, Reg::T0);
+    a.cmplt(Reg::T0, LIMBS as u8, Reg::T5);
+    a.bne(Reg::T5, limb_loop);
+    a.subq_lit(Reg::S5, 1, Reg::S5);
+    a.bgt(Reg::S5, big_top);
+
+    // ---- checksum: Σ i·p[i]  ⊕  acc[0] ----
+    a.clr(Reg::T0);
+    let sum_loop = a.bind_here();
+    a.s8addq(Reg::T0, Reg::S0, Reg::T1);
+    a.ldq(Reg::T2, 0, Reg::T1);
+    a.mulq(Reg::T0, Reg::T2, Reg::T3);
+    a.addq(Reg::V0, Reg::T3, Reg::V0);
+    a.addq_lit(Reg::T0, 1, Reg::T0);
+    a.cmplt(Reg::T0, Reg::S4, Reg::T6);
+    a.bne(Reg::T6, sum_loop);
+    a.ldq(Reg::T2, 0, Reg::S3);
+    a.xor(Reg::V0, Reg::T2, Reg::V0);
+
+    a.mov(Reg::V0, Reg::A0);
+    a.outq();
+    a.halt();
+
+    let mut prog = a.finish().expect("gapx assembles");
+    prog.add_data(p_base(), words_to_bytes(&p_perm), true);
+    prog.add_data(q_base(n), words_to_bytes(&q_perm), true);
+    prog.add_data(r_base(n), words_to_bytes(&vec![0u64; n]), true);
+    let mut big = vec![0u64; LIMBS as usize];
+    big.extend_from_slice(&big_b);
+    prog.add_data(bignum_base(n), words_to_bytes(&big), true);
+    prog
+}
+
+/// Rust mirror of the kernel.
+pub fn expected(size: usize, seed: u64) -> u64 {
+    let n = size.max(16);
+    let mut r = rng(seed);
+    let mut p_perm: Vec<u64> = permutation(&mut r, n).iter().map(|&x| x as u64).collect();
+    let q_perm: Vec<u64> = permutation(&mut r, n).iter().map(|&x| x as u64).collect();
+    let big_b: Vec<u64> = (0..LIMBS)
+        .map(|_| rand::Rng::gen::<u64>(&mut r))
+        .collect();
+
+    for _ in 0..compose_passes(n) {
+        let composed: Vec<u64> = (0..n).map(|i| p_perm[q_perm[i] as usize]).collect();
+        p_perm = composed;
+    }
+
+    let mut acc = vec![0u64; LIMBS as usize];
+    for _ in 0..BIG_ADDS {
+        let mut carry = 0u64;
+        for k in 0..LIMBS as usize {
+            let (s1, c1) = acc[k].overflowing_add(big_b[k]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            acc[k] = s2;
+            carry = c1 as u64 + c2 as u64;
+        }
+    }
+
+    let mut checksum = 0u64;
+    for (i, &v) in p_perm.iter().enumerate() {
+        checksum = checksum.wrapping_add((i as u64).wrapping_mul(v));
+    }
+    checksum ^ acc[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_arch::{Cpu, RunExit};
+
+    #[test]
+    fn output_matches_rust_mirror() {
+        let p = build(48, 31);
+        let mut cpu = Cpu::new(&p);
+        assert_eq!(cpu.run(4_000_000).unwrap(), RunExit::Halted);
+        assert_eq!(cpu.output(), &[expected(48, 31)]);
+    }
+
+    #[test]
+    fn composition_stays_a_permutation() {
+        // Closure property: after composing, p is still a bijection, so
+        // Σ p[i] is the triangular number regardless of seed.
+        let n = 20u64;
+        let mut r = rng(2);
+        let mut p: Vec<u64> = permutation(&mut r, n as usize).iter().map(|&x| x as u64).collect();
+        let q: Vec<u64> = permutation(&mut r, n as usize).iter().map(|&x| x as u64).collect();
+        for _ in 0..compose_passes(n as usize) {
+            p = (0..n as usize).map(|i| p[q[i] as usize]).collect();
+        }
+        assert_eq!(p.iter().sum::<u64>(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn seeds_change_the_answer() {
+        assert_ne!(expected(32, 1), expected(32, 2));
+    }
+}

@@ -1,0 +1,226 @@
+//! `gccx` — compiler IR walking with indirect dispatch (SPEC `gcc`
+//! analogue).
+//!
+//! `gcc` traverses tree/graph intermediate representations, dispatching on
+//! node kinds. This kernel walks a heap-shaped expression tree with an
+//! explicit worklist; each node's kind indexes a **function-pointer table**
+//! and is dispatched through `jsr`, exercising indirect branch prediction
+//! and the return address stack — the structures ReStore's
+//! control-flow-violation symptom leans on.
+
+use crate::util::{rng, words_to_bytes};
+use rand::Rng;
+use restore_isa::{layout, Asm, Program, Reg};
+
+const NODE_BYTES: u64 = 32; // kind, left, right, val
+
+/// Traversal repetitions scale with tree size so campaign-scale builds
+/// stay busy through a 10k-cycle observation window.
+fn passes(n: usize) -> u64 {
+    (n as u64 / 8).max(6)
+}
+
+/// Address of the worklist region (page-aligned after the node array;
+/// permissions are page-granular and the function table is read-only).
+fn worklist_base(n: usize) -> u64 {
+    (layout::DATA_BASE + NODE_BYTES * n as u64 + 0xfff) & !0xfff
+}
+
+/// Address of the function-pointer table (own page: it is read-only).
+fn functable_base(n: usize) -> u64 {
+    (worklist_base(n) + 8 * (n as u64 + 8) + 0xfff) & !0xfff
+}
+
+fn gen_nodes(n: usize, seed: u64) -> Vec<u64> {
+    let mut r = rng(seed);
+    let mut words = vec![0u64; 4 * n];
+    for i in 0..n {
+        let left = 2 * i + 1;
+        let right = 2 * i + 2;
+        // A node is internal only when BOTH children exist; otherwise a
+        // handler could push index 0 (the root) and cycle forever.
+        let leaf = right >= n;
+        // Bias towards kind 1 (descends into both children) so traversals
+        // visit most of the tree; all kinds recurse into both children; the kind only varies the checksum op and dispatch target.
+        let kind = match r.gen_range(0..10u64) {
+            0..=5 => 1,
+            6..=7 => 2,
+            _ => 3,
+        };
+        words[4 * i] = if leaf { 0 } else { kind };
+        words[4 * i + 1] = if leaf { 0 } else { left as u64 };
+        words[4 * i + 2] = if leaf { 0 } else { right as u64 };
+        words[4 * i + 3] = r.gen_range(0..10_000u64);
+    }
+    words
+}
+
+/// Builds the program. `size` is the node count (minimum 15).
+pub fn build(size: usize, seed: u64) -> Program {
+    let n = size.max(15);
+    let nodes = gen_nodes(n, seed);
+
+    let mut a = Asm::new("gccx", layout::TEXT_BASE);
+    a.la(Reg::S0, layout::DATA_BASE); // nodes
+    a.la(Reg::S1, functable_base(n)); // handler table
+    a.la(Reg::S2, worklist_base(n)); // worklist
+    a.li(Reg::S5, passes(n) as i64);
+    a.clr(Reg::V0);
+
+    let pass_top = a.bind_here();
+    // push root (index 0)
+    a.stq(Reg::ZERO, 0, Reg::S2);
+    a.li(Reg::S3, 1); // worklist depth
+    let main_loop = a.label();
+    let done_pass = a.label();
+    a.bind(main_loop).expect("fresh label");
+    a.beq(Reg::S3, done_pass);
+    a.subq_lit(Reg::S3, 1, Reg::S3);
+    a.s8addq(Reg::S3, Reg::S2, Reg::T0);
+    a.ldq(Reg::T1, 0, Reg::T0); // node index
+    a.sll(Reg::T1, 5u8, Reg::T2);
+    a.addq(Reg::T2, Reg::S0, Reg::T2); // node address
+    a.ldq(Reg::T3, 0, Reg::T2); // kind
+    a.s8addq(Reg::T3, Reg::S1, Reg::T4);
+    a.ldq(Reg::T4, 0, Reg::T4); // handler pointer
+    a.jsr(Reg::RA, Reg::T4);
+    a.br(main_loop);
+    a.bind(done_pass).expect("fresh label");
+    a.subq_lit(Reg::S5, 1, Reg::S5);
+    a.bgt(Reg::S5, pass_top);
+    a.mov(Reg::V0, Reg::A0);
+    a.outq();
+    a.halt();
+
+    // Handlers. Each receives the node address in t2 and may push child
+    // indices onto the worklist (s2/s3). Worklist pushes are bounded by
+    // the tree shape: each node is pushed at most once per pass.
+
+    // kind 0: leaf — checksum += val
+    a.symbol("handler0");
+    a.ldq(Reg::T5, 24, Reg::T2);
+    a.addq(Reg::V0, Reg::T5, Reg::V0);
+    a.ret();
+
+    // kind 1: sum node — push both children, checksum += val
+    a.symbol("handler1");
+    a.ldq(Reg::T5, 8, Reg::T2); // left
+    a.s8addq(Reg::S3, Reg::S2, Reg::T6);
+    a.stq(Reg::T5, 0, Reg::T6);
+    a.addq_lit(Reg::S3, 1, Reg::S3);
+    a.ldq(Reg::T5, 16, Reg::T2); // right
+    a.s8addq(Reg::S3, Reg::S2, Reg::T6);
+    a.stq(Reg::T5, 0, Reg::T6);
+    a.addq_lit(Reg::S3, 1, Reg::S3);
+    a.ldq(Reg::T5, 24, Reg::T2);
+    a.addq(Reg::V0, Reg::T5, Reg::V0);
+    a.ret();
+
+    // kind 2: xor node — push both children, checksum ^= val
+    a.symbol("handler2");
+    a.ldq(Reg::T5, 8, Reg::T2);
+    a.s8addq(Reg::S3, Reg::S2, Reg::T6);
+    a.stq(Reg::T5, 0, Reg::T6);
+    a.addq_lit(Reg::S3, 1, Reg::S3);
+    a.ldq(Reg::T5, 16, Reg::T2);
+    a.s8addq(Reg::S3, Reg::S2, Reg::T6);
+    a.stq(Reg::T5, 0, Reg::T6);
+    a.addq_lit(Reg::S3, 1, Reg::S3);
+    a.ldq(Reg::T5, 24, Reg::T2);
+    a.xor(Reg::V0, Reg::T5, Reg::V0);
+    a.ret();
+
+    // kind 3: shift node — push both children, checksum += val << 1
+    a.symbol("handler3");
+    a.ldq(Reg::T5, 8, Reg::T2);
+    a.s8addq(Reg::S3, Reg::S2, Reg::T6);
+    a.stq(Reg::T5, 0, Reg::T6);
+    a.addq_lit(Reg::S3, 1, Reg::S3);
+    a.ldq(Reg::T5, 16, Reg::T2);
+    a.s8addq(Reg::S3, Reg::S2, Reg::T6);
+    a.stq(Reg::T5, 0, Reg::T6);
+    a.addq_lit(Reg::S3, 1, Reg::S3);
+    a.ldq(Reg::T5, 24, Reg::T2);
+    a.sll(Reg::T5, 1u8, Reg::T5);
+    a.addq(Reg::V0, Reg::T5, Reg::V0);
+    a.ret();
+
+    let mut p = a.finish().expect("gccx assembles");
+    p.add_data(layout::DATA_BASE, words_to_bytes(&nodes), true);
+    p.add_data(
+        worklist_base(n),
+        words_to_bytes(&vec![0u64; n + 8]),
+        true,
+    );
+    // Patch the handler addresses (known only post-assembly) into the
+    // read-only function table — gcc's switch dispatch, in data.
+    let table: Vec<u64> = (0..4)
+        .map(|k| p.symbol(&format!("handler{k}")).expect("symbol recorded"))
+        .collect();
+    p.add_data(functable_base(n), words_to_bytes(&table), false);
+    p
+}
+
+/// Rust mirror of the kernel.
+pub fn expected(size: usize, seed: u64) -> u64 {
+    let n = size.max(15);
+    let nodes = gen_nodes(n, seed);
+    let mut checksum = 0u64;
+    for _ in 0..passes(n) {
+        let mut work = vec![0u64];
+        while let Some(idx) = work.pop() {
+            let b = 4 * idx as usize;
+            let (kind, left, right, val) = (nodes[b], nodes[b + 1], nodes[b + 2], nodes[b + 3]);
+            match kind {
+                0 => checksum = checksum.wrapping_add(val),
+                1 => {
+                    work.push(left);
+                    work.push(right);
+                    checksum = checksum.wrapping_add(val);
+                }
+                2 => {
+                    work.push(left);
+                    work.push(right);
+                    checksum ^= val;
+                }
+                _ => {
+                    work.push(left);
+                    work.push(right);
+                    checksum = checksum.wrapping_add(val << 1);
+                }
+            }
+        }
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_arch::{Cpu, RunExit};
+
+    #[test]
+    fn output_matches_rust_mirror() {
+        let p = build(63, 9);
+        let mut cpu = Cpu::new(&p);
+        assert_eq!(cpu.run(4_000_000).unwrap(), RunExit::Halted);
+        assert_eq!(cpu.output(), &[expected(63, 9)]);
+    }
+
+    #[test]
+    fn handler_table_points_into_text() {
+        let p = build(31, 1);
+        for k in 0..4 {
+            let h = p.symbol(&format!("handler{k}")).unwrap();
+            assert!(h >= p.text_base && h < p.text_end());
+        }
+    }
+
+    #[test]
+    fn kind1_pushes_drive_full_traversal() {
+        // With an all-kind-1 tree every node is visited; the expected
+        // checksum must then exceed any single val. (Statistical sanity:
+        // random kinds still visit ≥ the root chain.)
+        assert_ne!(expected(63, 3), 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! `gzipx` — LZ77 window match searching (SPEC `gzip` analogue).
+//!
+//! `gzip`'s hot loop is `longest_match`: byte-wise comparison of the
+//! current position against recent candidate positions. This kernel scans
+//! a compressible buffer and, for every position, measures the best match
+//! length among the previous `WINDOW` positions — tight byte-load loops
+//! with data-dependent exits.
+
+use crate::util::{compressible_bytes, rng};
+use restore_isa::{layout, Asm, Program, Reg};
+
+const WINDOW: u64 = 12; // candidate positions examined per step
+const MAX_MATCH: u64 = 8;
+
+/// Scan repetitions so any scale runs ≥ ~50k instructions (a position
+/// costs ~WINDOW·8 instructions).
+fn rounds(n: usize) -> u64 {
+    (50_000 / (n as u64 * WINDOW * 8)).max(1)
+}
+
+/// Builds the program. `size` is the buffer length (minimum 64).
+pub fn build(size: usize, seed: u64) -> Program {
+    let n = size.max(64);
+    let buf = compressible_bytes(&mut rng(seed), n);
+
+    // Register map:
+    //   s0 buf base     s1 n            s2 pos
+    //   s3 cand         s4 cand floor   t8 best
+    //   t0 len, t1/t2 byte temps, t3/t4 pointers, t5 flags
+    let mut a = Asm::new("gzipx", layout::TEXT_BASE);
+    a.la(Reg::S0, layout::DATA_BASE);
+    a.li(Reg::S1, (n as u64 - MAX_MATCH) as i64); // last scannable pos
+    a.clr(Reg::V0);
+    a.li(Reg::T9, rounds(n) as i64); // scan repetitions
+    let round_top = a.bind_here();
+    a.li(Reg::S2, 1); // pos
+
+    let pos_loop = a.bind_here();
+    a.clr(Reg::T8); // best
+    // cand floor = max(0, pos - WINDOW)
+    a.subq_lit(Reg::S2, WINDOW as u8, Reg::S4);
+    a.cmplt(Reg::S4, Reg::ZERO, Reg::T5);
+    let floor_ok = a.label();
+    a.beq(Reg::T5, floor_ok);
+    a.clr(Reg::S4);
+    a.bind(floor_ok).expect("fresh label");
+    a.mov(Reg::S4, Reg::S3); // cand
+    let cand_loop = a.bind_here();
+    // match length between buf[cand..] and buf[pos..], up to MAX_MATCH
+    a.addq(Reg::S3, Reg::S0, Reg::T3); // p1
+    a.addq(Reg::S2, Reg::S0, Reg::T4); // p2
+    a.clr(Reg::T0); // len
+    let mlen_loop = a.bind_here();
+    let mlen_done = a.label();
+    a.ldbu(Reg::T1, 0, Reg::T3);
+    a.ldbu(Reg::T2, 0, Reg::T4);
+    a.cmpeq(Reg::T1, Reg::T2, Reg::T5);
+    a.beq(Reg::T5, mlen_done);
+    a.addq_lit(Reg::T0, 1, Reg::T0);
+    a.lda(Reg::T3, 1, Reg::T3);
+    a.lda(Reg::T4, 1, Reg::T4);
+    a.cmplt(Reg::T0, MAX_MATCH as u8, Reg::T5);
+    a.bne(Reg::T5, mlen_loop);
+    a.bind(mlen_done).expect("fresh label");
+    // best = max(best, len)  via cmov
+    a.cmplt(Reg::T8, Reg::T0, Reg::T5);
+    a.op(restore_isa::AluOp::Cmovne, Reg::T5, Reg::T0, Reg::T8);
+    a.addq_lit(Reg::S3, 1, Reg::S3);
+    a.cmplt(Reg::S3, Reg::S2, Reg::T5);
+    a.bne(Reg::T5, cand_loop);
+    // checksum += best
+    a.addq(Reg::V0, Reg::T8, Reg::V0);
+    a.addq_lit(Reg::S2, 1, Reg::S2);
+    a.cmplt(Reg::S2, Reg::S1, Reg::T5);
+    a.bne(Reg::T5, pos_loop);
+    a.subq_lit(Reg::T9, 1, Reg::T9);
+    a.bgt(Reg::T9, round_top);
+
+    a.mov(Reg::V0, Reg::A0);
+    a.outq();
+    a.halt();
+
+    let mut p = a.finish().expect("gzipx assembles");
+    p.add_data(layout::DATA_BASE, buf, false);
+    p
+}
+
+/// Rust mirror of the kernel.
+pub fn expected(size: usize, seed: u64) -> u64 {
+    let n = size.max(64);
+    let buf = compressible_bytes(&mut rng(seed), n);
+    let last = n as u64 - MAX_MATCH;
+    let mut checksum = 0u64;
+    for _ in 0..rounds(n) {
+        let mut pos = 1u64;
+        while pos < last {
+            let floor = pos.saturating_sub(WINDOW);
+            let mut best = 0u64;
+            for cand in floor..pos {
+                let mut len = 0u64;
+                while len < MAX_MATCH
+                    && buf[(cand + len) as usize] == buf[(pos + len) as usize]
+                {
+                    len += 1;
+                }
+                best = best.max(len);
+            }
+            checksum = checksum.wrapping_add(best);
+            pos += 1;
+        }
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_arch::{Cpu, RunExit};
+
+    #[test]
+    fn output_matches_rust_mirror() {
+        let p = build(160, 13);
+        let mut cpu = Cpu::new(&p);
+        assert_eq!(cpu.run(8_000_000).unwrap(), RunExit::Halted);
+        assert_eq!(cpu.output(), &[expected(160, 13)]);
+    }
+
+    #[test]
+    fn compressible_data_finds_matches() {
+        // A compressible buffer must produce a nonzero match checksum.
+        assert!(expected(256, 4) > 0);
+    }
+}

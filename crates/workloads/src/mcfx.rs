@@ -1,0 +1,118 @@
+//! `mcfx` — network-simplex-flavoured pointer chasing (SPEC `mcf`
+//! analogue).
+//!
+//! `mcf` spends its time walking arc lists of a network and conditionally
+//! updating flows; the signature behaviours are dependent loads through
+//! pointers scattered in memory and data-dependent branches. This kernel
+//! walks a randomly-ordered singly linked list of arc nodes several times,
+//! adding cheap arcs' costs into their flow fields.
+
+use crate::util::{permutation, rng, words_to_bytes};
+use restore_isa::{layout, Asm, Program, Reg};
+
+const NODE_BYTES: u64 = 24; // next, cost, flow
+const THRESHOLD: u64 = 500;
+
+/// Walk repetitions scale inversely with list length so any scale runs
+/// ≥ ~50k instructions (each node visit is ~8 instructions).
+fn passes(n: usize) -> u64 {
+    (50_000 / (8 * n as u64)).max(8)
+}
+
+/// Builds the program. `size` is the node count (minimum 16).
+pub fn build(size: usize, seed: u64) -> Program {
+    let n = size.max(16);
+    let mut r = rng(seed);
+    let order = permutation(&mut r, n);
+    let node_addr = |i: usize| layout::DATA_BASE + NODE_BYTES * i as u64;
+
+    let mut words = vec![0u64; 3 * n];
+    for w in order.windows(2) {
+        words[3 * w[0]] = node_addr(w[1]);
+    }
+    words[3 * order[n - 1]] = 0; // chain terminator
+    for i in 0..n {
+        words[3 * i + 1] = rand::Rng::gen_range(&mut r, 0..1000u64);
+    }
+    let head = node_addr(order[0]);
+
+    let mut a = Asm::new("mcfx", layout::TEXT_BASE);
+    a.la(Reg::S0, head);
+    a.li(Reg::S1, passes(n) as i64);
+    a.li(Reg::T2, THRESHOLD as i64);
+    a.clr(Reg::V0);
+    let outer = a.bind_here();
+    a.mov(Reg::S0, Reg::T0);
+    let walk = a.bind_here();
+    a.ldq(Reg::T1, 8, Reg::T0); // cost
+    a.cmplt(Reg::T1, Reg::T2, Reg::T3);
+    let skip = a.label();
+    a.beq(Reg::T3, skip);
+    a.ldq(Reg::T4, 16, Reg::T0); // flow += cost
+    a.addq(Reg::T4, Reg::T1, Reg::T4);
+    a.stq(Reg::T4, 16, Reg::T0);
+    a.bind(skip).expect("fresh label");
+    a.addq(Reg::V0, Reg::T1, Reg::V0);
+    a.ldq(Reg::T0, 0, Reg::T0); // next
+    a.bne(Reg::T0, walk);
+    a.subq_lit(Reg::S1, 1, Reg::S1);
+    a.bgt(Reg::S1, outer);
+    a.mov(Reg::V0, Reg::A0);
+    a.outq();
+    a.halt();
+    let mut p = a.finish().expect("mcfx assembles");
+    p.add_data(layout::DATA_BASE, words_to_bytes(&words), true);
+    p
+}
+
+/// Rust mirror of the kernel: the checksum the program must output.
+pub fn expected(size: usize, seed: u64) -> u64 {
+    let n = size.max(16);
+    let mut r = rng(seed);
+    let order = permutation(&mut r, n);
+    let mut cost = vec![0u64; n];
+    for c in cost.iter_mut() {
+        *c = rand::Rng::gen_range(&mut r, 0..1000u64);
+    }
+    let mut checksum = 0u64;
+    for _ in 0..passes(n) {
+        for &i in &order {
+            checksum = checksum.wrapping_add(cost[i]);
+        }
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_arch::{Cpu, RunExit};
+
+    #[test]
+    fn output_matches_rust_mirror() {
+        let p = build(64, 11);
+        let mut cpu = Cpu::new(&p);
+        assert_eq!(cpu.run(2_000_000).unwrap(), RunExit::Halted);
+        assert_eq!(cpu.output(), &[expected(64, 11)]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(expected(64, 1), expected(64, 2));
+    }
+
+    #[test]
+    fn flows_are_actually_updated() {
+        let p = build(32, 3);
+        let mut cpu = Cpu::new(&p);
+        cpu.run(2_000_000).unwrap();
+        // Some node's flow field (offset 16) must be nonzero after the run.
+        let any_flow = (0..32).any(|i| {
+            cpu.mem
+                .load_u64(layout::DATA_BASE + NODE_BYTES * i + 16)
+                .unwrap()
+                != 0
+        });
+        assert!(any_flow);
+    }
+}

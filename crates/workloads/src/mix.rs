@@ -1,0 +1,136 @@
+//! Dynamic instruction-mix accounting.
+//!
+//! The fault-injection results of the paper hinge on workload character —
+//! §3.1 argues the exception/cfv coverage follows from how many
+//! instructions compute addresses and control flow. [`InstMix`] folds a
+//! stream of retired-instruction events into the relevant ratios so tests
+//! can assert the synthetic workloads land in SPECint-like territory.
+
+use restore_arch::Retired;
+use restore_isa::Inst;
+
+/// Running counters over a retired-instruction stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstMix {
+    /// Total instructions observed.
+    pub total: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Conditional branches.
+    pub cond_branches: u64,
+    /// Conditional branches that were taken.
+    pub taken: u64,
+    /// Unconditional branches and jumps (calls, returns, gotos).
+    pub jumps: u64,
+    /// Integer ALU operations (including `lda`/`ldah`).
+    pub alu: u64,
+    /// Multiply-class operations.
+    pub multiplies: u64,
+}
+
+impl InstMix {
+    /// Empty counters.
+    pub fn new() -> InstMix {
+        InstMix::default()
+    }
+
+    /// Folds one retired instruction into the counters.
+    pub fn observe(&mut self, r: &Retired) {
+        self.total += 1;
+        match r.inst {
+            Inst::Load { .. } => self.loads += 1,
+            Inst::Store { .. } => self.stores += 1,
+            Inst::CondBranch { .. } => {
+                self.cond_branches += 1;
+                if r.branch.map(|b| b.taken).unwrap_or(false) {
+                    self.taken += 1;
+                }
+            }
+            Inst::Br { .. } | Inst::Bsr { .. } | Inst::Jump { .. } => self.jumps += 1,
+            Inst::Op { op, .. } => {
+                self.alu += 1;
+                if op.is_multiply() {
+                    self.multiplies += 1;
+                }
+            }
+            Inst::Lda { .. } | Inst::Ldah { .. } => self.alu += 1,
+            Inst::Pal(_) | Inst::Fence(_) => {}
+        }
+    }
+
+    /// Fraction of instructions that touch data memory.
+    pub fn mem_ratio(&self) -> f64 {
+        (self.loads + self.stores) as f64 / self.total.max(1) as f64
+    }
+
+    /// Fraction of instructions that are conditional branches.
+    pub fn branch_ratio(&self) -> f64 {
+        self.cond_branches as f64 / self.total.max(1) as f64
+    }
+
+    /// Fraction of instructions that transfer control (conditional
+    /// branches, jumps, calls and returns) — the density §3.1 of the
+    /// paper ties the cfv symptom's coverage to.
+    pub fn control_ratio(&self) -> f64 {
+        (self.cond_branches + self.jumps) as f64 / self.total.max(1) as f64
+    }
+
+    /// Fraction of conditional branches that were taken.
+    pub fn taken_ratio(&self) -> f64 {
+        self.taken as f64 / self.cond_branches.max(1) as f64
+    }
+}
+
+/// Runs `program` on the architectural simulator for up to `budget`
+/// instructions and returns its dynamic mix.
+///
+/// # Panics
+///
+/// Panics if the program raises an exception (workloads are exception-free
+/// by construction).
+pub fn measure(program: &restore_isa::Program, budget: u64) -> InstMix {
+    let mut cpu = restore_arch::Cpu::new(program);
+    let mut mix = InstMix::new();
+    for _ in 0..budget {
+        if cpu.is_halted() {
+            break;
+        }
+        let r = cpu.step().expect("workloads execute exception-free");
+        mix.observe(&r);
+    }
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_is_branchy_and_memory_bound_like_specint() {
+        for id in crate::WorkloadId::ALL {
+            let p = id.build(crate::Scale::smoke());
+            let mix = measure(&p, 200_000);
+            assert!(mix.total > 1_000, "{id:?} too short: {}", mix.total);
+            assert!(
+                mix.control_ratio() > 0.08,
+                "{id:?} control ratio {:.3}",
+                mix.control_ratio()
+            );
+            assert!(
+                mix.mem_ratio() > 0.10,
+                "{id:?} memory ratio {:.3}",
+                mix.mem_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn ratios_default_to_zero_on_empty() {
+        let m = InstMix::new();
+        assert_eq!(m.mem_ratio(), 0.0);
+        assert_eq!(m.branch_ratio(), 0.0);
+        assert_eq!(m.taken_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! `parserx` — recursive-descent expression parsing (SPEC `parser`
+//! analogue).
+//!
+//! `parser` is a link-grammar natural-language parser dominated by deep
+//! recursion and token inspection. This kernel parses a stream of
+//! randomly generated arithmetic expressions with a classic
+//! recursive-descent grammar (`expr := term ('+' term)*`,
+//! `term := factor ('*' factor)*`, `factor := digit | '(' expr ')'`),
+//! using real `bsr`/`ret` recursion with stack frames — a workout for the
+//! return address stack.
+
+use crate::util::rng;
+use rand::Rng;
+use restore_isa::{layout, Asm, Program, Reg};
+
+const TOK_PLUS: u8 = 10;
+const TOK_STAR: u8 = 11;
+const TOK_OPEN: u8 = 12;
+const TOK_CLOSE: u8 = 13;
+const TOK_END: u8 = 14;
+
+/// Whole-stream parse repetitions so any scale runs ≥ ~50k instructions
+/// (an expression costs ~150 instructions on average).
+fn rounds(count: usize) -> u64 {
+    (50_000 / (count as u64 * 150)).max(2)
+}
+
+fn gen_expr(r: &mut rand::rngs::StdRng, depth: u32, out: &mut Vec<u8>) {
+    // expr := term ('+' term)*
+    let terms = r.gen_range(1..=3);
+    for t in 0..terms {
+        if t > 0 {
+            out.push(TOK_PLUS);
+        }
+        let factors = r.gen_range(1..=3);
+        for f in 0..factors {
+            if f > 0 {
+                out.push(TOK_STAR);
+            }
+            if depth > 0 && r.gen_bool(0.35) {
+                out.push(TOK_OPEN);
+                gen_expr(r, depth - 1, out);
+                out.push(TOK_CLOSE);
+            } else {
+                out.push(r.gen_range(0..10u8));
+            }
+        }
+    }
+}
+
+fn gen_tokens(count: usize, seed: u64) -> Vec<u8> {
+    let mut r = rng(seed);
+    let mut out = Vec::new();
+    for _ in 0..count {
+        gen_expr(&mut r, 6, &mut out);
+        out.push(TOK_END);
+    }
+    out
+}
+
+/// Builds the program. `size` is the number of expressions parsed.
+pub fn build(size: usize, seed: u64) -> Program {
+    let count = size.max(4);
+    let tokens = gen_tokens(count, seed);
+
+    let mut a = Asm::new("parserx", layout::TEXT_BASE);
+    let parse_expr = a.label();
+    let parse_term = a.label();
+    let parse_factor = a.label();
+
+    // main: s0 = token cursor, s5 = expression countdown, s4 = round
+    // countdown, a1 = running checksum
+    a.li(Reg::S4, rounds(count) as i64);
+    a.clr(Reg::A1);
+    let round_top = a.bind_here();
+    a.la(Reg::S0, layout::DATA_BASE);
+    a.li(Reg::S5, count as i64);
+    let main_top = a.bind_here();
+    a.bsr(parse_expr);
+    a.addq(Reg::A1, Reg::V0, Reg::A1);
+    a.lda(Reg::S0, 1, Reg::S0); // skip TOK_END
+    a.subq_lit(Reg::S5, 1, Reg::S5);
+    a.bgt(Reg::S5, main_top);
+    a.subq_lit(Reg::S4, 1, Reg::S4);
+    a.bgt(Reg::S4, round_top);
+    a.mov(Reg::A1, Reg::A0);
+    a.outq();
+    a.halt();
+
+    // parse_expr: value in v0. Clobbers t*, saves ra + s1.
+    a.bind(parse_expr).expect("fresh label");
+    a.subq_lit(Reg::SP, 16, Reg::SP);
+    a.stq(Reg::RA, 0, Reg::SP);
+    a.stq(Reg::S1, 8, Reg::SP);
+    a.bsr(parse_term);
+    a.mov(Reg::V0, Reg::S1);
+    let expr_loop = a.bind_here();
+    let expr_done = a.label();
+    a.ldbu(Reg::T0, 0, Reg::S0);
+    a.cmpeq(Reg::T0, TOK_PLUS, Reg::T1);
+    a.beq(Reg::T1, expr_done);
+    a.lda(Reg::S0, 1, Reg::S0);
+    a.bsr(parse_term);
+    a.addq(Reg::S1, Reg::V0, Reg::S1);
+    a.br(expr_loop);
+    a.bind(expr_done).expect("fresh label");
+    a.mov(Reg::S1, Reg::V0);
+    a.ldq(Reg::RA, 0, Reg::SP);
+    a.ldq(Reg::S1, 8, Reg::SP);
+    a.addq_lit(Reg::SP, 16, Reg::SP);
+    a.ret();
+
+    // parse_term: value in v0. Saves ra + s2.
+    a.bind(parse_term).expect("fresh label");
+    a.subq_lit(Reg::SP, 16, Reg::SP);
+    a.stq(Reg::RA, 0, Reg::SP);
+    a.stq(Reg::S2, 8, Reg::SP);
+    a.bsr(parse_factor);
+    a.mov(Reg::V0, Reg::S2);
+    let term_loop = a.bind_here();
+    let term_done = a.label();
+    a.ldbu(Reg::T0, 0, Reg::S0);
+    a.cmpeq(Reg::T0, TOK_STAR, Reg::T1);
+    a.beq(Reg::T1, term_done);
+    a.lda(Reg::S0, 1, Reg::S0);
+    a.bsr(parse_factor);
+    a.mulq(Reg::S2, Reg::V0, Reg::S2);
+    a.br(term_loop);
+    a.bind(term_done).expect("fresh label");
+    a.mov(Reg::S2, Reg::V0);
+    a.ldq(Reg::RA, 0, Reg::SP);
+    a.ldq(Reg::S2, 8, Reg::SP);
+    a.addq_lit(Reg::SP, 16, Reg::SP);
+    a.ret();
+
+    // parse_factor: digit or parenthesised expression.
+    a.bind(parse_factor).expect("fresh label");
+    a.ldbu(Reg::T0, 0, Reg::S0);
+    a.lda(Reg::S0, 1, Reg::S0);
+    let nested = a.label();
+    a.cmpeq(Reg::T0, TOK_OPEN, Reg::T1);
+    a.bne(Reg::T1, nested);
+    a.mov(Reg::T0, Reg::V0); // digit literal
+    a.ret();
+    a.bind(nested).expect("fresh label");
+    a.subq_lit(Reg::SP, 16, Reg::SP);
+    a.stq(Reg::RA, 0, Reg::SP);
+    a.bsr(parse_expr);
+    a.lda(Reg::S0, 1, Reg::S0); // consume ')'
+    a.ldq(Reg::RA, 0, Reg::SP);
+    a.addq_lit(Reg::SP, 16, Reg::SP);
+    a.ret();
+
+    let mut p = a.finish().expect("parserx assembles");
+    p.add_data(layout::DATA_BASE, tokens, false);
+    p
+}
+
+/// Rust mirror of the kernel.
+pub fn expected(size: usize, seed: u64) -> u64 {
+    let count = size.max(4);
+    let tokens = gen_tokens(count, seed);
+    let mut checksum = 0u64;
+
+    fn factor(t: &[u8], pos: &mut usize) -> u64 {
+        let tok = t[*pos];
+        *pos += 1;
+        if tok == TOK_OPEN {
+            let v = expr(t, pos);
+            *pos += 1; // ')'
+            v
+        } else {
+            tok as u64
+        }
+    }
+    fn term(t: &[u8], pos: &mut usize) -> u64 {
+        let mut v = factor(t, pos);
+        while t.get(*pos) == Some(&TOK_STAR) {
+            *pos += 1;
+            v = v.wrapping_mul(factor(t, pos));
+        }
+        v
+    }
+    fn expr(t: &[u8], pos: &mut usize) -> u64 {
+        let mut v = term(t, pos);
+        while t.get(*pos) == Some(&TOK_PLUS) {
+            *pos += 1;
+            v = v.wrapping_add(term(t, pos));
+        }
+        v
+    }
+
+    for _ in 0..rounds(count) {
+        let mut pos = 0usize;
+        for _ in 0..count {
+            let v = expr(&tokens, &mut pos);
+            checksum = checksum.wrapping_add(v);
+            pos += 1; // TOK_END
+        }
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_arch::{Cpu, RunExit};
+
+    #[test]
+    fn output_matches_rust_mirror() {
+        let p = build(12, 5);
+        let mut cpu = Cpu::new(&p);
+        assert_eq!(cpu.run(4_000_000).unwrap(), RunExit::Halted);
+        assert_eq!(cpu.output(), &[expected(12, 5)]);
+    }
+
+    #[test]
+    fn token_stream_is_balanced() {
+        let toks = gen_tokens(20, 77);
+        let mut depth = 0i64;
+        for &t in &toks {
+            match t {
+                TOK_OPEN => depth += 1,
+                TOK_CLOSE => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert_eq!(toks.iter().filter(|&&t| t == TOK_END).count(), 20);
+    }
+
+    #[test]
+    fn seeds_change_the_answer() {
+        assert_ne!(expected(12, 1), expected(12, 2));
+    }
+}

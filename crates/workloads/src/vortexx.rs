@@ -1,0 +1,187 @@
+//! `vortexx` — object-database hash table operations (SPEC `vortex`
+//! analogue).
+//!
+//! `vortex` is an object-oriented database whose hot loops are hash-table
+//! lookups and inserts. This kernel drives an open-addressing hash table
+//! with linear probing: an insert phase keyed by a 64-bit LCG stream, then
+//! a lookup phase over the same key stream accumulating stored values.
+
+use crate::util::words_to_bytes;
+use restore_isa::{layout, Asm, Program, Reg};
+
+const LCG_MUL: u64 = 6364136223846793005;
+const LCG_INC: u64 = 1442695040888963407;
+
+fn capacity_for(size: usize) -> u64 {
+    (2 * size.max(8)).next_power_of_two() as u64
+}
+
+/// Lookup-phase repetitions so any scale runs ≥ ~50k instructions.
+fn lookup_rounds(n: u64) -> u64 {
+    (50_000 / (n * 16)).max(2)
+}
+
+/// Builds the program. `size` is the number of keys inserted.
+pub fn build(size: usize, seed: u64) -> Program {
+    let n = size.max(8) as u64;
+    let cap = capacity_for(size);
+    let mask = cap - 1;
+    let seed_key = seed | 1;
+
+    let mut a = Asm::new("vortexx", layout::TEXT_BASE);
+    a.la(Reg::S0, layout::DATA_BASE); // table base
+    a.li(Reg::S1, mask as i64);
+    a.li(Reg::T8, LCG_MUL as i64);
+    a.li(Reg::T9, LCG_INC as i64);
+    a.clr(Reg::V0);
+
+    // ---- insert phase ----
+    a.li(Reg::S2, seed_key as i64); // LCG state
+    a.li(Reg::S5, n as i64); // countdown
+    let ins_top = a.bind_here();
+    a.mulq(Reg::S2, Reg::T8, Reg::S2);
+    a.addq(Reg::S2, Reg::T9, Reg::S2);
+    a.bis(Reg::S2, 1u8, Reg::T0); // key, never zero
+    a.and(Reg::T0, Reg::S1, Reg::T1); // idx
+    let probe = a.bind_here();
+    a.sll(Reg::T1, 4u8, Reg::T2);
+    a.addq(Reg::T2, Reg::S0, Reg::T2); // slot addr
+    a.ldq(Reg::T3, 0, Reg::T2);
+    let empty = a.label();
+    let hit = a.label();
+    let next = a.label();
+    a.beq(Reg::T3, empty);
+    a.cmpeq(Reg::T3, Reg::T0, Reg::T4);
+    a.bne(Reg::T4, hit);
+    a.addq_lit(Reg::T1, 1, Reg::T1);
+    a.and(Reg::T1, Reg::S1, Reg::T1);
+    a.br(probe);
+    a.bind(empty).expect("fresh label");
+    a.stq(Reg::T0, 0, Reg::T2);
+    a.srl(Reg::T0, 7u8, Reg::T5);
+    a.stq(Reg::T5, 8, Reg::T2);
+    a.br(next);
+    a.bind(hit).expect("fresh label");
+    a.ldq(Reg::T5, 8, Reg::T2);
+    a.addq_lit(Reg::T5, 1, Reg::T5);
+    a.stq(Reg::T5, 8, Reg::T2);
+    a.bind(next).expect("fresh label");
+    a.subq_lit(Reg::S5, 1, Reg::S5);
+    a.bgt(Reg::S5, ins_top);
+
+    // ---- lookup phase: same key stream, repeated ----
+    a.li(Reg::S3, lookup_rounds(n) as i64);
+    let round_top = a.bind_here();
+    a.li(Reg::S2, seed_key as i64);
+    a.li(Reg::S5, n as i64);
+    let lk_top = a.bind_here();
+    a.mulq(Reg::S2, Reg::T8, Reg::S2);
+    a.addq(Reg::S2, Reg::T9, Reg::S2);
+    a.bis(Reg::S2, 1u8, Reg::T0);
+    a.and(Reg::T0, Reg::S1, Reg::T1);
+    let lk_probe = a.bind_here();
+    a.sll(Reg::T1, 4u8, Reg::T2);
+    a.addq(Reg::T2, Reg::S0, Reg::T2);
+    a.ldq(Reg::T3, 0, Reg::T2);
+    let found = a.label();
+    let lk_next = a.label();
+    a.cmpeq(Reg::T3, Reg::T0, Reg::T4);
+    a.bne(Reg::T4, found);
+    a.beq(Reg::T3, lk_next); // absent key (cannot happen; guards deadlock)
+    a.addq_lit(Reg::T1, 1, Reg::T1);
+    a.and(Reg::T1, Reg::S1, Reg::T1);
+    a.br(lk_probe);
+    a.bind(found).expect("fresh label");
+    a.ldq(Reg::T5, 8, Reg::T2);
+    a.addq(Reg::V0, Reg::T5, Reg::V0);
+    a.bind(lk_next).expect("fresh label");
+    a.subq_lit(Reg::S5, 1, Reg::S5);
+    a.bgt(Reg::S5, lk_top);
+    a.subq_lit(Reg::S3, 1, Reg::S3);
+    a.bgt(Reg::S3, round_top);
+
+    a.mov(Reg::V0, Reg::A0);
+    a.outq();
+    a.halt();
+
+    let mut p = a.finish().expect("vortexx assembles");
+    p.add_data(
+        layout::DATA_BASE,
+        words_to_bytes(&vec![0u64; (2 * cap) as usize]),
+        true,
+    );
+    p
+}
+
+/// Rust mirror of the kernel.
+pub fn expected(size: usize, seed: u64) -> u64 {
+    let n = size.max(8) as u64;
+    let cap = capacity_for(size);
+    let mask = cap - 1;
+    let mut table = vec![(0u64, 0u64); cap as usize];
+    let mut state = seed | 1;
+    let lcg = |s: &mut u64| {
+        *s = s.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC);
+        *s | 1
+    };
+    for _ in 0..n {
+        let key = lcg(&mut state);
+        let mut idx = (key & mask) as usize;
+        loop {
+            let (k, v) = table[idx];
+            if k == 0 {
+                table[idx] = (key, key >> 7);
+                break;
+            } else if k == key {
+                table[idx] = (k, v.wrapping_add(1));
+                break;
+            }
+            idx = (idx + 1) & mask as usize;
+        }
+    }
+    let mut checksum = 0u64;
+    for _ in 0..lookup_rounds(n) {
+        let mut state = seed | 1;
+        for _ in 0..n {
+            let key = lcg(&mut state);
+            let mut idx = (key & mask) as usize;
+            loop {
+                let (k, v) = table[idx];
+                if k == key {
+                    checksum = checksum.wrapping_add(v);
+                    break;
+                } else if k == 0 {
+                    break;
+                }
+                idx = (idx + 1) & mask as usize;
+            }
+        }
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_arch::{Cpu, RunExit};
+
+    #[test]
+    fn output_matches_rust_mirror() {
+        let p = build(48, 21);
+        let mut cpu = Cpu::new(&p);
+        assert_eq!(cpu.run(4_000_000).unwrap(), RunExit::Halted);
+        assert_eq!(cpu.output(), &[expected(48, 21)]);
+    }
+
+    #[test]
+    fn checksum_is_nonzero_and_seed_sensitive() {
+        assert_ne!(expected(48, 1), 0);
+        assert_ne!(expected(48, 1), expected(48, 2));
+    }
+
+    #[test]
+    fn table_is_half_full_at_most() {
+        // Load factor ≤ 1/2 keeps probe chains short and termination sure.
+        assert!(capacity_for(100) >= 200);
+    }
+}

@@ -1,0 +1,75 @@
+//! Pipeline explorer: run any workload on the bare out-of-order core and
+//! print its microarchitectural character — IPC, branch behaviour,
+//! cache/TLB misses, and the fault-injectable state inventory.
+//!
+//! ```text
+//! cargo run --release --example pipeline_explorer [workload] [cycles]
+//! ```
+
+use restore_uarch::{Pipeline, Stop, UarchConfig};
+use restore_workloads::{Scale, WorkloadId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("mcfx");
+    let cycles: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let Some(id) = WorkloadId::ALL.iter().copied().find(|w| w.name() == name) else {
+        eprintln!(
+            "unknown workload {name}; pick one of: {}",
+            WorkloadId::ALL.map(|w| w.name()).join(" ")
+        );
+        std::process::exit(1);
+    };
+
+    let program = id.build(Scale::campaign());
+    println!("{} — {} instructions of text, entry {:#x}", id, program.len(), program.entry);
+
+    let mut pipe = Pipeline::new(UarchConfig::default(), &program);
+    let (mut mispredicts, mut hc_mispredicts, mut flushes) = (0u64, 0u64, 0u64);
+    for _ in 0..cycles {
+        if pipe.status() != Stop::Running {
+            break;
+        }
+        let r = pipe.cycle();
+        for m in &r.mispredicts {
+            flushes += 1;
+            if m.conditional {
+                mispredicts += 1;
+                if m.high_confidence {
+                    hc_mispredicts += 1;
+                }
+            }
+        }
+    }
+
+    let (ic, dc, it, dt) = pipe.miss_counters();
+    println!("\nafter {} cycles ({:?}):", pipe.cycles(), pipe.status());
+    println!("  retired               {:>10}", pipe.retired());
+    println!("  IPC                   {:>10.2}", pipe.retired() as f64 / pipe.cycles() as f64);
+    println!("  pipeline flushes      {:>10}", flushes);
+    println!("  cond mispredicts      {:>10}   ({:.2} per kinstr)", mispredicts,
+        1000.0 * mispredicts as f64 / pipe.retired().max(1) as f64);
+    println!("  high-confidence ones  {:>10}   (ReStore false-positive rate)", hc_mispredicts);
+    println!("  i-cache / d-cache misses  {ic} / {dc}");
+    println!("  i-TLB / d-TLB misses      {it} / {dt}");
+
+    let catalog = pipe.catalog();
+    println!(
+        "\nfault-injectable state: {} bits ({} latch / {} RAM), lhf covers {:.1}%",
+        catalog.total_bits,
+        catalog.latch_bits(),
+        catalog.ram_bits(),
+        100.0 * catalog.lhf_coverage()
+    );
+    println!("{:<24}{:>8}  {:<6}{:>9}", "region", "bits", "kind", "control");
+    for r in &catalog.regions {
+        println!(
+            "{:<24}{:>8}  {:<6}{:>8.0}%{}",
+            r.name,
+            r.len,
+            format!("{:?}", r.kind),
+            100.0 * r.control_bits as f64 / r.len.max(1) as f64,
+            if r.ecc { "  [ECC in lhf]" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Reliability projection: the §5.3 FIT-scaling analysis, answering the
+//! architect's question "how big a core can I build before soft errors
+//! break my MTBF budget, with and without ReStore?"
+//!
+//! ```text
+//! cargo run --release --example reliability_projection
+//! ```
+
+use restore_core::fit::{figure8_sizes, FitModel, FitScaling, MTBF_GOAL_FIT};
+
+fn main() {
+    // The paper's measured failure fractions (Figure 8 uses the same).
+    let scaling = FitScaling::paper();
+
+    println!("raw soft-error rate: 0.001 FIT/bit (Hazucha & Svensson)");
+    println!("reliability goal:    1000-year MTBF = {MTBF_GOAL_FIT:.0} FIT\n");
+
+    println!(
+        "{:<12}{:>12}{:>12}{:>12}{:>14}",
+        "design bits", "baseline", "ReStore", "lhf", "lhf+ReStore"
+    );
+    for (bits, base, restore, lhf, both) in scaling.series(&figure8_sizes()) {
+        let marker = |fit: f64| if fit > MTBF_GOAL_FIT { "!" } else { " " };
+        println!(
+            "{:<12.0}{:>11.1}{}{:>11.1}{}{:>11.1}{}{:>13.1}{}",
+            bits,
+            base,
+            marker(base),
+            restore,
+            marker(restore),
+            lhf,
+            marker(lhf),
+            both,
+            marker(both),
+        );
+    }
+    println!("(! = fails the 1000-year goal)\n");
+
+    for (name, m) in [
+        ("baseline", scaling.baseline),
+        ("ReStore", scaling.restore),
+        ("lhf", scaling.lhf),
+        ("lhf+ReStore", scaling.lhf_restore),
+    ] {
+        println!(
+            "{name:<12} supports up to {:>10.0} bits at the goal \
+             (MTBF at 46k bits: {:>6.0} years)",
+            m.max_bits_at_goal(),
+            m.mtbf_years(46_000.0)
+        );
+    }
+
+    println!(
+        "\nheadline: lhf+ReStore gives {:.1}x the MTBF of an unprotected\n\
+         pipeline — \"a MTBF comparable to a design 1/7th the size\" (§5.3).",
+        scaling.mtbf_improvement()
+    );
+
+    // Sensitivity: how does the picture change if raw FIT/bit doubles
+    // (a process generation of scaling)?
+    println!("\nsensitivity: doubling the raw per-bit rate halves every MTBF:");
+    let mut worse = FitModel::new(0.07);
+    worse.fit_per_bit *= 2.0;
+    println!(
+        "  baseline at 46k bits: {:.0} years -> {:.0} years",
+        FitModel::new(0.07).mtbf_years(46_000.0),
+        worse.mtbf_years(46_000.0)
+    );
+}

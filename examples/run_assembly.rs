@@ -1,0 +1,76 @@
+//! Assemble-and-run: feed a `.s` file (or the built-in demo) through the
+//! text assembler and execute it on both simulators, reporting outputs,
+//! exceptions, IPC and disassembly.
+//!
+//! ```text
+//! cargo run --release --example run_assembly [path/to/file.s]
+//! ```
+
+use restore_arch::Cpu;
+use restore_isa::assemble_text;
+use restore_uarch::{Pipeline, Stop, UarchConfig};
+
+const DEMO: &str = r"
+; Compute the 20th Fibonacci number with a rolling pair.
+        li   t0, 20        ; n
+        li   t1, 0         ; fib(i)
+        li   t2, 1         ; fib(i+1)
+top:
+        addq t1, t2, t3
+        mov  t2, t1
+        mov  t3, t2
+        subq t0, #1, t0
+        bgt  t0, top
+        mov  t1, a0
+        outq
+        halt
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let source = match args.get(1) {
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => DEMO.to_string(),
+    };
+
+    let program = match assemble_text(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("assembly error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("assembled {} instructions:\n", program.len());
+    print!("{}", program.disassemble());
+
+    // Architectural run.
+    let mut cpu = Cpu::new(&program);
+    match cpu.run(10_000_000) {
+        Ok(exit) => println!("\n[arch]  {exit:?} after {} instructions", cpu.retired()),
+        Err(e) => println!("\n[arch]  exception: {e}"),
+    }
+    println!("[arch]  output: {:?}", cpu.output());
+
+    // Microarchitectural run.
+    let mut pipe = Pipeline::new(UarchConfig::default(), &program);
+    for _ in 0..10_000_000u64 {
+        if pipe.status() != Stop::Running {
+            break;
+        }
+        pipe.cycle();
+    }
+    println!(
+        "[uarch] {:?} after {} instructions in {} cycles (IPC {:.2})",
+        pipe.status(),
+        pipe.retired(),
+        pipe.cycles(),
+        pipe.retired() as f64 / pipe.cycles().max(1) as f64
+    );
+    println!("[uarch] output: {:?}", pipe.output());
+
+    assert_eq!(cpu.output(), pipe.output(), "simulators disagree!");
+    println!("\nsimulators agree.");
+}

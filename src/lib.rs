@@ -1,0 +1,8 @@
+//! Facade crate: re-exports the ReStore reproduction workspace.
+pub use restore_arch as arch;
+pub use restore_core as core;
+pub use restore_inject as inject;
+pub use restore_isa as isa;
+pub use restore_perf as perf;
+pub use restore_uarch as uarch;
+pub use restore_workloads as workloads;
