@@ -152,10 +152,7 @@ mod tests {
         assert_eq!(eval(AluOp::Addqv, i64::MAX as u64, 1, 0), AluOut::Overflow);
         assert_eq!(eval(AluOp::Subqv, i64::MIN as u64, 1, 0), AluOut::Overflow);
         assert_eq!(eval(AluOp::Mulqv, i64::MAX as u64, 2, 0), AluOut::Overflow);
-        assert_eq!(
-            eval(AluOp::Addlv, 0x7fff_ffff, 1, 0),
-            AluOut::Overflow
-        );
+        assert_eq!(eval(AluOp::Addlv, 0x7fff_ffff, 1, 0), AluOut::Overflow);
         assert_eq!(eval(AluOp::Addqv, 1, 2, 0), AluOut::Value(3));
     }
 

@@ -10,15 +10,9 @@ use crate::{Exception, Memory, Perm};
 use restore_isa::{decode, Inst, PalFunc, Program, Reg};
 
 /// The 32-entry architectural register file with a hardwired zero.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct RegFile {
     regs: [u64; 32],
-}
-
-impl Default for RegFile {
-    fn default() -> Self {
-        RegFile { regs: [0; 32] }
-    }
 }
 
 impl RegFile {
@@ -165,14 +159,7 @@ impl Cpu {
         mem.map(program.stack_top - program.stack_size, program.stack_size, Perm::RW);
         let mut regs = RegFile::new();
         regs.write(Reg::SP, program.stack_top);
-        Cpu {
-            regs,
-            pc: program.entry,
-            mem,
-            output: Vec::new(),
-            retired: 0,
-            halted: false,
-        }
+        Cpu { regs, pc: program.entry, mem, output: Vec::new(), retired: 0, halted: false }
     }
 
     /// Number of instructions retired so far.
@@ -200,10 +187,7 @@ impl Cpu {
     pub fn step(&mut self) -> Result<Retired, Exception> {
         debug_assert!(!self.halted, "stepping a halted CPU");
         let pc = self.pc;
-        let word = self
-            .mem
-            .fetch(pc)
-            .map_err(|_| Exception::FetchFault { pc })?;
+        let word = self.mem.fetch(pc).map_err(|_| Exception::FetchFault { pc })?;
         let inst = decode(word).map_err(|e| Exception::IllegalInstruction { pc, word: e.word })?;
         let mut next_pc = pc.wrapping_add(4);
         let mut reg_write = None;
@@ -223,33 +207,26 @@ impl Cpu {
                 reg_write = Some((ra, v));
             }
             Inst::Ldah { ra, rb, disp } => {
-                let v = self
-                    .regs
-                    .read(rb)
-                    .wrapping_add(((disp as i64) << 16) as u64);
+                let v = self.regs.read(rb).wrapping_add(((disp as i64) << 16) as u64);
                 self.regs.write(ra, v);
                 reg_write = Some((ra, v));
             }
             Inst::Load { width, ra, rb, disp } => {
                 let addr = self.regs.read(rb).wrapping_add(disp as i64 as u64);
-                let raw = self
-                    .mem
-                    .load(addr, width.bytes())
-                    .map_err(Exception::from_data_error)?;
+                let raw = self.mem.load(addr, width.bytes()).map_err(Exception::from_data_error)?;
                 let v = match width {
                     restore_isa::MemWidth::Long => raw as u32 as i32 as i64 as u64,
                     _ => raw,
                 };
                 self.regs.write(ra, v);
                 reg_write = Some((ra, v));
-                mem_effect = Some(MemEffect { addr, len: width.bytes(), is_store: false, value: v });
+                mem_effect =
+                    Some(MemEffect { addr, len: width.bytes(), is_store: false, value: v });
             }
             Inst::Store { width, ra, rb, disp } => {
                 let addr = self.regs.read(rb).wrapping_add(disp as i64 as u64);
                 let v = self.regs.read(ra);
-                self.mem
-                    .store(addr, width.bytes(), v)
-                    .map_err(Exception::from_data_error)?;
+                self.mem.store(addr, width.bytes(), v).map_err(Exception::from_data_error)?;
                 mem_effect = Some(MemEffect { addr, len: width.bytes(), is_store: true, value: v });
             }
             Inst::Op { op, ra, rb, rc } => {
@@ -269,9 +246,7 @@ impl Cpu {
             }
             Inst::CondBranch { cond, ra, disp } => {
                 let taken = cond.eval(self.regs.read(ra));
-                let target = pc
-                    .wrapping_add(4)
-                    .wrapping_add((disp as i64 as u64).wrapping_mul(4));
+                let target = pc.wrapping_add(4).wrapping_add((disp as i64 as u64).wrapping_mul(4));
                 if taken {
                     next_pc = target;
                 }
@@ -303,15 +278,7 @@ impl Cpu {
         self.pc = next_pc;
         self.retired += 1;
         self.halted = halted;
-        Ok(Retired {
-            pc,
-            inst,
-            next_pc,
-            reg_write,
-            mem: mem_effect,
-            branch,
-            halted,
-        })
+        Ok(Retired { pc, inst, next_pc, reg_write, mem: mem_effect, branch, halted })
     }
 
     /// Runs until halt or until `budget` instructions retire.
@@ -326,11 +293,7 @@ impl Cpu {
             }
             self.step()?;
         }
-        Ok(if self.halted {
-            RunExit::Halted
-        } else {
-            RunExit::BudgetExhausted
-        })
+        Ok(if self.halted { RunExit::Halted } else { RunExit::BudgetExhausted })
     }
 
     /// `true` if two CPUs have identical software-visible state

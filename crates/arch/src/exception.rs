@@ -94,22 +94,14 @@ mod tests {
 
     #[test]
     fn data_error_folding() {
-        let e = Exception::from_data_error(MemError::Unmapped {
-            addr: 0x10,
-            access: AccessKind::Load,
-        });
-        assert_eq!(
-            e,
-            Exception::AccessViolation { addr: 0x10, access: AccessKind::Load }
-        );
+        let e =
+            Exception::from_data_error(MemError::Unmapped { addr: 0x10, access: AccessKind::Load });
+        assert_eq!(e, Exception::AccessViolation { addr: 0x10, access: AccessKind::Load });
         let e = Exception::from_data_error(MemError::Misaligned {
             addr: 0x11,
             access: AccessKind::Store,
         });
-        assert_eq!(
-            e,
-            Exception::Alignment { addr: 0x11, access: AccessKind::Store }
-        );
+        assert_eq!(e, Exception::Alignment { addr: 0x11, access: AccessKind::Store });
     }
 
     #[test]

@@ -165,13 +165,10 @@ impl Memory {
         let last = Self::page_base(base + len - 1);
         let mut p = first;
         loop {
-            self.pages
-                .entry(p)
-                .and_modify(|pg| pg.perm = perm)
-                .or_insert_with(|| Page {
-                    data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
-                    perm,
-                });
+            self.pages.entry(p).and_modify(|pg| pg.perm = perm).or_insert_with(|| Page {
+                data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
+                perm,
+            });
             if p == last {
                 break;
             }
@@ -205,10 +202,8 @@ impl Memory {
             return Err(MemError::Misaligned { addr, access });
         }
         // An aligned power-of-two access never crosses a page.
-        let page = self
-            .pages
-            .get(&Self::page_base(addr))
-            .ok_or(MemError::Unmapped { addr, access })?;
+        let page =
+            self.pages.get(&Self::page_base(addr)).ok_or(MemError::Unmapped { addr, access })?;
         let ok = match access {
             AccessKind::Load => page.perm.read,
             AccessKind::Store => page.perm.write,
@@ -294,11 +289,9 @@ impl Memory {
     /// Panics if any byte of the destination is unmapped; callers map
     /// regions before initialising them.
     pub fn poke_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        let mut a = addr;
-        for chunk in bytes.chunks(1) {
+        for (a, chunk) in (addr..).zip(bytes.chunks(1)) {
             assert!(self.is_mapped(a), "poke to unmapped {a:#x}");
             self.write_raw(a, chunk);
-            a += 1;
         }
     }
 
@@ -334,6 +327,33 @@ impl Memory {
     /// and state comparison.
     pub fn pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
         self.pages.iter().map(|(&b, p)| (b, &p.data[..]))
+    }
+
+    /// FNV-1a digest of the full memory image — bases, permissions and
+    /// page contents in address order. Equal images hash equal, so a
+    /// campaign can compare an end state against a golden reference
+    /// without keeping the golden `Memory` alive (64-bit collisions are
+    /// negligible at campaign scale).
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        };
+        for (base, page) in self.pages.iter() {
+            for b in base.to_le_bytes() {
+                eat(b);
+            }
+            eat(page.perm.read as u8);
+            eat(page.perm.write as u8);
+            eat(page.perm.execute as u8);
+            for &b in page.data.iter() {
+                eat(b);
+            }
+        }
+        h
     }
 }
 
@@ -386,10 +406,7 @@ mod tests {
             m.load(0x1001, 8),
             Err(MemError::Misaligned { addr: 0x1001, access: AccessKind::Load })
         ));
-        assert!(matches!(
-            m.store(0x1002, 4, 0),
-            Err(MemError::Misaligned { .. })
-        ));
+        assert!(matches!(m.store(0x1002, 4, 0), Err(MemError::Misaligned { .. })));
         // Byte accesses never misalign.
         assert!(m.load(0x1001, 1).is_ok());
     }
@@ -399,10 +416,7 @@ mod tests {
         let mut m = Memory::new();
         m.map(0x1000, 0x1000, Perm::R);
         assert!(m.load(0x1000, 8).is_ok());
-        assert!(matches!(
-            m.store(0x1000, 8, 1),
-            Err(MemError::Protection { .. })
-        ));
+        assert!(matches!(m.store(0x1000, 8, 1), Err(MemError::Protection { .. })));
         assert!(matches!(m.fetch(0x1000), Err(MemError::Protection { .. })));
         m.map(0x2000, 0x1000, Perm::RX);
         assert!(m.fetch(0x2000).is_ok());
@@ -444,6 +458,22 @@ mod tests {
         b.store_u64(0x1000, 8).unwrap();
         assert_ne!(a, b);
         assert_eq!(a.load_u64(0x1000).unwrap(), 7);
+    }
+
+    #[test]
+    fn content_hash_tracks_equality() {
+        let mut a = Memory::new();
+        a.map(0x1000, 0x1000, Perm::RW);
+        a.store_u64(0x1000, 7).unwrap();
+        let b = a.clone();
+        assert_eq!(a.content_hash(), b.content_hash());
+        a.store_u64(0x1000, 8).unwrap();
+        assert_ne!(a.content_hash(), b.content_hash());
+        a.store_u64(0x1000, 7).unwrap();
+        assert_eq!(a.content_hash(), b.content_hash());
+        // Same contents, different permissions.
+        a.map(0x1000, 0x1000, Perm::R);
+        assert_ne!(a.content_hash(), b.content_hash());
     }
 
     #[test]

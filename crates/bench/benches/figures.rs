@@ -47,18 +47,13 @@ fn bench_fig4_5_6(c: &mut Criterion) {
     g.bench_function("fig4-uarch-campaign", |b| {
         b.iter(|| {
             let trials = run_uarch_campaign(&small_uarch_cfg(2));
-            trials
-                .iter()
-                .filter(|t| t.classify(100, CfvMode::Perfect, false).is_covered())
-                .count()
+            trials.iter().filter(|t| t.classify(100, CfvMode::Perfect, false).is_covered()).count()
         })
     });
     g.bench_function("fig4-latches-only", |b| {
         b.iter(|| {
-            let cfg = UarchCampaignConfig {
-                target: InjectionTarget::LatchesOnly,
-                ..small_uarch_cfg(3)
-            };
+            let cfg =
+                UarchCampaignConfig { target: InjectionTarget::LatchesOnly, ..small_uarch_cfg(3) };
             run_uarch_campaign(&cfg).len()
         })
     });
@@ -91,10 +86,7 @@ fn bench_fig7(c: &mut Criterion) {
                 20_000,
             );
             let m = PerfModel::default();
-            FIGURE7_INTERVALS
-                .iter()
-                .map(|&i| m.speedup(&p, i, Policy::Immediate))
-                .sum::<f64>()
+            FIGURE7_INTERVALS.iter().map(|&i| m.speedup(&p, i, Policy::Immediate)).sum::<f64>()
         })
     });
     g.finish();

@@ -154,12 +154,11 @@ fn bench_campaign_trial(c: &mut Criterion) {
                 trials_per_point: 4,
                 window_cycles: 2_000,
                 drain_cycles: 1_000,
+                seed: 1,
+                threads: 1,
                 ..UarchCampaignConfig::default()
             };
-            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
-            let mut out = Vec::new();
-            run_uarch_workload(&cfg, WorkloadId::Mcfx, &mut rng, &mut out);
-            out
+            run_uarch_workload(&cfg, WorkloadId::Mcfx)
         })
     });
     g.finish();

@@ -1,10 +1,12 @@
 //! Figure 2 — virtual machine fault injection: propagation of a single
 //! bit flip in an instruction result to symptoms, by latency.
 //!
-//! Usage: `fig2 [--trials N] [--seed S] [--low32] [--size N]`
+//! Usage: `fig2 [--trials N] [--seed S] [--low32] [--size N] [--threads N]`
 
 use restore_bench::{arch_table, arg_flag, arg_u64, FIG2_LATENCIES};
-use restore_inject::{run_arch_campaign, worst_case_ci95, ArchCampaignConfig, ArchCategory};
+use restore_inject::{
+    run_arch_campaign_with_stats, worst_case_ci95, ArchCampaignConfig, ArchCategory,
+};
 use restore_workloads::Scale;
 
 fn main() {
@@ -20,15 +22,17 @@ fn main() {
         cfg.scale = Scale { size: n as usize, ..cfg.scale };
     }
     cfg.low32 = arg_flag(&args, "--low32");
+    if let Some(n) = arg_u64(&args, "--threads") {
+        cfg.threads = n as usize;
+    }
 
     eprintln!(
         "fig2: {} trials/workload x 7 workloads{} ...",
         cfg.trials_per_workload,
         if cfg.low32 { " (low 32 bits only)" } else { "" }
     );
-    let start = std::time::Instant::now();
-    let trials = run_arch_campaign(&cfg);
-    eprintln!("fig2: {} trials in {:.1}s", trials.len(), start.elapsed().as_secs_f64());
+    let (trials, stats) = run_arch_campaign_with_stats(&cfg);
+    eprintln!("fig2: {}", stats.summary());
 
     println!("# Figure 2 — virtual machine fault injection");
     println!("# columns: symptom-latency bound (instructions); cells: % of all trials");
@@ -37,16 +41,10 @@ fn main() {
     let total = trials.len() as f64;
     let masked = trials.iter().filter(|t| t.masked).count() as f64 / total;
     let failing = 1.0 - masked;
-    let exc100 = trials
-        .iter()
-        .filter(|t| t.classify(100) == ArchCategory::Exception)
-        .count() as f64
-        / total;
-    let cfv100 = trials
-        .iter()
-        .filter(|t| t.classify(100) == ArchCategory::Cfv)
-        .count() as f64
-        / total;
+    let exc100 =
+        trials.iter().filter(|t| t.classify(100) == ArchCategory::Exception).count() as f64 / total;
+    let cfv100 =
+        trials.iter().filter(|t| t.classify(100) == ArchCategory::Cfv).count() as f64 / total;
     println!("masked fraction:                 {:.1}%  (paper: ~59%)", 100.0 * masked);
     println!("exception within 100 insns:      {:.1}%  (paper: ~24%)", 100.0 * exc100);
     println!("cfv within 100 insns:            {:.1}%  (paper: ~8%)", 100.0 * cfv100);

@@ -3,10 +3,12 @@
 //! function of checkpoint interval. `--latches-only` reproduces the
 //! §5.1.2 latch-targeted campaign instead.
 //!
-//! Usage: `fig4 [--points N] [--trials N] [--seed S] [--latches-only]`
+//! Usage: `fig4 [--points N] [--trials N] [--seed S] [--latches-only] [--threads N]`
 
 use restore_bench::{arg_flag, arg_u64, coverage_summary, uarch_table, FIG46_INTERVALS};
-use restore_inject::{run_uarch_campaign, CfvMode, InjectionTarget, UarchCampaignConfig};
+use restore_inject::{
+    run_uarch_campaign_with_stats, CfvMode, InjectionTarget, UarchCampaignConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -24,6 +26,9 @@ fn main() {
     if latches {
         cfg.target = InjectionTarget::LatchesOnly;
     }
+    if let Some(n) = arg_u64(&args, "--threads") {
+        cfg.threads = n as usize;
+    }
 
     eprintln!(
         "fig4: {} points x {} trials x 7 workloads ({}) ...",
@@ -31,9 +36,8 @@ fn main() {
         cfg.trials_per_point,
         if latches { "latches only" } else { "all state" }
     );
-    let start = std::time::Instant::now();
-    let trials = run_uarch_campaign(&cfg);
-    eprintln!("fig4: {} trials in {:.1}s", trials.len(), start.elapsed().as_secs_f64());
+    let (trials, stats) = run_uarch_campaign_with_stats(&cfg);
+    eprintln!("fig4: {}", stats.summary());
 
     println!(
         "# Figure 4 — µarch injection into {} (perfect exception+cfv identification)",
@@ -52,8 +56,5 @@ fn main() {
         "coverage of failures @100:   {:.1}%  (paper: ~50% all-state / ~75% latches)",
         100.0 * s.coverage_of_failures
     );
-    println!(
-        "residual failure fraction:   {:.1}%",
-        100.0 * s.residual_failure_fraction
-    );
+    println!("residual failure fraction:   {:.1}%", 100.0 * s.residual_failure_fraction);
 }

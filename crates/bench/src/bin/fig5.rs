@@ -2,10 +2,10 @@
 //! control-flow detection: only JRS high-confidence branch mispredictions
 //! count as cfv symptoms.
 //!
-//! Usage: `fig5 [--points N] [--trials N] [--seed S]`
+//! Usage: `fig5 [--points N] [--trials N] [--seed S] [--threads N]`
 
 use restore_bench::{arg_u64, coverage_summary, uarch_table, FIG46_INTERVALS};
-use restore_inject::{run_uarch_campaign, CfvMode, UarchCampaignConfig, UarchCategory};
+use restore_inject::{run_uarch_campaign_with_stats, CfvMode, UarchCampaignConfig, UarchCategory};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -19,46 +19,45 @@ fn main() {
     if let Some(s) = arg_u64(&args, "--seed") {
         cfg.seed = s;
     }
+    if let Some(n) = arg_u64(&args, "--threads") {
+        cfg.threads = n as usize;
+    }
 
     eprintln!(
         "fig5: {} points x {} trials x 7 workloads ...",
         cfg.points_per_workload, cfg.trials_per_point
     );
-    let start = std::time::Instant::now();
-    let trials = run_uarch_campaign(&cfg);
-    eprintln!("fig5: {} trials in {:.1}s", trials.len(), start.elapsed().as_secs_f64());
+    let (trials, stats) = run_uarch_campaign_with_stats(&cfg);
+    eprintln!("fig5: {}", stats.summary());
 
     println!("# Figure 5 — ReStore coverage (JRS high-confidence cfv detection)");
     println!("# columns: checkpoint interval (instructions); cells: % of all trials");
     println!("{}", uarch_table(&trials, &FIG46_INTERVALS, CfvMode::HighConfidence, false));
 
     let total = trials.len().max(1) as f64;
-    for interval in [100u64] {
-        let perfect_cfv = trials
-            .iter()
-            .filter(|t| t.classify(interval, CfvMode::Perfect, false) == UarchCategory::Cfv)
-            .count() as f64
-            / total;
-        let jrs_cfv = trials
-            .iter()
-            .filter(|t| {
-                t.classify(interval, CfvMode::HighConfidence, false) == UarchCategory::Cfv
-            })
-            .count() as f64
-            / total;
-        println!(
-            "cfv coverage @{interval}: perfect {:.2}% vs JRS {:.2}% of all trials \
-             (paper: JRS covers a small fraction — ~5% of failures)",
-            100.0 * perfect_cfv,
-            100.0 * jrs_cfv
-        );
-        let base = coverage_summary(&trials, interval, CfvMode::Perfect, false);
-        let jrs = coverage_summary(&trials, interval, CfvMode::HighConfidence, false);
-        println!(
-            "residual failures @{interval}: perfect-cfv {:.2}% vs JRS {:.2}% \
-             (paper: ~3.5% of injections with ReStore)",
-            100.0 * base.residual_failure_fraction,
-            100.0 * jrs.residual_failure_fraction
-        );
-    }
+    let interval = 100u64;
+    let perfect_cfv = trials
+        .iter()
+        .filter(|t| t.classify(interval, CfvMode::Perfect, false) == UarchCategory::Cfv)
+        .count() as f64
+        / total;
+    let jrs_cfv = trials
+        .iter()
+        .filter(|t| t.classify(interval, CfvMode::HighConfidence, false) == UarchCategory::Cfv)
+        .count() as f64
+        / total;
+    println!(
+        "cfv coverage @{interval}: perfect {:.2}% vs JRS {:.2}% of all trials \
+         (paper: JRS covers a small fraction — ~5% of failures)",
+        100.0 * perfect_cfv,
+        100.0 * jrs_cfv
+    );
+    let base = coverage_summary(&trials, interval, CfvMode::Perfect, false);
+    let jrs = coverage_summary(&trials, interval, CfvMode::HighConfidence, false);
+    println!(
+        "residual failures @{interval}: perfect-cfv {:.2}% vs JRS {:.2}% \
+         (paper: ~3.5% of injections with ReStore)",
+        100.0 * base.residual_failure_fraction,
+        100.0 * jrs.residual_failure_fraction
+    );
 }

@@ -3,10 +3,10 @@
 //! other key data stores (§5.2.2's "low hanging fruit"), layered with
 //! symptom-based detection.
 //!
-//! Usage: `fig6 [--points N] [--trials N] [--seed S]`
+//! Usage: `fig6 [--points N] [--trials N] [--seed S] [--threads N]`
 
 use restore_bench::{arg_u64, coverage_summary, uarch_table, FIG46_INTERVALS};
-use restore_inject::{run_uarch_campaign, CfvMode, UarchCampaignConfig};
+use restore_inject::{run_uarch_campaign_with_stats, CfvMode, UarchCampaignConfig};
 use restore_uarch::{Pipeline, UarchConfig};
 use restore_workloads::WorkloadId;
 
@@ -22,6 +22,9 @@ fn main() {
     if let Some(s) = arg_u64(&args, "--seed") {
         cfg.seed = s;
     }
+    if let Some(n) = arg_u64(&args, "--threads") {
+        cfg.threads = n as usize;
+    }
 
     // Report the protection domain size (paper: ~7% state overhead for
     // parity/ECC; the covered fraction of bits is what matters here).
@@ -35,9 +38,8 @@ fn main() {
         100.0 * catalog.lhf_overhead()
     );
 
-    let start = std::time::Instant::now();
-    let trials = run_uarch_campaign(&cfg);
-    eprintln!("fig6: {} trials in {:.1}s", trials.len(), start.elapsed().as_secs_f64());
+    let (trials, stats) = run_uarch_campaign_with_stats(&cfg);
+    eprintln!("fig6: {}", stats.summary());
 
     println!("# Figure 6 — hardened (parity/ECC) pipeline + ReStore");
     println!("# columns: checkpoint interval (instructions); cells: % of all trials");
@@ -46,12 +48,18 @@ fn main() {
     // The paper's §5.2.2 progression of failure rates.
     let base = coverage_summary(&trials, 100, CfvMode::HighConfidence, false);
     let hard = coverage_summary(&trials, 100, CfvMode::HighConfidence, true);
-    println!("failure fraction, baseline:        {:.2}%  (paper: ~7%)", 100.0 * base.failure_fraction);
+    println!(
+        "failure fraction, baseline:        {:.2}%  (paper: ~7%)",
+        100.0 * base.failure_fraction
+    );
     println!(
         "  + ReStore @100:                  {:.2}%  (paper: ~3.5%)",
         100.0 * base.residual_failure_fraction
     );
-    println!("failure fraction, lhf:             {:.2}%  (paper: ~3%)", 100.0 * hard.failure_fraction);
+    println!(
+        "failure fraction, lhf:             {:.2}%  (paper: ~3%)",
+        100.0 * hard.failure_fraction
+    );
     println!(
         "  + ReStore @100 (lhf+ReStore):    {:.2}%  (paper: ~1%)",
         100.0 * hard.residual_failure_fraction

@@ -42,8 +42,5 @@ fn main() {
         println!("{i:<10}{imm:>10.3}{del:>10.3}");
     }
     let at100 = model.mean_speedup(&profiles, 100, Policy::Immediate);
-    println!(
-        "\nperformance hit @100 (imm): {:.1}%  (paper: ~6%)",
-        100.0 * (1.0 - at100)
-    );
+    println!("\nperformance hit @100 (imm): {:.1}%  (paper: ~6%)", 100.0 * (1.0 - at100));
 }

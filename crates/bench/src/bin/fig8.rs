@@ -52,10 +52,7 @@ fn main() {
 
     println!("# Figure 8 — FIT rates with device scaling (0.001 FIT/bit raw)");
     println!("# goal line: 1000-year MTBF = {MTBF_GOAL_FIT:.0} FIT");
-    println!(
-        "{:<12}{:>12}{:>12}{:>12}{:>14}",
-        "bits", "baseline", "ReStore", "lhf", "lhf+ReStore"
-    );
+    println!("{:<12}{:>12}{:>12}{:>12}{:>14}", "bits", "baseline", "ReStore", "lhf", "lhf+ReStore");
     for (bits, base, restore, lhf, both) in scaling.series(&figure8_sizes()) {
         println!(
             "{:<12}{:>12.1}{:>12.1}{:>12.1}{:>14.1}",

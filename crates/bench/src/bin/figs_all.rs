@@ -3,13 +3,13 @@
 //! and Figure 7 (timing model) — everything the paper's evaluation
 //! section reports, in one pass.
 //!
-//! Usage: `figs_all [--points N] [--trials N] [--arch-trials N] [--seed S]`
+//! Usage: `figs_all [--points N] [--trials N] [--arch-trials N] [--seed S] [--threads N]`
 
 use restore_bench::*;
 use restore_core::fit::{figure8_sizes, FitScaling, MTBF_GOAL_FIT};
 use restore_inject::{
-    run_arch_campaign, run_uarch_campaign, ArchCampaignConfig, CfvMode, InjectionTarget,
-    UarchCampaignConfig,
+    run_arch_campaign_with_stats, run_uarch_campaign_with_stats, ArchCampaignConfig, CfvMode,
+    InjectionTarget, UarchCampaignConfig,
 };
 use restore_perf::{profile_all, PerfModel, Policy, FIGURE7_INTERVALS};
 use restore_uarch::UarchConfig;
@@ -26,13 +26,20 @@ fn main() {
     if let Some(s) = arg_u64(&args, "--seed") {
         acfg.seed = s;
     }
-    eprintln!("[{:6.1}s] figure 2 ({} trials/workload) ...", t0.elapsed().as_secs_f64(), acfg.trials_per_workload);
-    let arch_trials = run_arch_campaign(&acfg);
+    let threads = arg_u64(&args, "--threads").map(|n| n as usize).unwrap_or(0);
+    acfg.threads = threads;
+    eprintln!(
+        "[{:6.1}s] figure 2 ({} trials/workload) ...",
+        t0.elapsed().as_secs_f64(),
+        acfg.trials_per_workload
+    );
+    let (arch_trials, astats) = run_arch_campaign_with_stats(&acfg);
+    eprintln!("[{:6.1}s] figure 2: {}", t0.elapsed().as_secs_f64(), astats.summary());
     println!("==== Figure 2 — virtual machine fault injection ({} trials) ====", arch_trials.len());
     println!("{}", arch_table(&arch_trials, &FIG2_LATENCIES));
 
     let low32 = ArchCampaignConfig { low32: true, ..acfg.clone() };
-    let low32_trials = run_arch_campaign(&low32);
+    let (low32_trials, _) = run_arch_campaign_with_stats(&low32);
     println!("==== Figure 2 variant — low-32-bit flips (§3.1) ====");
     println!("{}", arch_table(&low32_trials, &FIG2_LATENCIES));
 
@@ -47,24 +54,31 @@ fn main() {
     if let Some(s) = arg_u64(&args, "--seed") {
         ucfg.seed = s;
     }
+    ucfg.threads = threads;
     eprintln!(
         "[{:6.1}s] µarch campaign ({} points x {} trials x 7 workloads) ...",
         t0.elapsed().as_secs_f64(),
         ucfg.points_per_workload,
         ucfg.trials_per_point
     );
-    let trials = run_uarch_campaign(&ucfg);
-    eprintln!("[{:6.1}s] {} µarch trials done", t0.elapsed().as_secs_f64(), trials.len());
+    let (trials, ustats) = run_uarch_campaign_with_stats(&ucfg);
+    eprintln!("[{:6.1}s] µarch campaign: {}", t0.elapsed().as_secs_f64(), ustats.summary());
 
-    println!("==== Figure 4 — µarch injection, all state, perfect cfv ({} trials) ====", trials.len());
+    println!(
+        "==== Figure 4 — µarch injection, all state, perfect cfv ({} trials) ====",
+        trials.len()
+    );
     println!("{}", uarch_table(&trials, &FIG46_INTERVALS, CfvMode::Perfect, false));
 
     let latch_cfg = UarchCampaignConfig { target: InjectionTarget::LatchesOnly, ..ucfg.clone() };
-    let latch_trials = run_uarch_campaign(&latch_cfg);
+    let (latch_trials, _) = run_uarch_campaign_with_stats(&latch_cfg);
     println!("==== §5.1.2 — latches only, perfect cfv ({} trials) ====", latch_trials.len());
     println!("{}", uarch_table(&latch_trials, &FIG46_INTERVALS, CfvMode::Perfect, false));
     let l = coverage_summary(&latch_trials, 100, CfvMode::Perfect, false);
-    println!("latch-only coverage of failures @100: {:.1}%  (paper: ~75%)\n", 100.0 * l.coverage_of_failures);
+    println!(
+        "latch-only coverage of failures @100: {:.1}%  (paper: ~75%)\n",
+        100.0 * l.coverage_of_failures
+    );
 
     println!("==== Figure 5 — ReStore (JRS-confidence cfv) ====");
     println!("{}", uarch_table(&trials, &FIG46_INTERVALS, CfvMode::HighConfidence, false));
@@ -76,11 +90,24 @@ fn main() {
     let jrs100 = coverage_summary(&trials, 100, CfvMode::HighConfidence, false);
     let hard100 = coverage_summary(&trials, 100, CfvMode::HighConfidence, true);
     println!("headline @100-instruction interval:");
-    println!("  failure fraction          {:.2}% ±{:.2}%  (paper ~7-8%)", 100.0 * base100.failure_fraction, 100.0 * base100.ci95);
-    println!("  perfect-cfv coverage      {:.1}%  (paper ~50%)", 100.0 * base100.coverage_of_failures);
-    println!("  ReStore residual          {:.2}%  (paper ~3.5%)", 100.0 * jrs100.residual_failure_fraction);
+    println!(
+        "  failure fraction          {:.2}% ±{:.2}%  (paper ~7-8%)",
+        100.0 * base100.failure_fraction,
+        100.0 * base100.ci95
+    );
+    println!(
+        "  perfect-cfv coverage      {:.1}%  (paper ~50%)",
+        100.0 * base100.coverage_of_failures
+    );
+    println!(
+        "  ReStore residual          {:.2}%  (paper ~3.5%)",
+        100.0 * jrs100.residual_failure_fraction
+    );
     println!("  lhf failure fraction      {:.2}%  (paper ~3%)", 100.0 * hard100.failure_fraction);
-    println!("  lhf+ReStore residual      {:.2}%  (paper ~1%)", 100.0 * hard100.residual_failure_fraction);
+    println!(
+        "  lhf+ReStore residual      {:.2}%  (paper ~1%)",
+        100.0 * hard100.residual_failure_fraction
+    );
     println!(
         "  MTBF improvement          {:.1}x  (paper ~7x)\n",
         base100.failure_fraction / hard100.residual_failure_fraction.max(1e-9)
@@ -108,7 +135,9 @@ fn main() {
         hard100.failure_fraction.max(1e-4),
         hard100.residual_failure_fraction.max(1e-4),
     );
-    println!("==== Figure 8 — FIT vs design size (measured fractions; goal {MTBF_GOAL_FIT:.0} FIT) ====");
+    println!(
+        "==== Figure 8 — FIT vs design size (measured fractions; goal {MTBF_GOAL_FIT:.0} FIT) ===="
+    );
     println!("{:<12}{:>12}{:>12}{:>12}{:>14}", "bits", "baseline", "ReStore", "lhf", "lhf+ReStore");
     for (bits, base, restore, lhf, both) in scaling.series(&figure8_sizes()) {
         println!("{:<12.0}{:>12.1}{:>12.1}{:>12.1}{:>14.1}", bits, base, restore, lhf, both);

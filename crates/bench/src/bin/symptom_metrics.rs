@@ -10,10 +10,10 @@
 //! high-confidence mispredictions trade coverage for near-zero false
 //! positives; raw mispredictions and cache misses fail metric 3.
 //!
-//! Usage: `symptom_metrics [--points N] [--trials N] [--seed S]`
+//! Usage: `symptom_metrics [--points N] [--trials N] [--seed S] [--threads N]`
 
 use restore_bench::arg_u64;
-use restore_inject::{run_uarch_campaign, UarchCampaignConfig, UarchTrial};
+use restore_inject::{run_uarch_campaign_with_stats, UarchCampaignConfig, UarchTrial};
 use restore_uarch::{Pipeline, Stop, UarchConfig};
 use restore_workloads::{Scale, WorkloadId};
 
@@ -26,7 +26,7 @@ struct Metric {
     verdict: &'static str,
 }
 
-fn median(v: &mut Vec<u64>) -> Option<u64> {
+fn median(v: &mut [u64]) -> Option<u64> {
     if v.is_empty() {
         return None;
     }
@@ -36,11 +36,16 @@ fn median(v: &mut Vec<u64>) -> Option<u64> {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let mut cfg = UarchCampaignConfig::default();
-    cfg.points_per_workload = arg_u64(&args, "--points").unwrap_or(6) as usize;
-    cfg.trials_per_point = arg_u64(&args, "--trials").unwrap_or(12) as usize;
+    let mut cfg = UarchCampaignConfig {
+        points_per_workload: arg_u64(&args, "--points").unwrap_or(6) as usize,
+        trials_per_point: arg_u64(&args, "--trials").unwrap_or(12) as usize,
+        ..UarchCampaignConfig::default()
+    };
     if let Some(s) = arg_u64(&args, "--seed") {
         cfg.seed = s;
+    }
+    if let Some(n) = arg_u64(&args, "--threads") {
+        cfg.threads = n as usize;
     }
 
     // ---- metric 3: fault-free event rates ----
@@ -76,9 +81,9 @@ fn main() {
         "running campaign ({} points x {} trials x 7 workloads) ...",
         cfg.points_per_workload, cfg.trials_per_point
     );
-    let trials = run_uarch_campaign(&cfg);
+    let (trials, stats) = run_uarch_campaign_with_stats(&cfg);
     let failures: Vec<&UarchTrial> = trials.iter().filter(|t| t.is_failure()).collect();
-    eprintln!("{} trials, {} failures", trials.len(), failures.len());
+    eprintln!("{} ({} failures)", stats.summary(), failures.len());
 
     let collect = |f: &dyn Fn(&UarchTrial) -> Option<u64>| -> (usize, Vec<u64>) {
         let mut lats = Vec::new();
@@ -137,14 +142,9 @@ fn main() {
     ];
 
     println!("# §3.3 — candidate symptom evaluation over {} failures", failures.len());
-    println!(
-        "{:<24}{:>12}{:>16}{:>16}",
-        "symptom", "coverage", "median latency", "fp / kinstr"
-    );
+    println!("{:<24}{:>12}{:>16}{:>16}", "symptom", "coverage", "median latency", "fp / kinstr");
     for mut m in metrics {
-        let med = median(&mut m.latencies)
-            .map(|v| v.to_string())
-            .unwrap_or_else(|| "-".into());
+        let med = median(&mut m.latencies).map(|v| v.to_string()).unwrap_or_else(|| "-".into());
         println!(
             "{:<24}{:>11.1}%{:>16}{:>16.3}   {}",
             m.name,

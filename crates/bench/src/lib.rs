@@ -16,8 +16,10 @@
 //!
 //! All binaries accept `--points N`, `--trials N` (scale knobs) and
 //! `--seed N`; defaults are sized for a single-core laptop run of
-//! minutes. This library holds the shared aggregation and table
-//! rendering.
+//! minutes. Campaign binaries also take `--threads N` (default: the
+//! `RESTORE_THREADS` env var, then all available cores); results are
+//! bit-identical at every thread count. This library holds the shared
+//! aggregation and table rendering.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -78,10 +80,7 @@ pub fn uarch_table(
     for cat in UarchCategory::ALL {
         out.push_str(&format!("{:<10}", cat.label()));
         for &i in intervals {
-            let n = trials
-                .iter()
-                .filter(|t| t.classify(i, cfv, hardened) == cat)
-                .count();
+            let n = trials.iter().filter(|t| t.classify(i, cfv, hardened) == cat).count();
             out.push_str(&format!("{:>7.2}%", 100.0 * n as f64 / total));
         }
         out.push('\n');
@@ -110,10 +109,8 @@ pub fn coverage_summary(
     hardened: bool,
 ) -> CoverageSummary {
     let total = trials.len().max(1);
-    let classified: Vec<UarchCategory> = trials
-        .iter()
-        .map(|t| t.classify(interval, cfv, hardened))
-        .collect();
+    let classified: Vec<UarchCategory> =
+        trials.iter().map(|t| t.classify(interval, cfv, hardened)).collect();
     let failures = classified.iter().filter(|c| c.is_failure()).count();
     let covered = classified.iter().filter(|c| c.is_covered()).count();
     CoverageSummary {
@@ -126,10 +123,7 @@ pub fn coverage_summary(
 
 /// Minimal `--flag value` argument extraction for the figure binaries.
 pub fn arg_u64(args: &[String], name: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
 }
 
 /// `true` if a bare flag is present.
@@ -170,10 +164,8 @@ mod tests {
 
     #[test]
     fn uarch_table_has_all_rows_and_columns() {
-        let trials = vec![
-            trial(Some(10), EndState::Terminated),
-            trial(None, EndState::MaskedClean),
-        ];
+        let trials =
+            vec![trial(Some(10), EndState::Terminated), trial(None, EndState::MaskedClean)];
         let t = uarch_table(&trials, &FIG46_INTERVALS, CfvMode::Perfect, false);
         assert_eq!(t.lines().count(), 1 + UarchCategory::ALL.len());
         assert!(t.contains("masked"));
@@ -183,7 +175,7 @@ mod tests {
     #[test]
     fn coverage_summary_arithmetic() {
         let trials = vec![
-            trial(Some(10), EndState::Terminated), // covered failure
+            trial(Some(10), EndState::Terminated),  // covered failure
             trial(Some(900), EndState::Terminated), // uncovered at 100
             trial(None, EndState::MaskedClean),
             trial(None, EndState::MaskedClean),
@@ -196,10 +188,8 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> = ["--points", "12", "--latches-only"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> =
+            ["--points", "12", "--latches-only"].iter().map(|s| s.to_string()).collect();
         assert_eq!(arg_u64(&args, "--points"), Some(12));
         assert_eq!(arg_u64(&args, "--trials"), None);
         assert!(arg_flag(&args, "--latches-only"));

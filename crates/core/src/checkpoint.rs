@@ -90,11 +90,8 @@ impl CheckpointStore {
     /// Panics if an undo record refers to unmapped memory (cannot happen
     /// for records produced by retired stores: mappings never change).
     pub fn rollback(&mut self, mem: &mut Memory) -> Checkpoint {
-        for (addr, len, old) in self
-            .undo_newer
-            .drain(..)
-            .rev()
-            .chain(self.undo_older.drain(..).rev())
+        for (addr, len, old) in
+            self.undo_newer.drain(..).rev().chain(self.undo_older.drain(..).rev())
         {
             let bytes = old.to_le_bytes();
             mem.poke_bytes(addr, &bytes[..len as usize]);

@@ -102,7 +102,10 @@ enum Mode {
     Normal,
     /// Re-executing after a rollback; holds the global retired index at
     /// which the triggering symptom fired and what it was.
-    Reexec { symptom_at: u64, was_exception: bool },
+    Reexec {
+        symptom_at: u64,
+        was_exception: bool,
+    },
 }
 
 /// Drives a [`Pipeline`] under the ReStore architecture.
@@ -132,11 +135,7 @@ pub struct RestoreController {
 impl RestoreController {
     /// Wraps a pipeline in the ReStore mechanism.
     pub fn new(pipe: Pipeline, cfg: RestoreConfig) -> RestoreController {
-        let initial = Checkpoint {
-            regs: pipe.arch_regs(),
-            pc: pipe.retired_next_pc(),
-            retired: 0,
-        };
+        let initial = Checkpoint { regs: pipe.arch_regs(), pc: pipe.retired_next_pc(), retired: 0 };
         RestoreController {
             pipe,
             cfg,

@@ -105,12 +105,7 @@ impl EventLog {
         let Some(b) = r.branch else { return LogCheck::Consistent };
         // Skip log entries older than this offset (they were re-executed
         // differently only if a divergence already fired).
-        while self
-            .entries
-            .get(self.cursor)
-            .map(|e| e.offset < offset)
-            .unwrap_or(false)
-        {
+        while self.entries.get(self.cursor).map(|e| e.offset < offset).unwrap_or(false) {
             self.cursor += 1;
         }
         match self.entries.get(self.cursor) {
@@ -169,14 +164,8 @@ mod tests {
         log.record(5, &branch_retired(0x210, false, 0x214));
         log.rewind();
         assert_eq!(log.check(0, &alu_retired(0x100)), LogCheck::Consistent);
-        assert_eq!(
-            log.check(1, &branch_retired(0x104, true, 0x200)),
-            LogCheck::Consistent
-        );
-        assert_eq!(
-            log.check(5, &branch_retired(0x210, false, 0x214)),
-            LogCheck::Consistent
-        );
+        assert_eq!(log.check(1, &branch_retired(0x104, true, 0x200)), LogCheck::Consistent);
+        assert_eq!(log.check(5, &branch_retired(0x210, false, 0x214)), LogCheck::Consistent);
     }
 
     #[test]
@@ -199,10 +188,7 @@ mod tests {
         log.record(1, &branch_retired(0x104, true, 0x200));
         log.rewind();
         let _ = log.check(1, &branch_retired(0x104, true, 0x200));
-        assert_eq!(
-            log.check(9, &branch_retired(0x300, true, 0x400)),
-            LogCheck::Exhausted
-        );
+        assert_eq!(log.check(9, &branch_retired(0x300, true, 0x400)), LogCheck::Exhausted);
     }
 
     #[test]

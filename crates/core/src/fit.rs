@@ -29,10 +29,7 @@ pub struct FitModel {
 impl FitModel {
     /// Builds a model from a measured failure fraction.
     pub fn new(failure_fraction: f64) -> FitModel {
-        assert!(
-            (0.0..=1.0).contains(&failure_fraction),
-            "failure fraction must be a probability"
-        );
+        assert!((0.0..=1.0).contains(&failure_fraction), "failure fraction must be a probability");
         FitModel { fit_per_bit: RAW_FIT_PER_BIT, failure_fraction }
     }
 

@@ -91,10 +91,7 @@ impl SymptomConfig {
     /// Perfect control-flow-violation detection (§5.1.1's idealised
     /// study): every misprediction counts.
     pub fn perfect_cfv() -> SymptomConfig {
-        SymptomConfig {
-            all_mispredicts: true,
-            ..SymptomConfig::paper()
-        }
+        SymptomConfig { all_mispredicts: true, ..SymptomConfig::paper() }
     }
 
     /// Extracts the symptoms present in one cycle's report.

@@ -221,9 +221,5 @@ fn dynamic_throttle_suppresses_false_positive_storms() {
     let mut c = controller(WorkloadId::Mcfx, scale, cfg);
     assert_eq!(c.run(60_000_000), RestoreOutcome::Halted);
     assert_eq!(c.output(), &[WorkloadId::Mcfx.expected(scale)]);
-    assert!(
-        c.stats().throttled_symptoms > 0,
-        "throttle never engaged: {:?}",
-        c.stats()
-    );
+    assert!(c.stats().throttled_symptoms > 0, "throttle never engaged: {:?}", c.stats());
 }

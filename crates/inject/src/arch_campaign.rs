@@ -11,10 +11,13 @@
 //! lockstep, recording the latency to each symptom class.
 
 use crate::classify::ArchCategory;
+use crate::engine::{effective_threads, run_ordered, CampaignStats, UnitOutput};
+use crate::seeding::{Seeder, DOMAIN_ARCH};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use restore_arch::Cpu;
 use restore_workloads::{Scale, WorkloadId};
+use std::time::Instant;
 
 /// Configuration of a Figure 2 campaign.
 #[derive(Debug, Clone)]
@@ -33,6 +36,10 @@ pub struct ArchCampaignConfig {
     /// Restrict flips to the low 32 bits of each result — the §3.1
     /// virtual-address-space sensitivity study.
     pub low32: bool,
+    /// Worker threads; 0 resolves via `RESTORE_THREADS` or the machine's
+    /// available parallelism. Results are bit-identical at every thread
+    /// count.
+    pub threads: usize,
 }
 
 impl Default for ArchCampaignConfig {
@@ -41,8 +48,9 @@ impl Default for ArchCampaignConfig {
             scale: Scale::campaign(),
             trials_per_workload: 150,
             window: 300_000,
-            seed: 0xF16_2,
+            seed: 0xF162,
             low32: false,
+            threads: 0,
         }
     }
 }
@@ -89,27 +97,26 @@ impl ArchTrial {
     }
 }
 
-/// Runs the campaign over all seven workloads.
-///
-/// # Panics
-///
-/// Panics if a workload faults during its fault-free golden run (the
-/// workloads are exception-free by construction).
-pub fn run_arch_campaign(cfg: &ArchCampaignConfig) -> Vec<ArchTrial> {
-    let mut out = Vec::new();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    for id in WorkloadId::ALL {
-        run_workload(cfg, id, &mut rng, &mut out);
-    }
-    out
+/// One engine work unit: a golden CPU forked at an injection point.
+struct TrialUnit {
+    /// Workload index in [`WorkloadId::ALL`] (a seeding coordinate).
+    wl: usize,
+    id: WorkloadId,
+    /// Point index within the workload's sorted plan (a seeding
+    /// coordinate).
+    point: usize,
+    cpu: Cpu,
 }
 
-/// Runs trials for a single workload (exposed for focused experiments).
-pub fn run_workload(
+/// Sweeps one workload's golden CPU forward through its planned
+/// injection points — O(run_len) amortised instead of per-trial —
+/// emitting a [`TrialUnit`] at each reachable one.
+fn sweep_workload(
     cfg: &ArchCampaignConfig,
+    seeder: &Seeder,
+    wl: usize,
     id: WorkloadId,
-    rng: &mut StdRng,
-    out: &mut Vec<ArchTrial>,
+    emit: &mut dyn FnMut(TrialUnit),
 ) {
     let program = id.build(cfg.scale);
     // Measure run length once.
@@ -117,26 +124,80 @@ pub fn run_workload(
     probe.run(5_000_000).expect("workloads are exception-free");
     let run_len = probe.retired();
 
-    // Sorted injection points let one golden CPU sweep forward, forking a
-    // clone per trial — O(run_len) amortised instead of per-trial.
+    // Sorted injection points, drawn from a per-workload stream so the
+    // plan never depends on other workloads or on execution order.
+    let mut rng = StdRng::seed_from_u64(seeder.points(wl));
     let mut points: Vec<u64> = (0..cfg.trials_per_workload)
         .map(|_| rng.gen_range(run_len / 20..run_len.saturating_sub(10).max(run_len / 20 + 1)))
         .collect();
     points.sort_unstable();
 
     let mut walker = Cpu::new(&program);
-    for k in points {
+    for (point, k) in points.into_iter().enumerate() {
         while walker.retired() < k && !walker.is_halted() {
             walker.step().expect("golden never faults");
         }
         if walker.is_halted() {
             break;
         }
-        let bit = if cfg.low32 { rng.gen_range(0..32) } else { rng.gen_range(0..64) };
-        if let Some(trial) = run_trial(&walker, id, bit, cfg.window) {
-            out.push(trial);
-        }
+        emit(TrialUnit { wl, id, point, cpu: walker.clone() });
     }
+}
+
+/// Worker half: one injected trial against the unit's golden fork. The
+/// bit choice is seeded from the trial's coordinates, so it is identical
+/// regardless of which worker runs the unit and when.
+fn work_unit(cfg: &ArchCampaignConfig, seeder: &Seeder, unit: TrialUnit) -> UnitOutput<ArchTrial> {
+    let mut rng = StdRng::seed_from_u64(seeder.trial(unit.wl, unit.point, 0));
+    let bit = if cfg.low32 { rng.gen_range(0..32) } else { rng.gen_range(0..64) };
+    let t0 = Instant::now();
+    let results = run_trial(&unit.cpu, unit.id, bit, cfg.window).into_iter().collect();
+    UnitOutput { results, golden_secs: 0.0, trial_secs: t0.elapsed().as_secs_f64() }
+}
+
+/// Runs the campaign over all seven workloads.
+///
+/// # Panics
+///
+/// Panics if a workload faults during its fault-free golden run (the
+/// workloads are exception-free by construction).
+pub fn run_arch_campaign(cfg: &ArchCampaignConfig) -> Vec<ArchTrial> {
+    run_arch_campaign_with_stats(cfg).0
+}
+
+/// Runs the campaign and also reports throughput instrumentation.
+///
+/// Trials come back in plan order `(workload, point)` and are
+/// bit-identical for a given `(cfg.seed, cfg)` at every thread count.
+pub fn run_arch_campaign_with_stats(cfg: &ArchCampaignConfig) -> (Vec<ArchTrial>, CampaignStats) {
+    run_points(cfg, &WorkloadId::ALL.map(|id| (workload_index(id), id)))
+}
+
+/// Runs trials for a single workload (exposed for focused experiments).
+/// The result is exactly the workload's slice of the full campaign with
+/// the same seed.
+pub fn run_workload(cfg: &ArchCampaignConfig, id: WorkloadId) -> Vec<ArchTrial> {
+    run_points(cfg, &[(workload_index(id), id)]).0
+}
+
+fn workload_index(id: WorkloadId) -> usize {
+    WorkloadId::ALL.iter().position(|&w| w == id).expect("id is in ALL")
+}
+
+fn run_points(
+    cfg: &ArchCampaignConfig,
+    workloads: &[(usize, WorkloadId)],
+) -> (Vec<ArchTrial>, CampaignStats) {
+    let seeder = Seeder::new(cfg.seed, DOMAIN_ARCH);
+    run_ordered(
+        effective_threads(cfg.threads),
+        |emit| {
+            for &(wl, id) in workloads {
+                sweep_workload(cfg, &seeder, wl, id, emit);
+            }
+        },
+        |unit| work_unit(cfg, &seeder, unit),
+    )
 }
 
 /// Runs one trial from a golden CPU positioned at the injection point.
@@ -237,7 +298,7 @@ mod tests {
             trials_per_workload: 25,
             window: 150_000,
             seed: 7,
-            low32: false,
+            ..ArchCampaignConfig::default()
         }
     }
 
@@ -261,10 +322,8 @@ mod tests {
         // we expect to land lower — see EXPERIMENTS.md). It must still be
         // substantial and not overwhelming.
         assert!((0.15..0.85).contains(&masked), "masked fraction {masked:.2}");
-        let exc_100 = trials
-            .iter()
-            .filter(|t| t.classify(100) == ArchCategory::Exception)
-            .count() as f64
+        let exc_100 = trials.iter().filter(|t| t.classify(100) == ArchCategory::Exception).count()
+            as f64
             / total;
         // Paper: ~24% of all injections raise an exception within 100
         // instructions — the dominant failing category.
@@ -309,9 +368,7 @@ mod tests {
         let covered = |l: u64| {
             trials
                 .iter()
-                .filter(|t| {
-                    matches!(t.classify(l), ArchCategory::Exception | ArchCategory::Cfv)
-                })
+                .filter(|t| matches!(t.classify(l), ArchCategory::Exception | ArchCategory::Cfv))
                 .count()
         };
         assert!(covered(25) <= covered(100));

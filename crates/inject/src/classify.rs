@@ -114,10 +114,7 @@ impl UarchCategory {
     /// `true` for the categories ReStore detects and recovers (symptom
     /// fired within the checkpoint interval).
     pub fn is_covered(self) -> bool {
-        matches!(
-            self,
-            UarchCategory::Deadlock | UarchCategory::Exception | UarchCategory::Cfv
-        )
+        matches!(self, UarchCategory::Deadlock | UarchCategory::Exception | UarchCategory::Cfv)
     }
 }
 

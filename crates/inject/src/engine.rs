@@ -1,0 +1,230 @@
+//! Parallel campaign engine: a bounded work-unit pipeline with
+//! deterministic reassembly.
+//!
+//! Both campaign types decompose the same way: a **serial sweeper** (the
+//! producer) advances one simulator forward through pre-selected
+//! injection points — inherently ordered work, since reaching cycle *c*
+//! requires simulating cycles *0..c* — and at each point forks a cheap
+//! snapshot into a bounded channel. A pool of scoped **workers** drains
+//! the channel, runs the expensive part (golden run + trials, ~10⁴
+//! cycles each) against the snapshot, and tags results with the unit's
+//! plan index. Reassembly sorts by that index, so output order is the
+//! campaign *plan* order `(workload, point, trial)` regardless of worker
+//! interleaving; combined with per-unit seeding ([`crate::seeding`])
+//! the full trial vector is bit-identical at every thread count.
+//!
+//! The channel bound keeps at most a few pipeline snapshots in flight,
+//! so memory stays O(threads), and it applies backpressure to the
+//! sweeper instead of letting it race ahead. `--threads 1` is the same
+//! engine with one worker, not a separate code path.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Resolves a requested worker count: an explicit request wins, then the
+/// `RESTORE_THREADS` environment variable, then the machine's available
+/// parallelism.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("RESTORE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Throughput instrumentation for one campaign run.
+///
+/// Stage seconds are *summed across workers*, so on `t` threads
+/// `golden_secs + trial_secs` can approach `t × wall_secs`; the ratio of
+/// the two is the parallel efficiency. `produce_secs` is the sweeper's
+/// wall time and includes any backpressure waits on the full channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CampaignStats {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Work units (injection points) executed.
+    pub units: u64,
+    /// Trials produced.
+    pub trials: u64,
+    /// End-to-end wall-clock seconds.
+    pub wall_secs: f64,
+    /// Sweeper (producer) wall seconds, including channel backpressure.
+    pub produce_secs: f64,
+    /// Worker seconds spent on golden runs, summed across workers.
+    pub golden_secs: f64,
+    /// Worker seconds spent on injected trials, summed across workers.
+    pub trial_secs: f64,
+}
+
+impl CampaignStats {
+    /// Campaign throughput in trials per wall-clock second.
+    pub fn trials_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.trials as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line human summary for progress logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} trials over {} units on {} thread{} in {:.2}s ({:.0} trials/s; \
+             sweep {:.2}s, golden {:.2}s, trials {:.2}s worker-time)",
+            self.trials,
+            self.units,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            self.wall_secs,
+            self.trials_per_sec(),
+            self.produce_secs,
+            self.golden_secs,
+            self.trial_secs,
+        )
+    }
+}
+
+/// What a worker hands back for one unit.
+pub(crate) struct UnitOutput<R> {
+    /// The unit's results, in the unit's own deterministic order.
+    pub results: Vec<R>,
+    /// Seconds spent establishing the golden reference.
+    pub golden_secs: f64,
+    /// Seconds spent running injected trials.
+    pub trial_secs: f64,
+}
+
+/// Fans units out over `threads` scoped workers and reassembles results
+/// in emission order.
+///
+/// `produce` runs on the calling thread and receives an `emit` callback;
+/// every emitted unit is processed by `work` on some worker, and the
+/// flattened results are returned ordered by emission index. `work` runs
+/// concurrently with `produce`, so a unit emitted while the sweeper is
+/// still advancing may already be complete.
+pub(crate) fn run_ordered<U, R>(
+    threads: usize,
+    produce: impl FnOnce(&mut dyn FnMut(U)),
+    work: impl Fn(U) -> UnitOutput<R> + Sync,
+) -> (Vec<R>, CampaignStats)
+where
+    U: Send,
+    R: Send,
+{
+    let threads = threads.max(1);
+    // 2× bound: enough slack that workers never starve while the sweeper
+    // advances to the next point, small enough that snapshot memory
+    // stays O(threads).
+    let (tx, rx) = channel::bounded::<(usize, U)>(threads * 2);
+    let collected: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    let stage_secs: Mutex<(f64, f64)> = Mutex::new((0.0, 0.0));
+
+    let wall0 = Instant::now();
+    let mut produce_secs = 0.0;
+    let mut units = 0usize;
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let work = &work;
+            let collected = &collected;
+            let stage_secs = &stage_secs;
+            s.spawn(move || {
+                for (index, unit) in rx {
+                    let out = work(unit);
+                    {
+                        let mut st = stage_secs.lock();
+                        st.0 += out.golden_secs;
+                        st.1 += out.trial_secs;
+                    }
+                    collected.lock().push((index, out.results));
+                }
+            });
+        }
+        drop(rx);
+
+        let p0 = Instant::now();
+        let mut emit = |unit: U| {
+            // Workers only exit once all senders drop, so send cannot
+            // fail unless a worker panicked — propagate that instead of
+            // deadlocking.
+            if tx.send((units, unit)).is_err() {
+                panic!("campaign worker pool shut down early");
+            }
+            units += 1;
+        };
+        produce(&mut emit);
+        produce_secs = p0.elapsed().as_secs_f64();
+        drop(tx);
+    });
+
+    let mut collected = collected.into_inner();
+    collected.sort_unstable_by_key(|&(index, _)| index);
+    debug_assert!(collected.iter().enumerate().all(|(i, (idx, _))| i == *idx));
+
+    let (golden_secs, trial_secs) = stage_secs.into_inner();
+    let results: Vec<R> = collected.into_iter().flat_map(|(_, r)| r).collect();
+    let stats = CampaignStats {
+        threads,
+        units: units as u64,
+        trials: results.len() as u64,
+        wall_secs: wall0.elapsed().as_secs_f64(),
+        produce_secs,
+        golden_secs,
+        trial_secs,
+    };
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn double_unit(u: u32) -> UnitOutput<u32> {
+        UnitOutput { results: vec![u * 2, u * 2 + 1], golden_secs: 0.01, trial_secs: 0.02 }
+    }
+
+    #[test]
+    fn results_come_back_in_emission_order() {
+        for threads in [1, 2, 4, 8] {
+            let (results, stats) = run_ordered(
+                threads,
+                |emit| (0..57u32).for_each(emit),
+                |u| {
+                    // Stagger work so completion order scrambles.
+                    if u % 3 == 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    double_unit(u)
+                },
+            );
+            let expect: Vec<u32> = (0..57u32).flat_map(|u| [u * 2, u * 2 + 1]).collect();
+            assert_eq!(results, expect, "threads={threads}");
+            assert_eq!(stats.units, 57);
+            assert_eq!(stats.trials, 114);
+            assert_eq!(stats.threads, threads);
+            assert!(stats.golden_secs > 0.0 && stats.trial_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_campaign_is_fine() {
+        let (results, stats) = run_ordered(4, |_emit| {}, double_unit);
+        assert!(results.is_empty());
+        assert_eq!(stats.units, 0);
+        assert_eq!(stats.trials_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn effective_threads_resolution_order() {
+        assert_eq!(effective_threads(3), 3, "explicit request wins");
+        assert!(effective_threads(0) >= 1, "auto resolves to something");
+    }
+}

@@ -40,14 +40,20 @@
 
 mod arch_campaign;
 mod classify;
+mod engine;
+mod seeding;
 pub mod stats;
 mod uarch_campaign;
 
-pub use arch_campaign::{run_arch_campaign, ArchCampaignConfig, ArchTrial};
 pub use arch_campaign::run_workload as run_arch_workload;
+pub use arch_campaign::{
+    run_arch_campaign, run_arch_campaign_with_stats, ArchCampaignConfig, ArchTrial,
+};
 pub use classify::{ArchCategory, UarchCategory};
+pub use engine::{effective_threads, CampaignStats};
 pub use stats::{worst_case_ci95, Proportion};
 pub use uarch_campaign::run_workload as run_uarch_workload;
 pub use uarch_campaign::{
-    run_uarch_campaign, CfvMode, EndState, InjectionTarget, UarchCampaignConfig, UarchTrial,
+    run_uarch_campaign, run_uarch_campaign_with_stats, CfvMode, EndState, InjectionTarget,
+    UarchCampaignConfig, UarchTrial,
 };

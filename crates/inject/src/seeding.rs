@@ -1,0 +1,124 @@
+//! Hierarchical deterministic seeding for parallel campaigns.
+//!
+//! The serial engine threaded one `StdRng` through workloads, points and
+//! trials, which welds the sampled stream to the execution order: any
+//! reordering (worker pools, skipped points, added workloads) silently
+//! changes every subsequent draw. Here every random decision instead
+//! gets its own seed derived from the *coordinates* of that decision —
+//! `(campaign seed, domain, stream, workload, point, trial)` — through a
+//! splitmix64-style mix. Two consequences:
+//!
+//! * **Order independence**: a trial's bit choice depends only on where
+//!   the trial sits in the campaign plan, never on which worker ran it
+//!   first, so any thread count reproduces the same trial vector.
+//! * **Statistical soundness**: the paper's methodology (§4.4) needs the
+//!   injection points and bits to be i.i.d. uniform samples; splitmix64
+//!   is a bijective finalizer with full 64-bit avalanche, so distinct
+//!   coordinates yield independent, well-distributed seeds. Which
+//!   uniform sample each trial receives changes versus the serial
+//!   implementation; their joint distribution does not.
+
+/// One splitmix64 output step (Steele, Lea & Flood; public-domain
+/// constants). Advances `state` and returns the mixed output.
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds `word` into `acc` with full avalanche between words.
+#[inline]
+fn fold(acc: u64, word: u64) -> u64 {
+    let mut s = acc ^ word.wrapping_mul(0xA24B_AED4_963E_E407);
+    splitmix64(&mut s)
+}
+
+/// Domain tag for the microarchitectural campaign.
+pub(crate) const DOMAIN_UARCH: u64 = 0x7561_7263_6855; // "uarchU"
+/// Domain tag for the architectural campaign.
+pub(crate) const DOMAIN_ARCH: u64 = 0x0061_7263_6841; // "archA"
+
+/// Stream tag: per-workload injection-point selection.
+const STREAM_POINTS: u64 = 1;
+/// Stream tag: per-trial fault selection.
+const STREAM_TRIAL: u64 = 2;
+
+/// Derives per-unit seeds for one campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Seeder {
+    root: u64,
+}
+
+impl Seeder {
+    /// Roots a seeder at `(campaign_seed, domain)`. Distinct domains
+    /// keep the µarch and arch campaigns decorrelated even when a user
+    /// passes the same `--seed` to both.
+    pub fn new(campaign_seed: u64, domain: u64) -> Seeder {
+        Seeder { root: fold(fold(0x5EED_0000_0000_0000, campaign_seed), domain) }
+    }
+
+    /// Seed of the injection-point stream for workload `workload`.
+    pub fn points(&self, workload: usize) -> u64 {
+        fold(fold(self.root, STREAM_POINTS), workload as u64)
+    }
+
+    /// Seed of the fault-selection stream for a single trial, addressed
+    /// by its `(workload, point, trial)` coordinates.
+    pub fn trial(&self, workload: usize, point: usize, trial: usize) -> u64 {
+        let s = fold(fold(self.root, STREAM_TRIAL), workload as u64);
+        fold(fold(s, point as u64), trial as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn coordinates_never_collide_locally() {
+        let s = Seeder::new(0xF4F5, DOMAIN_UARCH);
+        let mut seen = HashSet::new();
+        for w in 0..8 {
+            assert!(seen.insert(s.points(w)));
+            for p in 0..32 {
+                for t in 0..64 {
+                    assert!(seen.insert(s.trial(w, p, t)), "collision at {w}/{p}/{t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_seed_sensitive() {
+        let a = Seeder::new(1, DOMAIN_UARCH);
+        let b = Seeder::new(1, DOMAIN_UARCH);
+        assert_eq!(a.trial(3, 2, 1), b.trial(3, 2, 1));
+        let c = Seeder::new(2, DOMAIN_UARCH);
+        assert_ne!(a.trial(3, 2, 1), c.trial(3, 2, 1));
+        let d = Seeder::new(1, DOMAIN_ARCH);
+        assert_ne!(a.trial(3, 2, 1), d.trial(3, 2, 1), "domains decorrelate");
+    }
+
+    #[test]
+    fn trial_seeds_look_uniform() {
+        // Cheap avalanche check: bit positions of derived seeds are
+        // balanced across a coordinate sweep.
+        let s = Seeder::new(0xDEAD, DOMAIN_ARCH);
+        let mut ones = [0u32; 64];
+        let n = 4096;
+        for t in 0..n {
+            let v = s.trial(t % 7, t / 7, t);
+            for (b, count) in ones.iter_mut().enumerate() {
+                *count += ((v >> b) & 1) as u32;
+            }
+        }
+        for (b, &count) in ones.iter().enumerate() {
+            let frac = count as f64 / n as f64;
+            assert!((0.42..0.58).contains(&frac), "bit {b} biased: {frac:.3}");
+        }
+    }
+}

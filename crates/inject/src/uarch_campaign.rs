@@ -8,14 +8,25 @@
 //! (control flow vs. value corruption), fault-induced high-confidence
 //! branch mispredictions, and end-of-trial state comparison for the
 //! masked/latent/other split.
+//!
+//! Campaigns run on the parallel engine ([`crate::engine`]): a serial
+//! sweeper walks each workload's pipeline to its sorted injection
+//! points, forking one work unit per point; workers compute that
+//! point's golden run and its trials. Per-unit seeds from
+//! [`crate::seeding`] make the trial vector bit-identical at any
+//! thread count.
 
 use crate::classify::UarchCategory;
+use crate::engine::{effective_threads, run_ordered, CampaignStats, UnitOutput};
+use crate::seeding::{Seeder, DOMAIN_UARCH};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use restore_arch::Retired;
 use restore_uarch::{Pipeline, StateCatalog, Stop, UarchConfig};
 use restore_workloads::{Scale, WorkloadId};
 use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Which bits are eligible for injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +74,10 @@ pub struct UarchCampaignConfig {
     pub seed: u64,
     /// Eligible state.
     pub target: InjectionTarget,
+    /// Worker threads; 0 resolves via `RESTORE_THREADS` or the machine's
+    /// available parallelism. Results are bit-identical at every thread
+    /// count.
+    pub threads: usize,
 }
 
 impl Default for UarchCampaignConfig {
@@ -77,6 +92,7 @@ impl Default for UarchCampaignConfig {
             drain_cycles: 3_000,
             seed: 0xF4F5,
             target: InjectionTarget::AllState,
+            threads: 0,
         }
     }
 }
@@ -195,7 +211,10 @@ struct GoldenRun {
     all_events: HashSet<(u64, u64)>,
     end_state_hash: u64,
     end_regs: [u64; 32],
-    end_mem: restore_arch::Memory,
+    /// Digest of the end memory image ([`restore_arch::Memory::content_hash`]);
+    /// keeping the full golden `Memory` alive per point was the campaign's
+    /// largest resident allocation.
+    end_mem_hash: u64,
     halted: bool,
     retired: u64,
     dcache_misses: u64,
@@ -216,6 +235,16 @@ fn drain(pipe: &mut Pipeline, max: u64) {
     pipe.set_fetch_enabled(true);
 }
 
+/// `(retired-since-fork, pc)` identity of a mispredict event.
+/// `retired_before` is sampled from the (possibly fault-corrupted)
+/// machine and can sit below the fork's baseline when the fault hits the
+/// retirement counter itself — saturate rather than underflow; such an
+/// event can never match a golden key, which is exactly right.
+#[inline]
+fn event_key(retired_before: u64, base_retired: u64, pc: u64) -> (u64, u64) {
+    (retired_before.saturating_sub(base_retired), pc)
+}
+
 fn golden_run(at: &Pipeline, cfg: &UarchCampaignConfig) -> GoldenRun {
     let mut g = at.clone();
     let base_retired = g.retired();
@@ -231,9 +260,9 @@ fn golden_run(at: &Pipeline, cfg: &UarchCampaignConfig) -> GoldenRun {
         assert!(!r.deadlock, "golden run deadlocked");
         for m in &r.mispredicts {
             if m.conditional {
-                all.insert((m.retired_before - base_retired, m.pc));
+                all.insert(event_key(m.retired_before, base_retired, m.pc));
                 if m.high_confidence {
-                    hc.insert((m.retired_before - base_retired, m.pc));
+                    hc.insert(event_key(m.retired_before, base_retired, m.pc));
                 }
             }
         }
@@ -246,7 +275,7 @@ fn golden_run(at: &Pipeline, cfg: &UarchCampaignConfig) -> GoldenRun {
         all_events: all,
         end_state_hash: g.state_hash(),
         end_regs: g.arch_regs(),
-        end_mem: g.memory().clone(),
+        end_mem_hash: g.memory().content_hash(),
         halted: g.status() == Stop::Halted,
         retired: g.retired(),
         dcache_misses: g.miss_counters().1,
@@ -309,7 +338,7 @@ fn run_trial(
             if !m.conditional {
                 continue;
             }
-            let key = (m.retired_before - base_retired, m.pc);
+            let key = event_key(m.retired_before, base_retired, m.pc);
             if !golden.all_events.contains(&key) {
                 trial.any_mispredict.get_or_insert(key.0 + 1);
             }
@@ -338,10 +367,7 @@ fn run_trial(
                 // a failure. Any real effect shows up as a reg/mem
                 // mismatch or as end-of-trial residue.
                 pending_cfv = None;
-                if ret.reg_write != g.reg_write
-                    || ret.mem != g.mem
-                    || ret.halted != g.halted
-                {
+                if ret.reg_write != g.reg_write || ret.mem != g.mem || ret.halted != g.halted {
                     trial.value_divergence.get_or_insert(lat);
                 }
             }
@@ -378,10 +404,12 @@ fn run_trial(
                 EndState::Terminated
             }
             _ => {
-                let arch_clean = pipe.arch_regs() == golden.end_regs
-                    && pipe.memory() == &golden.end_mem
-                    && pipe.retired() == golden.retired
-                    && (pipe.status() == Stop::Halted) == golden.halted;
+                // Cheap comparisons first; the memory digest only runs
+                // when counters, halt status and registers all match.
+                let arch_clean = pipe.retired() == golden.retired
+                    && (pipe.status() == Stop::Halted) == golden.halted
+                    && pipe.arch_regs() == golden.end_regs
+                    && pipe.memory().content_hash() == golden.end_mem_hash;
                 if !arch_clean {
                     EndState::Latent
                 } else if pipe.state_hash() == golden.end_state_hash {
@@ -399,48 +427,113 @@ fn run_trial(
     trial
 }
 
-/// Runs the campaign over all seven workloads.
-pub fn run_uarch_campaign(cfg: &UarchCampaignConfig) -> Vec<UarchTrial> {
-    let mut out = Vec::new();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    for id in WorkloadId::ALL {
-        run_workload(cfg, id, &mut rng, &mut out);
-    }
-    out
+/// One engine work unit: a pipeline snapshot at an injection point, with
+/// everything a worker needs to run the point's golden run and trials.
+struct PointUnit {
+    /// Workload index in [`WorkloadId::ALL`] (a seeding coordinate).
+    wl: usize,
+    id: WorkloadId,
+    /// Point index within the workload's sorted plan (a seeding
+    /// coordinate).
+    point: usize,
+    pipe: Pipeline,
+    catalog: Arc<StateCatalog>,
 }
 
-/// Runs trials for a single workload.
-pub fn run_workload(
+/// Sweeps one workload's pipeline forward through its planned injection
+/// points, emitting a [`PointUnit`] at each reachable one.
+fn sweep_workload(
     cfg: &UarchCampaignConfig,
+    seeder: &Seeder,
+    wl: usize,
     id: WorkloadId,
-    rng: &mut StdRng,
-    out: &mut Vec<UarchTrial>,
+    emit: &mut dyn FnMut(PointUnit),
 ) {
     let program = id.build(cfg.scale);
     let mut walker = Pipeline::new(cfg.uarch.clone(), &program);
-    let catalog = walker.catalog();
+    let catalog = Arc::new(walker.catalog());
 
     // Pre-selected random injection cycles (paper §4.4), sorted so one
-    // walker sweeps forward.
+    // walker sweeps forward. The point stream is seeded per workload, so
+    // the plan never depends on other workloads or on execution order.
+    let mut rng = StdRng::seed_from_u64(seeder.points(wl));
     let span = cfg.window_cycles * 4;
-    let mut points: Vec<u64> = (0..cfg.points_per_workload)
-        .map(|_| cfg.warmup_cycles + rng.gen_range(0..span))
-        .collect();
+    let mut points: Vec<u64> =
+        (0..cfg.points_per_workload).map(|_| cfg.warmup_cycles + rng.gen_range(0..span)).collect();
     points.sort_unstable();
 
-    for cycle in points {
+    for (point, cycle) in points.into_iter().enumerate() {
         while walker.cycles() < cycle && walker.status() == Stop::Running {
             walker.cycle();
         }
         if walker.status() != Stop::Running {
             break;
         }
-        let golden = golden_run(&walker, cfg);
-        for _ in 0..cfg.trials_per_point {
-            let bit = draw_bit(rng, &catalog, cfg.target);
-            out.push(run_trial(&walker, &golden, &catalog, id, bit, cfg));
-        }
+        emit(PointUnit { wl, id, point, pipe: walker.clone(), catalog: Arc::clone(&catalog) });
     }
+}
+
+/// Worker half: golden run plus all of the point's trials. Each trial's
+/// RNG is seeded from its `(workload, point, trial)` coordinates, so the
+/// drawn bit is independent of which worker runs the unit and when.
+fn work_point(
+    cfg: &UarchCampaignConfig,
+    seeder: &Seeder,
+    unit: PointUnit,
+) -> UnitOutput<UarchTrial> {
+    let g0 = Instant::now();
+    let golden = Arc::new(golden_run(&unit.pipe, cfg));
+    let golden_secs = g0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let mut results = Vec::with_capacity(cfg.trials_per_point);
+    for t in 0..cfg.trials_per_point {
+        let mut rng = StdRng::seed_from_u64(seeder.trial(unit.wl, unit.point, t));
+        let bit = draw_bit(&mut rng, &unit.catalog, cfg.target);
+        results.push(run_trial(&unit.pipe, &golden, &unit.catalog, unit.id, bit, cfg));
+    }
+    UnitOutput { results, golden_secs, trial_secs: t0.elapsed().as_secs_f64() }
+}
+
+/// Runs the campaign over all seven workloads.
+pub fn run_uarch_campaign(cfg: &UarchCampaignConfig) -> Vec<UarchTrial> {
+    run_uarch_campaign_with_stats(cfg).0
+}
+
+/// Runs the campaign and also reports throughput instrumentation.
+///
+/// Trials come back in plan order `(workload, point, trial)` and are
+/// bit-identical for a given `(cfg.seed, cfg)` at every thread count.
+pub fn run_uarch_campaign_with_stats(
+    cfg: &UarchCampaignConfig,
+) -> (Vec<UarchTrial>, CampaignStats) {
+    run_points(cfg, &WorkloadId::ALL.map(|id| (workload_index(id), id)))
+}
+
+/// Runs trials for a single workload. The result is exactly the
+/// workload's slice of the full campaign with the same seed.
+pub fn run_workload(cfg: &UarchCampaignConfig, id: WorkloadId) -> Vec<UarchTrial> {
+    run_points(cfg, &[(workload_index(id), id)]).0
+}
+
+fn workload_index(id: WorkloadId) -> usize {
+    WorkloadId::ALL.iter().position(|&w| w == id).expect("id is in ALL")
+}
+
+fn run_points(
+    cfg: &UarchCampaignConfig,
+    workloads: &[(usize, WorkloadId)],
+) -> (Vec<UarchTrial>, CampaignStats) {
+    let seeder = Seeder::new(cfg.seed, DOMAIN_UARCH);
+    run_ordered(
+        effective_threads(cfg.threads),
+        |emit| {
+            for &(wl, id) in workloads {
+                sweep_workload(cfg, &seeder, wl, id, emit);
+            }
+        },
+        |unit| work_point(cfg, &seeder, unit),
+    )
 }
 
 #[cfg(test)]
@@ -458,6 +551,25 @@ mod tests {
             seed: 3,
             ..UarchCampaignConfig::default()
         }
+    }
+
+    #[test]
+    fn event_key_saturates_below_baseline() {
+        // A flipped retirement counter can report `retired_before` below
+        // the fork's baseline; the key must clamp, not underflow.
+        assert_eq!(event_key(5, 10, 0x40), (0, 0x40));
+        assert_eq!(event_key(10, 10, 0x40), (0, 0x40));
+        assert_eq!(event_key(17, 10, 0x44), (7, 0x44));
+    }
+
+    #[test]
+    fn single_workload_matches_campaign_slice() {
+        let cfg = quick();
+        let full = run_uarch_campaign(&cfg);
+        let solo = run_workload(&cfg, WorkloadId::Mcfx);
+        let slice: Vec<_> =
+            full.iter().filter(|t| t.workload == WorkloadId::Mcfx).cloned().collect();
+        assert_eq!(solo, slice);
     }
 
     #[test]
@@ -540,10 +652,7 @@ mod tests {
         let trials = run_uarch_campaign(&quick());
         for interval in [25u64, 100, 1000] {
             let cover = |mode: CfvMode| {
-                trials
-                    .iter()
-                    .filter(|t| t.classify(interval, mode, false).is_covered())
-                    .count()
+                trials.iter().filter(|t| t.classify(interval, mode, false).is_covered()).count()
             };
             assert!(
                 cover(CfvMode::Perfect) >= cover(CfvMode::HighConfidence),

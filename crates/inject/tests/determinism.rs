@@ -1,0 +1,75 @@
+//! Regression tests for the parallel campaign engine's core guarantee:
+//! a campaign's trial vector is **bit-identical at every thread count**.
+//!
+//! Per-unit hierarchical seeding makes each trial's random choices a
+//! pure function of its `(workload, point, trial)` coordinates, and the
+//! engine reassembles results in plan order — so 1, 2 and 4 workers must
+//! produce literally equal vectors, not just equal statistics.
+
+use restore_inject::{
+    run_arch_campaign, run_uarch_campaign, ArchCampaignConfig, InjectionTarget, UarchCampaignConfig,
+};
+use restore_workloads::Scale;
+
+fn uarch_cfg(threads: usize) -> UarchCampaignConfig {
+    UarchCampaignConfig {
+        points_per_workload: 2,
+        trials_per_point: 4,
+        warmup_cycles: 500,
+        window_cycles: 1_500,
+        drain_cycles: 1_000,
+        seed: 0xD0_0D,
+        threads,
+        ..UarchCampaignConfig::default()
+    }
+}
+
+#[test]
+fn uarch_campaign_is_thread_count_invariant() {
+    let baseline = run_uarch_campaign(&uarch_cfg(1));
+    assert!(!baseline.is_empty());
+    for threads in [2, 4] {
+        let got = run_uarch_campaign(&uarch_cfg(threads));
+        assert_eq!(got, baseline, "uarch campaign diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn uarch_latch_campaign_is_thread_count_invariant() {
+    let cfg = |threads| UarchCampaignConfig {
+        target: InjectionTarget::LatchesOnly,
+        ..uarch_cfg(threads)
+    };
+    let baseline = run_uarch_campaign(&cfg(1));
+    assert!(!baseline.is_empty());
+    assert_eq!(run_uarch_campaign(&cfg(4)), baseline);
+}
+
+#[test]
+fn uarch_campaigns_differ_across_seeds() {
+    // Guard against a degenerate seeder that ignores the campaign seed.
+    let a = run_uarch_campaign(&uarch_cfg(2));
+    let b = run_uarch_campaign(&UarchCampaignConfig { seed: 0xBEEF, ..uarch_cfg(2) });
+    assert_ne!(a, b);
+}
+
+fn arch_cfg(threads: usize) -> ArchCampaignConfig {
+    ArchCampaignConfig {
+        scale: Scale::smoke(),
+        trials_per_workload: 20,
+        window: 100_000,
+        seed: 0xD0_0D,
+        threads,
+        ..ArchCampaignConfig::default()
+    }
+}
+
+#[test]
+fn arch_campaign_is_thread_count_invariant() {
+    let baseline = run_arch_campaign(&arch_cfg(1));
+    assert!(!baseline.is_empty());
+    for threads in [2, 4] {
+        let got = run_arch_campaign(&arch_cfg(threads));
+        assert_eq!(got, baseline, "arch campaign diverged at {threads} threads");
+    }
+}

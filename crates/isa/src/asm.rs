@@ -312,11 +312,7 @@ impl Asm {
     // ---- control flow --------------------------------------------------
 
     fn branch_fixup(&mut self, kind: FixupKind, label: Label) {
-        self.fixups.push(Fixup {
-            word_index: self.words.len(),
-            label,
-            kind,
-        });
+        self.fixups.push(Fixup { word_index: self.words.len(), label, kind });
         // Placeholder; patched in `finish`.
         self.words.push(0);
     }
@@ -388,11 +384,7 @@ impl Asm {
 
     /// `ret zero, (ra)` — subroutine return.
     pub fn ret(&mut self) {
-        self.emit(Inst::Jump {
-            kind: JumpKind::Ret,
-            ra: Reg::ZERO,
-            rb: Reg::RA,
-        });
+        self.emit(Inst::Jump { kind: JumpKind::Ret, ra: Reg::ZERO, rb: Reg::RA });
     }
 
     // ---- PAL and fences --------------------------------------------------
@@ -492,14 +484,7 @@ impl Asm {
     /// Returns an error if any referenced label is unbound or a branch
     /// displacement is out of range.
     pub fn finish(self) -> Result<Program, AsmError> {
-        let Asm {
-            name,
-            base,
-            mut words,
-            labels,
-            fixups,
-            symbols,
-        } = self;
+        let Asm { name, base, mut words, labels, fixups, symbols } = self;
         for f in fixups {
             let target = labels[f.label.0].ok_or(AsmError::UnboundLabel(f.label))?;
             let at = base + 4 * f.word_index as u64;
@@ -623,12 +608,7 @@ mod tests {
             match decode(w).unwrap() {
                 Inst::Lda { disp, .. } => acc += disp as i64,
                 Inst::Ldah { disp, .. } => acc += (disp as i64) << 16,
-                Inst::Op {
-                    op: AluOp::Bis,
-                    ra,
-                    rb,
-                    ..
-                } => {
+                Inst::Op { op: AluOp::Bis, ra, rb, .. } => {
                     if ra == Reg::ZERO {
                         // clr or bis-with-literal onto zero
                         match rb {
@@ -643,11 +623,9 @@ mod tests {
                         }
                     }
                 }
-                Inst::Op {
-                    op: AluOp::Sll,
-                    rb: Operand::Lit(s),
-                    ..
-                } => acc = ((acc as u64) << s) as i64,
+                Inst::Op { op: AluOp::Sll, rb: Operand::Lit(s), .. } => {
+                    acc = ((acc as u64) << s) as i64
+                }
                 other => panic!("unexpected {other:?}"),
             }
         }

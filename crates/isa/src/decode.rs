@@ -57,16 +57,8 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
             Some(f) => Ok(Inst::Pal(f)),
             None => err,
         },
-        op::LDA => Ok(Inst::Lda {
-            ra,
-            rb,
-            disp: word as u16 as i16,
-        }),
-        op::LDAH => Ok(Inst::Ldah {
-            ra,
-            rb,
-            disp: word as u16 as i16,
-        }),
+        op::LDA => Ok(Inst::Lda { ra, rb, disp: word as u16 as i16 }),
+        op::LDAH => Ok(Inst::Ldah { ra, rb, disp: word as u16 as i16 }),
         op::LDBU | op::LDWU | op::LDL | op::LDQ => Ok(Inst::Load {
             width: match opcode {
                 op::LDBU => MemWidth::Byte,
@@ -104,12 +96,7 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                 }
                 Operand::Reg(rb)
             };
-            Ok(Inst::Op {
-                op: alu,
-                ra,
-                rb: rb_operand,
-                rc,
-            })
+            Ok(Inst::Op { op: alu, ra, rb: rb_operand, rc })
         }
         op::MISC => match opcodes::fence_kind(word & 0xffff) {
             Some(k) if (word >> 16) & 0x3ff == 0 => Ok(Inst::Fence(k)),
@@ -120,26 +107,12 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
             if word & 0x3fff != 0 {
                 return err;
             }
-            Ok(Inst::Jump {
-                kind: opcodes::jump_kind(word >> 14),
-                ra,
-                rb,
-            })
+            Ok(Inst::Jump { kind: opcodes::jump_kind(word >> 14), ra, rb })
         }
-        op::BR => Ok(Inst::Br {
-            ra,
-            disp: branch_disp(word),
-        }),
-        op::BSR => Ok(Inst::Bsr {
-            ra,
-            disp: branch_disp(word),
-        }),
+        op::BR => Ok(Inst::Br { ra, disp: branch_disp(word) }),
+        op::BSR => Ok(Inst::Bsr { ra, disp: branch_disp(word) }),
         _ => match opcodes::branch_cond(opcode) {
-            Some(cond) => Ok(Inst::CondBranch {
-                cond,
-                ra,
-                disp: branch_disp(word),
-            }),
+            Some(cond) => Ok(Inst::CondBranch { cond, ra, disp: branch_disp(word) }),
             None => err,
         },
     }
@@ -155,55 +128,16 @@ mod tests {
         let insts = [
             Inst::Pal(PalFunc::Halt),
             Inst::Pal(PalFunc::Outq),
-            Inst::Lda {
-                ra: Reg::T0,
-                rb: Reg::SP,
-                disp: -32768,
-            },
-            Inst::Ldah {
-                ra: Reg::GP,
-                rb: Reg::ZERO,
-                disp: 0x1000,
-            },
-            Inst::Load {
-                width: MemWidth::Long,
-                ra: Reg::V0,
-                rb: Reg::A0,
-                disp: 4,
-            },
-            Inst::Store {
-                width: MemWidth::Byte,
-                ra: Reg::T1,
-                rb: Reg::S0,
-                disp: 255,
-            },
-            Inst::Op {
-                op: AluOp::Umulh,
-                ra: Reg::T2,
-                rb: Operand::Lit(0),
-                rc: Reg::T3,
-            },
-            Inst::Op {
-                op: AluOp::Cmovgt,
-                ra: Reg::T2,
-                rb: Operand::Reg(Reg::T4),
-                rc: Reg::T3,
-            },
-            Inst::CondBranch {
-                cond: BranchCond::Ge,
-                ra: Reg::T5,
-                disp: -(1 << 20),
-            },
-            Inst::Br {
-                ra: Reg::ZERO,
-                disp: (1 << 20) - 1,
-            },
+            Inst::Lda { ra: Reg::T0, rb: Reg::SP, disp: -32768 },
+            Inst::Ldah { ra: Reg::GP, rb: Reg::ZERO, disp: 0x1000 },
+            Inst::Load { width: MemWidth::Long, ra: Reg::V0, rb: Reg::A0, disp: 4 },
+            Inst::Store { width: MemWidth::Byte, ra: Reg::T1, rb: Reg::S0, disp: 255 },
+            Inst::Op { op: AluOp::Umulh, ra: Reg::T2, rb: Operand::Lit(0), rc: Reg::T3 },
+            Inst::Op { op: AluOp::Cmovgt, ra: Reg::T2, rb: Operand::Reg(Reg::T4), rc: Reg::T3 },
+            Inst::CondBranch { cond: BranchCond::Ge, ra: Reg::T5, disp: -(1 << 20) },
+            Inst::Br { ra: Reg::ZERO, disp: (1 << 20) - 1 },
             Inst::Bsr { ra: Reg::RA, disp: 12 },
-            Inst::Jump {
-                kind: JumpKind::Ret,
-                ra: Reg::ZERO,
-                rb: Reg::RA,
-            },
+            Inst::Jump { kind: JumpKind::Ret, ra: Reg::ZERO, rb: Reg::RA },
             Inst::Fence(FenceKind::Mb),
             Inst::Fence(FenceKind::Trapb),
             Inst::NOP,
@@ -230,31 +164,18 @@ mod tests {
     #[test]
     fn reserved_fields_must_be_zero() {
         // Register-form operate with sbz bits set.
-        let base = Inst::Op {
-            op: AluOp::Addq,
-            ra: Reg::T0,
-            rb: Operand::Reg(Reg::T1),
-            rc: Reg::T2,
-        }
-        .encode();
+        let base =
+            Inst::Op { op: AluOp::Addq, ra: Reg::T0, rb: Operand::Reg(Reg::T1), rc: Reg::T2 }
+                .encode();
         assert!(decode(base | (1 << 13)).is_err());
         // Jump with low bits set.
-        let j = Inst::Jump {
-            kind: JumpKind::Jmp,
-            ra: Reg::ZERO,
-            rb: Reg::T0,
-        }
-        .encode();
+        let j = Inst::Jump { kind: JumpKind::Jmp, ra: Reg::ZERO, rb: Reg::T0 }.encode();
         assert!(decode(j | 1).is_err());
     }
 
     #[test]
     fn branch_disp_sign_extension() {
-        let i = Inst::CondBranch {
-            cond: BranchCond::Eq,
-            ra: Reg::T0,
-            disp: -1,
-        };
+        let i = Inst::CondBranch { cond: BranchCond::Eq, ra: Reg::T0, disp: -1 };
         match decode(i.encode()).unwrap() {
             Inst::CondBranch { disp, .. } => assert_eq!(disp, -1),
             other => panic!("wrong decode: {other:?}"),

@@ -26,9 +26,7 @@ impl Disasm {
     }
 
     fn branch_target(&self, disp: i32) -> u64 {
-        self.pc
-            .wrapping_add(4)
-            .wrapping_add((disp as i64 as u64).wrapping_mul(4))
+        self.pc.wrapping_add(4).wrapping_add((disp as i64 as u64).wrapping_mul(4))
     }
 }
 
@@ -63,18 +61,12 @@ impl fmt::Display for Disasm {
             }
             Inst::Lda { ra, rb, disp } => write!(f, "lda     {ra}, {disp}({rb})"),
             Inst::Ldah { ra, rb, disp } => write!(f, "ldah    {ra}, {disp}({rb})"),
-            Inst::Load {
-                width,
-                ra,
-                rb,
-                disp,
-            } => write!(f, "{:-7} {ra}, {disp}({rb})", load_mnemonic(width)),
-            Inst::Store {
-                width,
-                ra,
-                rb,
-                disp,
-            } => write!(f, "{:-7} {ra}, {disp}({rb})", store_mnemonic(width)),
+            Inst::Load { width, ra, rb, disp } => {
+                write!(f, "{:-7} {ra}, {disp}({rb})", load_mnemonic(width))
+            }
+            Inst::Store { width, ra, rb, disp } => {
+                write!(f, "{:-7} {ra}, {disp}({rb})", store_mnemonic(width))
+            }
             Inst::Op { op, ra, rb, rc } => {
                 if self.inst == Inst::NOP {
                     write!(f, "nop")
@@ -82,12 +74,9 @@ impl fmt::Display for Disasm {
                     write!(f, "{:-7} {ra}, {rb}, {rc}", op.mnemonic())
                 }
             }
-            Inst::CondBranch { cond, ra, disp } => write!(
-                f,
-                "{:-7} {ra}, {:#x}",
-                cond.mnemonic(),
-                self.branch_target(disp)
-            ),
+            Inst::CondBranch { cond, ra, disp } => {
+                write!(f, "{:-7} {ra}, {:#x}", cond.mnemonic(), self.branch_target(disp))
+            }
             Inst::Br { ra, disp } => {
                 write!(f, "br      {ra}, {:#x}", self.branch_target(disp))
             }
@@ -121,23 +110,14 @@ mod tests {
 
     #[test]
     fn branch_targets_are_absolute() {
-        let i = Inst::CondBranch {
-            cond: BranchCond::Ne,
-            ra: Reg::T0,
-            disp: -2,
-        };
+        let i = Inst::CondBranch { cond: BranchCond::Ne, ra: Reg::T0, disp: -2 };
         // target = pc + 4 - 8 = pc - 4
         assert_eq!(Disasm::new(i, 0x1008).to_string(), "bne     t0, 0x1004");
     }
 
     #[test]
     fn operate_with_literal() {
-        let i = Inst::Op {
-            op: AluOp::Sll,
-            ra: Reg::T0,
-            rb: Operand::Lit(3),
-            rc: Reg::T1,
-        };
+        let i = Inst::Op { op: AluOp::Sll, ra: Reg::T0, rb: Operand::Lit(3), rc: Reg::T1 };
         assert_eq!(Disasm::new(i, 0).to_string(), "sll     t0, #3, t1");
     }
 
@@ -146,38 +126,13 @@ mod tests {
         use crate::{FenceKind, JumpKind, MemWidth, PalFunc};
         let insts = [
             Inst::Pal(PalFunc::Putc),
-            Inst::Lda {
-                ra: Reg::T0,
-                rb: Reg::SP,
-                disp: 0,
-            },
-            Inst::Ldah {
-                ra: Reg::T0,
-                rb: Reg::SP,
-                disp: 0,
-            },
-            Inst::Load {
-                width: MemWidth::Quad,
-                ra: Reg::T0,
-                rb: Reg::SP,
-                disp: 0,
-            },
-            Inst::Store {
-                width: MemWidth::Word,
-                ra: Reg::T0,
-                rb: Reg::SP,
-                disp: 0,
-            },
-            Inst::Br {
-                ra: Reg::ZERO,
-                disp: 0,
-            },
+            Inst::Lda { ra: Reg::T0, rb: Reg::SP, disp: 0 },
+            Inst::Ldah { ra: Reg::T0, rb: Reg::SP, disp: 0 },
+            Inst::Load { width: MemWidth::Quad, ra: Reg::T0, rb: Reg::SP, disp: 0 },
+            Inst::Store { width: MemWidth::Word, ra: Reg::T0, rb: Reg::SP, disp: 0 },
+            Inst::Br { ra: Reg::ZERO, disp: 0 },
             Inst::Bsr { ra: Reg::RA, disp: 0 },
-            Inst::Jump {
-                kind: JumpKind::Ret,
-                ra: Reg::ZERO,
-                rb: Reg::RA,
-            },
+            Inst::Jump { kind: JumpKind::Ret, ra: Reg::ZERO, rb: Reg::RA },
             Inst::Fence(FenceKind::Mb),
             Inst::Fence(FenceKind::Trapb),
         ];

@@ -5,7 +5,10 @@ use crate::{Inst, Operand, Reg};
 
 #[inline]
 fn mem_format(opcode: u32, ra: Reg, rb: Reg, disp: i16) -> u32 {
-    (opcode << 26) | ((ra.index() as u32) << 21) | ((rb.index() as u32) << 16) | (disp as u16 as u32)
+    (opcode << 26)
+        | ((ra.index() as u32) << 21)
+        | ((rb.index() as u32) << 16)
+        | (disp as u16 as u32)
 }
 
 #[inline]
@@ -38,18 +41,10 @@ impl Inst {
             Inst::Pal(f) => (op::PAL << 26) | opcodes::pal_code(f),
             Inst::Lda { ra, rb, disp } => mem_format(op::LDA, ra, rb, disp),
             Inst::Ldah { ra, rb, disp } => mem_format(op::LDAH, ra, rb, disp),
-            Inst::Load {
-                width,
-                ra,
-                rb,
-                disp,
-            } => mem_format(opcodes::load_op(width), ra, rb, disp),
-            Inst::Store {
-                width,
-                ra,
-                rb,
-                disp,
-            } => mem_format(opcodes::store_op(width), ra, rb, disp),
+            Inst::Load { width, ra, rb, disp } => mem_format(opcodes::load_op(width), ra, rb, disp),
+            Inst::Store { width, ra, rb, disp } => {
+                mem_format(opcodes::store_op(width), ra, rb, disp)
+            }
             Inst::Op { op: alu, ra, rb, rc } => {
                 let (opcode, func) = opcodes::alu_codes(alu);
                 let base = (opcode << 26)
@@ -99,11 +94,7 @@ mod tests {
 
     #[test]
     fn lda_bit_layout() {
-        let i = Inst::Lda {
-            ra: Reg::T0,
-            rb: Reg::SP,
-            disp: -1,
-        };
+        let i = Inst::Lda { ra: Reg::T0, rb: Reg::SP, disp: -1 };
         let w = i.encode();
         assert_eq!(w >> 26, 0x08);
         assert_eq!((w >> 21) & 0x1f, 1); // t0 = r1
@@ -113,42 +104,24 @@ mod tests {
 
     #[test]
     fn operate_literal_sets_bit_12() {
-        let i = Inst::Op {
-            op: AluOp::Addq,
-            ra: Reg::T0,
-            rb: Operand::Lit(0xff),
-            rc: Reg::T1,
-        };
+        let i = Inst::Op { op: AluOp::Addq, ra: Reg::T0, rb: Operand::Lit(0xff), rc: Reg::T1 };
         let w = i.encode();
         assert_eq!((w >> 12) & 1, 1);
         assert_eq!((w >> 13) & 0xff, 0xff);
-        let i = Inst::Op {
-            op: AluOp::Addq,
-            ra: Reg::T0,
-            rb: Operand::Reg(Reg::T2),
-            rc: Reg::T1,
-        };
+        let i = Inst::Op { op: AluOp::Addq, ra: Reg::T0, rb: Operand::Reg(Reg::T2), rc: Reg::T1 };
         assert_eq!((i.encode() >> 12) & 1, 0);
     }
 
     #[test]
     fn branch_displacement_is_21_bit_twos_complement() {
-        let i = Inst::CondBranch {
-            cond: BranchCond::Eq,
-            ra: Reg::T0,
-            disp: -2,
-        };
+        let i = Inst::CondBranch { cond: BranchCond::Eq, ra: Reg::T0, disp: -2 };
         assert_eq!(i.encode() & 0x1f_ffff, 0x1f_fffe);
     }
 
     #[test]
     #[should_panic(expected = "out of 21-bit range")]
     fn branch_displacement_overflow_panics() {
-        let _ = Inst::Br {
-            ra: Reg::ZERO,
-            disp: 1 << 20,
-        }
-        .encode();
+        let _ = Inst::Br { ra: Reg::ZERO, disp: 1 << 20 }.encode();
     }
 
     #[test]
@@ -159,23 +132,9 @@ mod tests {
             Inst::NOP,
             Inst::Fence(FenceKind::Mb),
             Inst::Fence(FenceKind::Trapb),
-            Inst::Jump {
-                kind: JumpKind::Ret,
-                ra: Reg::ZERO,
-                rb: Reg::RA,
-            },
-            Inst::Load {
-                width: MemWidth::Quad,
-                ra: Reg::T0,
-                rb: Reg::SP,
-                disp: 0,
-            },
-            Inst::Store {
-                width: MemWidth::Quad,
-                ra: Reg::T0,
-                rb: Reg::SP,
-                disp: 0,
-            },
+            Inst::Jump { kind: JumpKind::Ret, ra: Reg::ZERO, rb: Reg::RA },
+            Inst::Load { width: MemWidth::Quad, ra: Reg::T0, rb: Reg::SP, disp: 0 },
+            Inst::Store { width: MemWidth::Quad, ra: Reg::T0, rb: Reg::SP, disp: 0 },
         ];
         let words: std::collections::HashSet<u32> = insts.iter().map(|i| i.encode()).collect();
         assert_eq!(words.len(), insts.len());

@@ -200,10 +200,7 @@ impl AluOp {
     /// `true` for multiply-class ops (longer execution latency).
     #[inline]
     pub fn is_multiply(self) -> bool {
-        matches!(
-            self,
-            AluOp::Mull | AluOp::Mulq | AluOp::Umulh | AluOp::Mullv | AluOp::Mulqv
-        )
+        matches!(self, AluOp::Mull | AluOp::Mulq | AluOp::Umulh | AluOp::Mullv | AluOp::Mulqv)
     }
 
     /// Mnemonic string.
@@ -362,7 +359,8 @@ pub enum FenceKind {
 /// (used by fault injection into instruction-carrying latches) is produced
 /// by [`Inst::encode`] and consumed by
 /// [`decode`](crate::decode()).
-#[allow(missing_docs)] // operand roles (`ra`, `rb`, `rc`, `disp`) are fixed by the format and described in each variant's doc
+#[allow(missing_docs)]
+// operand roles (`ra`, `rb`, `rc`, `disp`) are fixed by the format and described in each variant's doc
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Inst {
     /// PAL call.
@@ -372,26 +370,11 @@ pub enum Inst {
     /// Load address high: `ra = rb + disp * 65536`.
     Ldah { ra: Reg, rb: Reg, disp: i16 },
     /// Memory load: `ra = mem[rb + disp]`.
-    Load {
-        width: MemWidth,
-        ra: Reg,
-        rb: Reg,
-        disp: i16,
-    },
+    Load { width: MemWidth, ra: Reg, rb: Reg, disp: i16 },
     /// Memory store: `mem[rb + disp] = ra`.
-    Store {
-        width: MemWidth,
-        ra: Reg,
-        rb: Reg,
-        disp: i16,
-    },
+    Store { width: MemWidth, ra: Reg, rb: Reg, disp: i16 },
     /// Operate format: `rc = op(ra, rb_or_lit)`.
-    Op {
-        op: AluOp,
-        ra: Reg,
-        rb: Operand,
-        rc: Reg,
-    },
+    Op { op: AluOp, ra: Reg, rb: Operand, rc: Reg },
     /// Conditional branch on `ra`; `disp` is in instruction words relative
     /// to the updated PC.
     CondBranch { cond: BranchCond, ra: Reg, disp: i32 },
@@ -409,12 +392,8 @@ pub enum Inst {
 
 impl Inst {
     /// Canonical no-op (`bis zero, zero, zero`).
-    pub const NOP: Inst = Inst::Op {
-        op: AluOp::Bis,
-        ra: Reg::ZERO,
-        rb: Operand::Reg(Reg::ZERO),
-        rc: Reg::ZERO,
-    };
+    pub const NOP: Inst =
+        Inst::Op { op: AluOp::Bis, ra: Reg::ZERO, rb: Operand::Reg(Reg::ZERO), rc: Reg::ZERO };
 
     /// `true` if this instruction can redirect control flow.
     #[inline]
@@ -540,28 +519,15 @@ mod tests {
 
     #[test]
     fn dest_hides_zero_register() {
-        let i = Inst::Lda {
-            ra: Reg::ZERO,
-            rb: Reg::SP,
-            disp: 8,
-        };
+        let i = Inst::Lda { ra: Reg::ZERO, rb: Reg::SP, disp: 8 };
         assert_eq!(i.dest(), None);
-        let i = Inst::Lda {
-            ra: Reg::T0,
-            rb: Reg::SP,
-            disp: 8,
-        };
+        let i = Inst::Lda { ra: Reg::T0, rb: Reg::SP, disp: 8 };
         assert_eq!(i.dest(), Some(Reg::T0));
     }
 
     #[test]
     fn store_sources_are_base_then_data() {
-        let i = Inst::Store {
-            width: MemWidth::Quad,
-            ra: Reg::T1,
-            rb: Reg::SP,
-            disp: 0,
-        };
+        let i = Inst::Store { width: MemWidth::Quad, ra: Reg::T1, rb: Reg::SP, disp: 0 };
         let srcs: Vec<_> = i.sources().collect();
         assert_eq!(srcs, vec![Reg::SP, Reg::T1]);
         assert!(i.is_store() && i.is_mem() && !i.is_load());
@@ -569,24 +535,14 @@ mod tests {
 
     #[test]
     fn cmov_reads_its_destination() {
-        let i = Inst::Op {
-            op: AluOp::Cmoveq,
-            ra: Reg::T0,
-            rb: Operand::Reg(Reg::T1),
-            rc: Reg::T2,
-        };
+        let i = Inst::Op { op: AluOp::Cmoveq, ra: Reg::T0, rb: Operand::Reg(Reg::T1), rc: Reg::T2 };
         let srcs: Vec<_> = i.sources().collect();
         assert_eq!(srcs, vec![Reg::T0, Reg::T1, Reg::T2]);
     }
 
     #[test]
     fn literal_operand_is_not_a_source() {
-        let i = Inst::Op {
-            op: AluOp::Addq,
-            ra: Reg::T0,
-            rb: Operand::Lit(7),
-            rc: Reg::T2,
-        };
+        let i = Inst::Op { op: AluOp::Addq, ra: Reg::T0, rb: Operand::Lit(7), rc: Reg::T2 };
         let srcs: Vec<_> = i.sources().collect();
         assert_eq!(srcs, vec![Reg::T0]);
     }
@@ -608,11 +564,7 @@ mod tests {
 
     #[test]
     fn classification_predicates() {
-        let br = Inst::CondBranch {
-            cond: BranchCond::Eq,
-            ra: Reg::T0,
-            disp: -1,
-        };
+        let br = Inst::CondBranch { cond: BranchCond::Eq, ra: Reg::T0, disp: -1 };
         assert!(br.is_control() && br.is_cond_branch());
         assert!(Inst::Fence(FenceKind::Mb).is_sync());
         assert!(Inst::Pal(PalFunc::Halt).is_sync());

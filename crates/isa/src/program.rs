@@ -92,11 +92,7 @@ impl Program {
 
     /// Adds an initialised data segment and returns its base address.
     pub fn add_data(&mut self, base: u64, bytes: Vec<u8>, writable: bool) -> u64 {
-        self.data.push(DataSegment {
-            base,
-            bytes,
-            writable,
-        });
+        self.data.push(DataSegment { base, bytes, writable });
         base
     }
 

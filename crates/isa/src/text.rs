@@ -96,19 +96,16 @@ fn parse_mem_operand(tok: &str, line: usize) -> Result<(i16, Reg), ParseError> {
 fn alu_by_name(name: &str) -> Option<AluOp> {
     use AluOp::*;
     let all = [
-        Addl, Addq, Subl, Subq, Addlv, Addqv, Sublv, Subqv, S4addq, S8addq, S4subq, S8subq,
-        Cmpeq, Cmplt, Cmple, Cmpult, Cmpule, And, Bic, Bis, Ornot, Xor, Eqv, Cmoveq, Cmovne,
-        Cmovlt, Cmovge, Cmovle, Cmovgt, Cmovlbs, Cmovlbc, Sll, Srl, Sra, Mull, Mulq, Umulh,
-        Mullv, Mulqv,
+        Addl, Addq, Subl, Subq, Addlv, Addqv, Sublv, Subqv, S4addq, S8addq, S4subq, S8subq, Cmpeq,
+        Cmplt, Cmple, Cmpult, Cmpule, And, Bic, Bis, Ornot, Xor, Eqv, Cmoveq, Cmovne, Cmovlt,
+        Cmovge, Cmovle, Cmovgt, Cmovlbs, Cmovlbc, Sll, Srl, Sra, Mull, Mulq, Umulh, Mullv, Mulqv,
     ];
     all.into_iter().find(|op| op.mnemonic() == name)
 }
 
 fn branch_by_name(name: &str) -> Option<BranchCond> {
     use BranchCond::*;
-    [Lbc, Eq, Lt, Le, Lbs, Ne, Ge, Gt]
-        .into_iter()
-        .find(|c| c.mnemonic() == name)
+    [Lbc, Eq, Lt, Le, Lbs, Ne, Ge, Gt].into_iter().find(|c| c.mnemonic() == name)
 }
 
 #[derive(Debug)]
@@ -172,8 +169,7 @@ pub fn assemble_text(source: &str) -> Result<Program, ParseError> {
                 return Err(err(line_no, "labels are only valid in .text".into()));
             }
             let l = label_of(&mut labels, &mut a, name);
-            a.bind(l)
-                .map_err(|_| err(line_no, format!("label `{name}` defined twice")))?;
+            a.bind(l).map_err(|_| err(line_no, format!("label `{name}` defined twice")))?;
             a.symbol(name);
             rest = tail[1..].trim();
         }
@@ -196,8 +192,8 @@ pub fn assemble_text(source: &str) -> Result<Program, ParseError> {
                     {
                         segments.push((base, bytes, writable));
                     }
-                    let base = parse_int(args)
-                        .ok_or_else(|| err(line_no, "bad .text base".into()))?;
+                    let base =
+                        parse_int(args).ok_or_else(|| err(line_no, "bad .text base".into()))?;
                     a = Asm::new("text-asm", base as u64);
                     labels.clear();
                 }
@@ -207,8 +203,8 @@ pub fn assemble_text(source: &str) -> Result<Program, ParseError> {
                     {
                         segments.push((base, bytes, writable));
                     }
-                    let base = parse_int(args)
-                        .ok_or_else(|| err(line_no, "bad data base".into()))?;
+                    let base =
+                        parse_int(args).ok_or_else(|| err(line_no, "bad data base".into()))?;
                     section = Section::Data {
                         base: base as u64,
                         bytes: Vec::new(),
@@ -223,7 +219,7 @@ pub fn assemble_text(source: &str) -> Result<Program, ParseError> {
                         "zero" => {
                             let n = parse_int(args)
                                 .ok_or_else(|| err(line_no, "bad .zero count".into()))?;
-                            bytes.extend(std::iter::repeat(0).take(n as usize));
+                            bytes.extend(std::iter::repeat_n(0, n as usize));
                         }
                         _ => {
                             for val in args.split(',') {
@@ -290,8 +286,7 @@ pub fn assemble_text(source: &str) -> Result<Program, ParseError> {
             }
             "li" => {
                 want(2)?;
-                let v = parse_int(ops[1])
-                    .ok_or_else(|| err(line_no, "bad immediate".into()))?;
+                let v = parse_int(ops[1]).ok_or_else(|| err(line_no, "bad immediate".into()))?;
                 a.li(reg(ops[0])?, v);
             }
             // Memory format.
@@ -320,7 +315,8 @@ pub fn assemble_text(source: &str) -> Result<Program, ParseError> {
             }
             "bsr" => {
                 // Accept both `bsr label` and `bsr ra, label`.
-                let target = *ops.last().ok_or_else(|| err(line_no, "bsr needs a target".into()))?;
+                let target =
+                    *ops.last().ok_or_else(|| err(line_no, "bsr needs a target".into()))?;
                 let l = label_of(&mut labels, &mut a, target);
                 a.bsr(l);
             }
@@ -346,8 +342,7 @@ pub fn assemble_text(source: &str) -> Result<Program, ParseError> {
                     let ra = reg(ops[0])?;
                     let rc = reg(ops[2])?;
                     if let Some(lit) = ops[1].strip_prefix('#') {
-                        let v = parse_int(lit)
-                            .ok_or_else(|| err(line_no, "bad literal".into()))?;
+                        let v = parse_int(lit).ok_or_else(|| err(line_no, "bad literal".into()))?;
                         let v = u8::try_from(v)
                             .map_err(|_| err(line_no, "literal exceeds 8 bits".into()))?;
                         a.op(op, ra, v, rc);
@@ -480,10 +475,7 @@ mod tests {
 
     #[test]
     fn comments_are_stripped() {
-        let p = assemble_text(
-            "nop ; trailing\n// whole line\nnop // another\nhalt",
-        )
-        .unwrap();
+        let p = assemble_text("nop ; trailing\n// whole line\nnop // another\nhalt").unwrap();
         assert_eq!(p.text.len(), 3);
     }
 

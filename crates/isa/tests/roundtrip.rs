@@ -21,19 +21,11 @@ fn arb_alu_op() -> impl Strategy<Value = AluOp> {
 }
 
 fn arb_operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        arb_reg().prop_map(Operand::Reg),
-        any::<u8>().prop_map(Operand::Lit),
-    ]
+    prop_oneof![arb_reg().prop_map(Operand::Reg), any::<u8>().prop_map(Operand::Lit),]
 }
 
 fn arb_width() -> impl Strategy<Value = MemWidth> {
-    prop::sample::select(vec![
-        MemWidth::Byte,
-        MemWidth::Word,
-        MemWidth::Long,
-        MemWidth::Quad,
-    ])
+    prop::sample::select(vec![MemWidth::Byte, MemWidth::Word, MemWidth::Long, MemWidth::Quad])
 }
 
 fn arb_cond() -> impl Strategy<Value = BranchCond> {
@@ -44,18 +36,24 @@ fn arb_cond() -> impl Strategy<Value = BranchCond> {
 fn arb_inst() -> impl Strategy<Value = Inst> {
     let disp21 = -(1i32 << 20)..(1i32 << 20);
     prop_oneof![
-        prop::sample::select(vec![PalFunc::Halt, PalFunc::Putc, PalFunc::Outq])
-            .prop_map(Inst::Pal),
+        prop::sample::select(vec![PalFunc::Halt, PalFunc::Putc, PalFunc::Outq]).prop_map(Inst::Pal),
         (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(ra, rb, disp)| Inst::Lda { ra, rb, disp }),
         (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(ra, rb, disp)| Inst::Ldah { ra, rb, disp }),
         (arb_width(), arb_reg(), arb_reg(), any::<i16>())
             .prop_map(|(width, ra, rb, disp)| Inst::Load { width, ra, rb, disp }),
         (arb_width(), arb_reg(), arb_reg(), any::<i16>())
             .prop_map(|(width, ra, rb, disp)| Inst::Store { width, ra, rb, disp }),
-        (arb_alu_op(), arb_reg(), arb_operand(), arb_reg())
-            .prop_map(|(op, ra, rb, rc)| Inst::Op { op, ra, rb, rc }),
-        (arb_cond(), arb_reg(), disp21.clone())
-            .prop_map(|(cond, ra, disp)| Inst::CondBranch { cond, ra, disp }),
+        (arb_alu_op(), arb_reg(), arb_operand(), arb_reg()).prop_map(|(op, ra, rb, rc)| Inst::Op {
+            op,
+            ra,
+            rb,
+            rc
+        }),
+        (arb_cond(), arb_reg(), disp21.clone()).prop_map(|(cond, ra, disp)| Inst::CondBranch {
+            cond,
+            ra,
+            disp
+        }),
         (arb_reg(), disp21.clone()).prop_map(|(ra, disp)| Inst::Br { ra, disp }),
         (arb_reg(), disp21).prop_map(|(ra, disp)| Inst::Bsr { ra, disp }),
         (

@@ -168,10 +168,7 @@ impl PerfModel {
         if profiles.is_empty() {
             return 1.0;
         }
-        let log_sum: f64 = profiles
-            .iter()
-            .map(|p| self.speedup(p, interval, policy).ln())
-            .sum();
+        let log_sum: f64 = profiles.iter().map(|p| self.speedup(p, interval, policy).ln()).sum();
         (log_sum / profiles.len() as f64).exp()
     }
 }
@@ -181,10 +178,7 @@ pub const FIGURE7_INTERVALS: [u64; 5] = [50, 100, 200, 500, 1000];
 
 /// Profiles every workload (convenience for the figure generator).
 pub fn profile_all(scale: Scale, uarch: &UarchConfig, max_cycles: u64) -> Vec<WorkloadProfile> {
-    WorkloadId::ALL
-        .iter()
-        .map(|&id| profile_workload(id, scale, uarch, max_cycles))
-        .collect()
+    WorkloadId::ALL.iter().map(|&id| profile_workload(id, scale, uarch, max_cycles)).collect()
 }
 
 #[cfg(test)]
@@ -230,9 +224,7 @@ mod tests {
         // 2I per interval vs imm's 1.5I per symptom.
         let p = synthetic_profile((0..50).map(|k| k * 2_000).collect());
         let m = PerfModel::default();
-        assert!(
-            m.speedup(&p, 50, Policy::Immediate) > m.speedup(&p, 50, Policy::Delayed)
-        );
+        assert!(m.speedup(&p, 50, Policy::Immediate) > m.speedup(&p, 50, Policy::Delayed));
     }
 
     #[test]
@@ -241,9 +233,7 @@ mod tests {
         // delayed one.
         let p = synthetic_profile((0..10).map(|k| 5_000 + k * 10).collect());
         let m = PerfModel::default();
-        assert!(
-            m.speedup(&p, 1000, Policy::Delayed) > m.speedup(&p, 1000, Policy::Immediate)
-        );
+        assert!(m.speedup(&p, 1000, Policy::Delayed) > m.speedup(&p, 1000, Policy::Immediate));
     }
 
     #[test]
@@ -258,11 +248,8 @@ mod tests {
     #[test]
     fn real_profiles_give_minor_hit_at_100() {
         // Paper: ~6% at a 100-instruction interval. Band generously.
-        let profiles = profile_all(
-            restore_workloads::Scale::campaign(),
-            &UarchConfig::default(),
-            60_000,
-        );
+        let profiles =
+            profile_all(restore_workloads::Scale::campaign(), &UarchConfig::default(), 60_000);
         let m = PerfModel::default();
         let s = m.mean_speedup(&profiles, 100, Policy::Immediate);
         assert!((0.80..=1.0).contains(&s), "speedup {s:.3} out of band");
@@ -270,9 +257,6 @@ mod tests {
 
     #[test]
     fn mean_speedup_of_empty_is_one() {
-        assert_eq!(
-            PerfModel::default().mean_speedup(&[], 100, Policy::Immediate),
-            1.0
-        );
+        assert_eq!(PerfModel::default().mean_speedup(&[], 100, Policy::Immediate), 1.0);
     }
 }

@@ -45,9 +45,7 @@ impl Cache {
         let line = addr >> self.line_shift;
         let set = (line as usize) & (self.sets - 1);
         let base = set * self.ways;
-        let slot = self.tags[base..base + self.ways]
-            .iter()
-            .position(|&t| t == line);
+        let slot = self.tags[base..base + self.ways].iter().position(|&t| t == line);
         match slot {
             Some(way) => {
                 self.touch(base, way);
@@ -55,9 +53,7 @@ impl Cache {
             }
             None => {
                 self.misses += 1;
-                let victim = (0..self.ways)
-                    .max_by_key(|&w| self.lru[base + w])
-                    .expect("ways >= 1");
+                let victim = (0..self.ways).max_by_key(|&w| self.lru[base + w]).expect("ways >= 1");
                 self.tags[base + victim] = line;
                 self.touch(base, victim);
                 false

@@ -12,7 +12,9 @@ use crate::cache::{Cache, Tlb};
 use crate::predict::{BranchPredictor, Btb, JrsConfidence, MemDepPredictor, Ras};
 use crate::queues::{CircQ, FreeList};
 use crate::state::{FieldClass, StateVisitor};
-use crate::uop::{ExcCode, ExecLatch, FqEntry, LdqEntry, PredInfo, RobEntry, Role, SchedEntry, SrcTag, StqEntry};
+use crate::uop::{
+    ExcCode, ExecLatch, FqEntry, LdqEntry, PredInfo, RobEntry, Role, SchedEntry, SrcTag, StqEntry,
+};
 use crate::UarchConfig;
 use restore_arch::{AccessKind, BranchEffect, Exception, MemEffect, Memory, Perm, Retired};
 use restore_isa::{decode, Inst, JumpKind, MemWidth, Operand, PalFunc, Program, Reg};
@@ -399,9 +401,9 @@ impl Pipeline {
     /// it at zero latency; the performance cost is modelled separately in
     /// `restore-perf`).
     pub fn restore_checkpoint(&mut self, regs: &[u64; 32], pc: u64) {
-        for r in 0..32 {
+        for (r, &val) in regs.iter().enumerate() {
             self.arch_rat[r] = r as u8;
-            self.phys_regs[r] = regs[r];
+            self.phys_regs[r] = val;
             self.phys_ready[r] = true;
         }
         self.phys_regs[31] = 0;
@@ -476,35 +478,38 @@ impl Pipeline {
             match ExcCode::from_bits(head.exc) {
                 ExcCode::None => {}
                 ExcCode::LoadAccess => {
-                    return self.raise(report, Exception::AccessViolation {
-                        addr: head.exc_aux,
-                        access: AccessKind::Load,
-                    })
+                    return self.raise(
+                        report,
+                        Exception::AccessViolation { addr: head.exc_aux, access: AccessKind::Load },
+                    )
                 }
                 ExcCode::StoreAccess => {
-                    return self.raise(report, Exception::AccessViolation {
-                        addr: head.exc_aux,
-                        access: AccessKind::Store,
-                    })
+                    return self.raise(
+                        report,
+                        Exception::AccessViolation {
+                            addr: head.exc_aux,
+                            access: AccessKind::Store,
+                        },
+                    )
                 }
                 ExcCode::LoadAlign => {
-                    return self.raise(report, Exception::Alignment {
-                        addr: head.exc_aux,
-                        access: AccessKind::Load,
-                    })
+                    return self.raise(
+                        report,
+                        Exception::Alignment { addr: head.exc_aux, access: AccessKind::Load },
+                    )
                 }
                 ExcCode::StoreAlign => {
-                    return self.raise(report, Exception::Alignment {
-                        addr: head.exc_aux,
-                        access: AccessKind::Store,
-                    })
+                    return self.raise(
+                        report,
+                        Exception::Alignment { addr: head.exc_aux, access: AccessKind::Store },
+                    )
                 }
                 ExcCode::Arith => return self.raise(report, Exception::ArithmeticTrap { pc }),
                 ExcCode::Illegal => {
-                    return self.raise(report, Exception::IllegalInstruction {
-                        pc,
-                        word: head.exc_aux as u32,
-                    })
+                    return self.raise(
+                        report,
+                        Exception::IllegalInstruction { pc, word: head.exc_aux as u32 },
+                    )
                 }
                 ExcCode::Fetch => return self.raise(report, Exception::FetchFault { pc }),
             }
@@ -530,14 +535,16 @@ impl Pipeline {
             // Memory effects commit now, through the store queue head.
             match Role::from_bits(head.role) {
                 Role::Store => {
-                    let matches_head =
-                        self.stq.front().map(|s| s.seq == head.seq).unwrap_or(false);
+                    let matches_head = self.stq.front().map(|s| s.seq == head.seq).unwrap_or(false);
                     if !matches_head {
                         // STQ corrupted out from under us.
-                        return self.raise(report, Exception::AccessViolation {
-                            addr: head.exc_aux,
-                            access: AccessKind::Store,
-                        });
+                        return self.raise(
+                            report,
+                            Exception::AccessViolation {
+                                addr: head.exc_aux,
+                                access: AccessKind::Store,
+                            },
+                        );
                     }
                     let s = self.stq.pop_front().expect("checked");
                     let len = 1u64 << (s.width_log2 & 3);
@@ -545,9 +552,7 @@ impl Pipeline {
                     match self.mem.check(s.addr, len, AccessKind::Store) {
                         Ok(()) => {
                             self.mem.peek_bytes(s.addr, &mut old[..len as usize]);
-                            self.mem
-                                .store(s.addr, len, s.data)
-                                .expect("checked store");
+                            self.mem.store(s.addr, len, s.data).expect("checked store");
                             report.store_undo.push((s.addr, len, u64::from_le_bytes(old)));
                             retired.mem = Some(MemEffect {
                                 addr: s.addr,
@@ -561,16 +566,14 @@ impl Pipeline {
                         }
                     }
                 }
-                Role::Load => {
-                    if self.ldq.front().map(|l| l.seq == head.seq).unwrap_or(false) {
-                        let l = self.ldq.pop_front().expect("checked");
-                        retired.mem = Some(MemEffect {
-                            addr: l.addr,
-                            len: 1u64 << (l.width_log2 & 3),
-                            is_store: false,
-                            value: l.value,
-                        });
-                    }
+                Role::Load if self.ldq.front().map(|l| l.seq == head.seq).unwrap_or(false) => {
+                    let l = self.ldq.pop_front().expect("checked");
+                    retired.mem = Some(MemEffect {
+                        addr: l.addr,
+                        len: 1u64 << (l.width_log2 & 3),
+                        is_store: false,
+                        value: l.value,
+                    });
                 }
                 _ => {}
             }
@@ -597,8 +600,12 @@ impl Pipeline {
                     if !head.trained {
                         let correct = head.pred.taken == head.actual_taken
                             && head.pred.next_pc == head.next_pc;
-                        self.bpred
-                            .update(pc, head.pred.used_ghr, head.actual_taken, head.pred.taken);
+                        self.bpred.update(
+                            pc,
+                            head.pred.used_ghr,
+                            head.actual_taken,
+                            head.pred.taken,
+                        );
                         if !correct || self.confidence_training {
                             self.jrs.update(pc, head.pred.used_ghr, correct);
                         }
@@ -927,16 +934,12 @@ impl Pipeline {
         let (taken, next_pc) = match inst {
             Inst::CondBranch { cond, disp, .. } => {
                 let t = cond.eval(e.a);
-                let target = pc
-                    .wrapping_add(4)
-                    .wrapping_add((disp as i64 as u64).wrapping_mul(4));
+                let target = pc.wrapping_add(4).wrapping_add((disp as i64 as u64).wrapping_mul(4));
                 (t, if t { target } else { pc.wrapping_add(4) })
             }
-            Inst::Br { disp, .. } | Inst::Bsr { disp, .. } => (
-                true,
-                pc.wrapping_add(4)
-                    .wrapping_add((disp as i64 as u64).wrapping_mul(4)),
-            ),
+            Inst::Br { disp, .. } | Inst::Bsr { disp, .. } => {
+                (true, pc.wrapping_add(4).wrapping_add((disp as i64 as u64).wrapping_mul(4)))
+            }
             Inst::Jump { .. } => (true, e.a & !3),
             _ => unreachable!("role checked"),
         };
@@ -974,11 +977,7 @@ impl Pipeline {
                 retired_before: self.retired_total,
             });
             // Locate this branch's shadow checkpoint.
-            let snapshot = self
-                .bob
-                .iter()
-                .find(|(_, b)| b.seq == seq)
-                .map(|(i, _)| i);
+            let snapshot = self.bob.iter().find(|(_, b)| b.seq == seq).map(|(i, _)| i);
             match snapshot {
                 Some(i) => {
                     let b = self.bob.slot(i).clone();
@@ -1021,9 +1020,8 @@ impl Pipeline {
                 }
             }
         }
-        let mut ready: Vec<usize> = (0..self.sched.len())
-            .filter(|&i| self.sched[i].ready())
-            .collect();
+        let mut ready: Vec<usize> =
+            (0..self.sched.len()).filter(|&i| self.sched[i].ready()).collect();
         ready.sort_by_key(|&i| self.sched[i].seq);
 
         let (mut alu, mut br, mut agen) =
@@ -1159,11 +1157,7 @@ impl Pipeline {
         let mut src = [SrcTag::default(); 3];
         for (k, r) in inst.sources().enumerate() {
             let tag = self.spec_rat[r.index()];
-            src[k] = SrcTag {
-                tag,
-                ready: self.phys_ready[self.pr(tag)],
-                used: true,
-            };
+            src[k] = SrcTag { tag, ready: self.phys_ready[self.pr(tag)], used: true };
         }
 
         // Destination allocation.
@@ -1234,11 +1228,7 @@ impl Pipeline {
 
         // Scheduler dispatch.
         if needs_sched {
-            let slot = self
-                .sched
-                .iter()
-                .position(|s| !s.valid)
-                .expect("checked space");
+            let slot = self.sched.iter().position(|s| !s.valid).expect("checked space");
             self.sched[slot] = SchedEntry {
                 valid: true,
                 word: fe.word,
@@ -1323,9 +1313,8 @@ impl Pipeline {
                 match inst {
                     Inst::CondBranch { disp, .. } => {
                         let (taken, used_ghr) = self.bpred.predict(pc);
-                        let target = pc
-                            .wrapping_add(4)
-                            .wrapping_add((disp as i64 as u64).wrapping_mul(4));
+                        let target =
+                            pc.wrapping_add(4).wrapping_add((disp as i64 as u64).wrapping_mul(4));
                         pred.taken = taken;
                         pred.next_pc = if taken { target } else { pc.wrapping_add(4) };
                         pred.used_ghr = used_ghr;
@@ -1334,16 +1323,14 @@ impl Pipeline {
                     }
                     Inst::Br { disp, .. } => {
                         pred.taken = true;
-                        pred.next_pc = pc
-                            .wrapping_add(4)
-                            .wrapping_add((disp as i64 as u64).wrapping_mul(4));
+                        pred.next_pc =
+                            pc.wrapping_add(4).wrapping_add((disp as i64 as u64).wrapping_mul(4));
                         redirect = true;
                     }
                     Inst::Bsr { disp, .. } => {
                         pred.taken = true;
-                        pred.next_pc = pc
-                            .wrapping_add(4)
-                            .wrapping_add((disp as i64 as u64).wrapping_mul(4));
+                        pred.next_pc =
+                            pc.wrapping_add(4).wrapping_add((disp as i64 as u64).wrapping_mul(4));
                         self.ras.push(pc.wrapping_add(4));
                         redirect = true;
                     }
@@ -1490,14 +1477,8 @@ impl crate::state::FaultState for Pipeline {
 /// added to the register file and other key data stores" — the register
 /// file, the alias tables (speculative, architectural and the BOB's
 /// shadow copies), the free list, and the fetch queue.
-pub const LHF_ECC_REGIONS: &[&str] = &[
-    "phys-regfile",
-    "spec-rat",
-    "arch-rat",
-    "branch-order-buffer",
-    "free-list",
-    "fetch-queue",
-];
+pub const LHF_ECC_REGIONS: &[&str] =
+    &["phys-regfile", "spec-rat", "arch-rat", "branch-order-buffer", "free-list", "fetch-queue"];
 
 impl Pipeline {
     /// Builds the catalog of injectable state for this pipeline, with the

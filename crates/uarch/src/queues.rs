@@ -131,11 +131,7 @@ impl<T: Default + Clone> CircQ<T> {
     /// Visits the head/len pointers (latch bits) and every slot's payload
     /// via `f`. Call [`CircQ::sanitize`] afterwards when the visitor may
     /// have mutated state.
-    pub fn visit_with<V: StateVisitor>(
-        &mut self,
-        v: &mut V,
-        mut f: impl FnMut(&mut T, &mut V),
-    ) {
+    pub fn visit_with<V: StateVisitor>(&mut self, v: &mut V, mut f: impl FnMut(&mut T, &mut V)) {
         let ptr_width = (64 - (self.cap() as u64).leading_zeros()).max(1);
         v.word(&mut self.head, ptr_width, FieldClass::Control);
         v.word(&mut self.len, ptr_width + 1, FieldClass::Control);

@@ -216,7 +216,14 @@ impl StateVisitor for RangeRecorder {
         if let Some(last) = self.regions.last_mut() {
             last.len = self.pos - last.start;
         }
-        self.regions.push(StateRegion { name, kind, start: self.pos, len: 0, control_bits: 0, ecc: false });
+        self.regions.push(StateRegion {
+            name,
+            kind,
+            start: self.pos,
+            len: 0,
+            control_bits: 0,
+            ecc: false,
+        });
     }
     fn word(&mut self, _value: &mut u64, width: u32, class: FieldClass) {
         self.fields.push((self.pos, width, class));
@@ -255,28 +262,20 @@ impl StateCatalog {
 
     /// The region containing a global bit index.
     pub fn region_of(&self, bit: u64) -> Option<&StateRegion> {
-        self.regions
-            .iter()
-            .find(|r| bit >= r.start && bit < r.start + r.len)
+        self.regions.iter().find(|r| bit >= r.start && bit < r.start + r.len)
     }
 
     /// The field class of a global bit index.
     pub fn class_of(&self, bit: u64) -> Option<FieldClass> {
         // Fields are sorted by start; binary search.
-        let idx = self
-            .fields
-            .partition_point(|&(start, _, _)| start <= bit);
+        let idx = self.fields.partition_point(|&(start, _, _)| start <= bit);
         let (start, width, class) = *self.fields.get(idx.checked_sub(1)?)?;
         (bit < start + width as u64).then_some(class)
     }
 
     /// Total bits in latch regions.
     pub fn latch_bits(&self) -> u64 {
-        self.regions
-            .iter()
-            .filter(|r| r.kind == StateKind::Latch)
-            .map(|r| r.len)
-            .sum()
+        self.regions.iter().filter(|r| r.kind == StateKind::Latch).map(|r| r.len).sum()
     }
 
     /// Total bits in RAM regions.
@@ -315,12 +314,8 @@ impl StateCatalog {
     /// bits per 64 data bits; parity costs one bit per protected control
     /// field.
     pub fn lhf_overhead(&self) -> f64 {
-        let ecc_bits: f64 = self
-            .regions
-            .iter()
-            .filter(|r| r.ecc)
-            .map(|r| (r.len as f64 / 64.0).ceil() * 8.0)
-            .sum();
+        let ecc_bits: f64 =
+            self.regions.iter().filter(|r| r.ecc).map(|r| (r.len as f64 / 64.0).ceil() * 8.0).sum();
         let parity_fields = self
             .fields
             .iter()
@@ -334,11 +329,8 @@ impl StateCatalog {
 
     /// Fraction of all bits covered by the hardened pipeline.
     pub fn lhf_coverage(&self) -> f64 {
-        let covered: u64 = self
-            .regions
-            .iter()
-            .map(|r| if r.ecc { r.len } else { r.control_bits })
-            .sum();
+        let covered: u64 =
+            self.regions.iter().map(|r| if r.ecc { r.len } else { r.control_bits }).sum();
         covered as f64 / self.total_bits.max(1) as f64
     }
 }

@@ -27,10 +27,7 @@ fn lockstep(program: &restore_isa::Program, cfg: UarchConfig, limit: u64) -> (u6
             let expected: Retired = cpu
                 .step()
                 .unwrap_or_else(|e| panic!("arch exception {e} at instruction {checked}"));
-            assert_eq!(
-                r, &expected,
-                "retired event #{checked} diverged (pipeline vs arch)"
-            );
+            assert_eq!(r, &expected, "retired event #{checked} diverged (pipeline vs arch)");
             checked += 1;
         }
         assert!(

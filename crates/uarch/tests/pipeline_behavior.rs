@@ -292,10 +292,7 @@ fn ipc_is_respectable_on_workloads() {
             pipe.cycle();
         }
         let ipc = pipe.retired() as f64 / pipe.cycles() as f64;
-        assert!(
-            (0.3..=4.0).contains(&ipc),
-            "{id}: implausible IPC {ipc:.2}"
-        );
+        assert!((0.3..=4.0).contains(&ipc), "{id}: implausible IPC {ipc:.2}");
     }
 }
 
@@ -335,10 +332,7 @@ fn memory_dependence_speculation_violates_then_learns() {
     let stop = run_until_stop(&mut pipe, 1_000_000);
     assert_eq!(stop, Stop::Halted);
     assert_eq!(pipe.output(), cpu.output(), "replay must be architecturally invisible");
-    assert!(
-        pipe.replay_count() >= 1,
-        "the first iteration should speculate and violate"
-    );
+    assert!(pipe.replay_count() >= 1, "the first iteration should speculate and violate");
     assert!(
         pipe.replay_count() <= 5,
         "the predictor must learn: {} replays in 40 iterations",

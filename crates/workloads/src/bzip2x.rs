@@ -100,7 +100,7 @@ pub fn build(size: usize, seed: u64) -> Program {
     let m_loop = a.bind_here();
     a.addq(Reg::T0, Reg::S2, Reg::T1);
     a.ldbu(Reg::T2, 0, Reg::T1); // symbol b
-    // find rank j with mtf[j] == b (guaranteed to exist)
+                                 // find rank j with mtf[j] == b (guaranteed to exist)
     a.clr(Reg::T3); // j
     let find_loop = a.bind_here();
     let found = a.label();

@@ -35,9 +35,7 @@ pub fn build(size: usize, seed: u64) -> Program {
     let mut r = rng(seed);
     let p_perm: Vec<u64> = permutation(&mut r, n).iter().map(|&x| x as u64).collect();
     let q_perm: Vec<u64> = permutation(&mut r, n).iter().map(|&x| x as u64).collect();
-    let big_b: Vec<u64> = (0..LIMBS)
-        .map(|_| rand::Rng::gen::<u64>(&mut r))
-        .collect();
+    let big_b: Vec<u64> = (0..LIMBS).map(|_| rand::Rng::gen::<u64>(&mut r)).collect();
 
     let mut a = Asm::new("gapx", layout::TEXT_BASE);
     a.la(Reg::S0, p_base());
@@ -129,9 +127,7 @@ pub fn expected(size: usize, seed: u64) -> u64 {
     let mut r = rng(seed);
     let mut p_perm: Vec<u64> = permutation(&mut r, n).iter().map(|&x| x as u64).collect();
     let q_perm: Vec<u64> = permutation(&mut r, n).iter().map(|&x| x as u64).collect();
-    let big_b: Vec<u64> = (0..LIMBS)
-        .map(|_| rand::Rng::gen::<u64>(&mut r))
-        .collect();
+    let big_b: Vec<u64> = (0..LIMBS).map(|_| rand::Rng::gen::<u64>(&mut r)).collect();
 
     for _ in 0..compose_passes(n) {
         let composed: Vec<u64> = (0..n).map(|i| p_perm[q_perm[i] as usize]).collect();

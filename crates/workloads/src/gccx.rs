@@ -147,16 +147,11 @@ pub fn build(size: usize, seed: u64) -> Program {
 
     let mut p = a.finish().expect("gccx assembles");
     p.add_data(layout::DATA_BASE, words_to_bytes(&nodes), true);
-    p.add_data(
-        worklist_base(n),
-        words_to_bytes(&vec![0u64; n + 8]),
-        true,
-    );
+    p.add_data(worklist_base(n), words_to_bytes(&vec![0u64; n + 8]), true);
     // Patch the handler addresses (known only post-assembly) into the
     // read-only function table — gcc's switch dispatch, in data.
-    let table: Vec<u64> = (0..4)
-        .map(|k| p.symbol(&format!("handler{k}")).expect("symbol recorded"))
-        .collect();
+    let table: Vec<u64> =
+        (0..4).map(|k| p.symbol(&format!("handler{k}")).expect("symbol recorded")).collect();
     p.add_data(functable_base(n), words_to_bytes(&table), false);
     p
 }

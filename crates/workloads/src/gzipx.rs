@@ -37,7 +37,7 @@ pub fn build(size: usize, seed: u64) -> Program {
 
     let pos_loop = a.bind_here();
     a.clr(Reg::T8); // best
-    // cand floor = max(0, pos - WINDOW)
+                    // cand floor = max(0, pos - WINDOW)
     a.subq_lit(Reg::S2, WINDOW as u8, Reg::S4);
     a.cmplt(Reg::S4, Reg::ZERO, Reg::T5);
     let floor_ok = a.label();
@@ -98,9 +98,7 @@ pub fn expected(size: usize, seed: u64) -> u64 {
             let mut best = 0u64;
             for cand in floor..pos {
                 let mut len = 0u64;
-                while len < MAX_MATCH
-                    && buf[(cand + len) as usize] == buf[(pos + len) as usize]
-                {
+                while len < MAX_MATCH && buf[(cand + len) as usize] == buf[(pos + len) as usize] {
                     len += 1;
                 }
                 best = best.max(len);

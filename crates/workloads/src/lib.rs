@@ -43,8 +43,8 @@ pub mod mcfx;
 pub mod mix;
 pub mod parserx;
 pub mod synthetic;
-pub mod vortexx;
 mod util;
+pub mod vortexx;
 
 pub use mix::{measure, InstMix};
 pub use util::{compressible_bytes, permutation, rng, words_to_bytes};
@@ -181,11 +181,7 @@ mod tests {
                 let p = id.build(scale);
                 assert_eq!(p.name, id.name());
                 let mut cpu = Cpu::new(&p);
-                assert_eq!(
-                    cpu.run(20_000_000).unwrap(),
-                    RunExit::Halted,
-                    "{id} did not halt"
-                );
+                assert_eq!(cpu.run(20_000_000).unwrap(), RunExit::Halted, "{id} did not halt");
                 assert_eq!(cpu.output(), &[id.expected(scale)], "{id} checksum");
             }
         }
@@ -199,10 +195,7 @@ mod tests {
             let p = id.build(Scale::campaign());
             let mut cpu = Cpu::new(&p);
             cpu.run(30_000).unwrap();
-            assert!(
-                !cpu.is_halted(),
-                "{id} halted before 30k instructions at campaign scale"
-            );
+            assert!(!cpu.is_halted(), "{id} halted before 30k instructions at campaign scale");
         }
     }
 
@@ -210,8 +203,7 @@ mod tests {
     fn build_all_builds_seven() {
         let all = build_all(Scale::smoke());
         assert_eq!(all.len(), 7);
-        let names: std::collections::HashSet<_> =
-            all.iter().map(|p| p.name.clone()).collect();
+        let names: std::collections::HashSet<_> = all.iter().map(|p| p.name.clone()).collect();
         assert_eq!(names.len(), 7);
     }
 }

@@ -107,12 +107,8 @@ mod tests {
         let mut cpu = Cpu::new(&p);
         cpu.run(2_000_000).unwrap();
         // Some node's flow field (offset 16) must be nonzero after the run.
-        let any_flow = (0..32).any(|i| {
-            cpu.mem
-                .load_u64(layout::DATA_BASE + NODE_BYTES * i + 16)
-                .unwrap()
-                != 0
-        });
+        let any_flow = (0..32)
+            .any(|i| cpu.mem.load_u64(layout::DATA_BASE + NODE_BYTES * i + 16).unwrap() != 0);
         assert!(any_flow);
     }
 }

@@ -113,16 +113,8 @@ mod tests {
             let p = id.build(crate::Scale::smoke());
             let mix = measure(&p, 200_000);
             assert!(mix.total > 1_000, "{id:?} too short: {}", mix.total);
-            assert!(
-                mix.control_ratio() > 0.08,
-                "{id:?} control ratio {:.3}",
-                mix.control_ratio()
-            );
-            assert!(
-                mix.mem_ratio() > 0.10,
-                "{id:?} memory ratio {:.3}",
-                mix.mem_ratio()
-            );
+            assert!(mix.control_ratio() > 0.08, "{id:?} control ratio {:.3}", mix.control_ratio());
+            assert!(mix.mem_ratio() > 0.10, "{id:?} memory ratio {:.3}", mix.mem_ratio());
         }
     }
 

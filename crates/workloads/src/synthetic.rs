@@ -28,16 +28,8 @@ const SAFE_OPS: [AluOp; 14] = [
     AluOp::Mulq,
 ];
 
-const WORK_REGS: [Reg; 8] = [
-    Reg::T0,
-    Reg::T1,
-    Reg::T2,
-    Reg::T3,
-    Reg::T4,
-    Reg::T5,
-    Reg::T6,
-    Reg::T7,
-];
+const WORK_REGS: [Reg; 8] =
+    [Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::T4, Reg::T5, Reg::T6, Reg::T7];
 
 const SCRATCH_SLOTS: u64 = 64;
 
@@ -117,11 +109,7 @@ pub fn build(len: usize, seed: u64) -> Program {
     a.outq();
     a.halt();
     let mut p = a.finish().expect("synthetic assembles");
-    p.add_data(
-        layout::DATA_BASE,
-        vec![0u8; (SCRATCH_SLOTS * 8) as usize],
-        true,
-    );
+    p.add_data(layout::DATA_BASE, vec![0u8; (SCRATCH_SLOTS * 8) as usize], true);
     p
 }
 

@@ -65,7 +65,7 @@ mod tests {
     fn permutation_is_a_bijection() {
         let mut r = rng(7);
         let p = permutation(&mut r, 100);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &x in &p {
             assert!(!seen[x]);
             seen[x] = true;

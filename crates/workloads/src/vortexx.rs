@@ -105,11 +105,7 @@ pub fn build(size: usize, seed: u64) -> Program {
     a.halt();
 
     let mut p = a.finish().expect("vortexx assembles");
-    p.add_data(
-        layout::DATA_BASE,
-        words_to_bytes(&vec![0u64; (2 * cap) as usize]),
-        true,
-    );
+    p.add_data(layout::DATA_BASE, words_to_bytes(&vec![0u64; (2 * cap) as usize]), true);
     p
 }
 

@@ -47,8 +47,11 @@ fn main() {
     println!("  retired               {:>10}", pipe.retired());
     println!("  IPC                   {:>10.2}", pipe.retired() as f64 / pipe.cycles() as f64);
     println!("  pipeline flushes      {:>10}", flushes);
-    println!("  cond mispredicts      {:>10}   ({:.2} per kinstr)", mispredicts,
-        1000.0 * mispredicts as f64 / pipe.retired().max(1) as f64);
+    println!(
+        "  cond mispredicts      {:>10}   ({:.2} per kinstr)",
+        mispredicts,
+        1000.0 * mispredicts as f64 / pipe.retired().max(1) as f64
+    );
     println!("  high-confidence ones  {:>10}   (ReStore false-positive rate)", hc_mispredicts);
     println!("  i-cache / d-cache misses  {ic} / {dc}");
     println!("  i-TLB / d-TLB misses      {it} / {dt}");

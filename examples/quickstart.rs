@@ -23,8 +23,11 @@ fn main() {
     let mut restore = RestoreController::new(pipe, RestoreConfig::default());
     let outcome = restore.run(50_000_000);
     println!("\n[fault-free] outcome: {outcome:?}");
-    println!("[fault-free] output:  {:#x} (correct: {})", restore.output()[0],
-        restore.output() == [expected]);
+    println!(
+        "[fault-free] output:  {:#x} (correct: {})",
+        restore.output()[0],
+        restore.output() == [expected]
+    );
     let s = restore.stats();
     println!(
         "[fault-free] {} checkpoints, {} rollbacks ({} false positives), overhead {:.1}%",
@@ -76,5 +79,7 @@ fn main() {
         "\nsummary: {clean} masked, {recovered} detected+recovered, \
          {reported} reported failures, {sdc} silent corruptions"
     );
-    println!("(the paper's claim: symptom-based detection halves silent corruption at minimal cost)");
+    println!(
+        "(the paper's claim: symptom-based detection halves silent corruption at minimal cost)"
+    );
 }

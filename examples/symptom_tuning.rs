@@ -31,13 +31,14 @@ fn main() {
     let profiles = profile_all(Scale::campaign(), &UarchConfig::default(), 100_000);
     let model = PerfModel::default();
 
-    println!("\n{:<10}{:>22}{:>22}{:>14}", "interval", "coverage (perfect cfv)", "coverage (JRS cfv)", "perf (imm)");
+    println!(
+        "\n{:<10}{:>22}{:>22}{:>14}",
+        "interval", "coverage (perfect cfv)", "coverage (JRS cfv)", "perf (imm)"
+    );
     for interval in [25u64, 50, 100, 200, 500, 1000] {
         let cov = |mode| {
-            let covered = trials
-                .iter()
-                .filter(|t| t.classify(interval, mode, false).is_covered())
-                .count();
+            let covered =
+                trials.iter().filter(|t| t.classify(interval, mode, false).is_covered()).count();
             100.0 * covered as f64 / failures.max(1) as f64
         };
         let perf = model.mean_speedup(&profiles, interval, Policy::Immediate);

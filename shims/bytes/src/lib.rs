@@ -1,0 +1,5 @@
+//! Offline placeholder keeping the workspace's `bytes` dependency
+//! resolvable. No crate uses `bytes` yet; grow this into the needed API
+//! subset (or vendor upstream) before depending on it.
+
+#![warn(missing_docs)]

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`. The workspace currently only *derives*
+//! `Serialize`/`Deserialize` as forward-looking markers on ISA and
+//! simulator types; nothing serializes yet. The traits are therefore
+//! empty and the derives (re-exported from the shim `serde_derive`)
+//! expand to nothing. See `shims/README.md`.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`: the workspace only ever *derives*
+//! `Serialize`/`Deserialize` (no serializer is wired up yet), so the
+//! derives expand to nothing. When a real serialization backend lands,
+//! these must be replaced by a vendored upstream `serde_derive`.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -97,6 +97,7 @@ fn arch_campaign_symptoms_are_fast() {
         window: 150_000,
         seed: 11,
         low32: false,
+        threads: 0,
     };
     let trials = run_arch_campaign(&cfg);
     let failing: Vec<_> = trials.iter().filter(|t| !t.masked).collect();
@@ -110,10 +111,7 @@ fn arch_campaign_symptoms_are_fast() {
             )
         })
         .count();
-    let sym_total = failing
-        .iter()
-        .filter(|t| t.exception.is_some() || t.cfv.is_some())
-        .count();
+    let sym_total = failing.iter().filter(|t| t.exception.is_some() || t.cfv.is_some()).count();
     // Most symptomatic trials fire within 100 instructions (the paper:
     // "the majority of the coverage is still obtained with relatively
     // short latency").
