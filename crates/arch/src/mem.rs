@@ -8,6 +8,7 @@
 
 use core::fmt;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Page size in bytes (4 KiB).
 pub const PAGE_SIZE: u64 = 4096;
@@ -122,11 +123,49 @@ impl fmt::Debug for Page {
     }
 }
 
+/// One mapped page plus its digest cache. The page body is shared
+/// copy-on-write between clones; `digest` is `None` exactly while the
+/// page's base is on the owning [`Memory`]'s dirty list.
+#[derive(Debug, Clone)]
+struct PageSlot {
+    page: Arc<Page>,
+    digest: Option<u64>,
+}
+
+/// FNV-1a digest of one page: base, permissions, contents. Each page's
+/// digest is independent of every other page's, so whole-image digests
+/// can XOR-combine them (the base address keys each term).
+fn page_digest(base: u64, page: &Page) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(PRIME);
+    };
+    for b in base.to_le_bytes() {
+        eat(b);
+    }
+    eat(page.perm.read as u8);
+    eat(page.perm.write as u8);
+    eat(page.perm.execute as u8);
+    for &b in page.data.iter() {
+        eat(b);
+    }
+    h
+}
+
 /// Sparse, permission-checked paged memory.
 ///
-/// Cloning a `Memory` deep-copies the mapped pages; images here are small
-/// (tens of pages), so campaigns clone freely to fork golden and injected
-/// runs.
+/// Pages are copy-on-write: cloning a `Memory` shares every page body
+/// behind an [`Arc`] and the first store to a shared page copies just
+/// that page, so campaigns fork golden and injected runs at the cost of
+/// the page *table*, not the image.
+///
+/// The image also maintains an incremental digest: each page caches an
+/// FNV digest of its contents, invalidated on the store path, and
+/// [`Memory::fingerprint`] recombines them in O(dirty pages) — cheap
+/// enough to sample every few dozen cycles during a trial.
 ///
 /// # Examples
 ///
@@ -138,10 +177,29 @@ impl fmt::Debug for Page {
 /// assert_eq!(m.load_u64(0x1008).unwrap(), 42);
 /// assert!(m.load_u64(0x9000_0000).is_err()); // unmapped
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: BTreeMap<u64, Page>,
+    pages: BTreeMap<u64, PageSlot>,
+    /// XOR of every cached (clean) page digest.
+    clean_xor: u64,
+    /// Bases of pages whose digest cache is invalid. Invariant: a base is
+    /// listed here exactly once iff its slot's `digest` is `None`.
+    dirty: Vec<u64>,
 }
+
+/// Equality is over the architectural image — page bases, permissions and
+/// contents. The digest cache is excluded: two memories that differ only
+/// in which digests happen to be cached still compare equal.
+impl PartialEq for Memory {
+    fn eq(&self, other: &Self) -> bool {
+        self.pages.len() == other.pages.len()
+            && self.pages.iter().zip(other.pages.iter()).all(|((ab, a), (bb, b))| {
+                ab == bb && (Arc::ptr_eq(&a.page, &b.page) || a.page == b.page)
+            })
+    }
+}
+
+impl Eq for Memory {}
 
 impl Memory {
     /// Creates an empty address space.
@@ -165,10 +223,28 @@ impl Memory {
         let last = Self::page_base(base + len - 1);
         let mut p = first;
         loop {
-            self.pages.entry(p).and_modify(|pg| pg.perm = perm).or_insert_with(|| Page {
-                data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
-                perm,
-            });
+            match self.pages.entry(p) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let slot = e.get_mut();
+                    if slot.page.perm != perm {
+                        if let Some(d) = slot.digest.take() {
+                            self.clean_xor ^= d;
+                            self.dirty.push(p);
+                        }
+                        Arc::make_mut(&mut slot.page).perm = perm;
+                    }
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(PageSlot {
+                        page: Arc::new(Page {
+                            data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
+                            perm,
+                        }),
+                        digest: None,
+                    });
+                    self.dirty.push(p);
+                }
+            }
             if p == last {
                 break;
             }
@@ -183,7 +259,7 @@ impl Memory {
 
     /// Permission of the page containing `addr`, if mapped.
     pub fn perm_at(&self, addr: u64) -> Option<Perm> {
-        self.pages.get(&Self::page_base(addr)).map(|p| p.perm)
+        self.pages.get(&Self::page_base(addr)).map(|p| p.page.perm)
     }
 
     /// Number of mapped pages.
@@ -202,12 +278,12 @@ impl Memory {
             return Err(MemError::Misaligned { addr, access });
         }
         // An aligned power-of-two access never crosses a page.
-        let page =
+        let slot =
             self.pages.get(&Self::page_base(addr)).ok_or(MemError::Unmapped { addr, access })?;
         let ok = match access {
-            AccessKind::Load => page.perm.read,
-            AccessKind::Store => page.perm.write,
-            AccessKind::Fetch => page.perm.execute,
+            AccessKind::Load => slot.page.perm.read,
+            AccessKind::Store => slot.page.perm.write,
+            AccessKind::Fetch => slot.page.perm.execute,
         };
         if ok {
             Ok(())
@@ -219,14 +295,20 @@ impl Memory {
     fn read_raw(&self, addr: u64, buf: &mut [u8]) {
         let base = Self::page_base(addr);
         let off = (addr - base) as usize;
-        let page = &self.pages[&base];
+        let page = &self.pages[&base].page;
         buf.copy_from_slice(&page.data[off..off + buf.len()]);
     }
 
     fn write_raw(&mut self, addr: u64, buf: &[u8]) {
         let base = Self::page_base(addr);
         let off = (addr - base) as usize;
-        let page = self.pages.get_mut(&base).expect("checked");
+        let slot = self.pages.get_mut(&base).expect("checked");
+        if let Some(d) = slot.digest.take() {
+            self.clean_xor ^= d;
+            self.dirty.push(base);
+        }
+        // Copy-on-write: un-share the page body before mutating it.
+        let page = Arc::make_mut(&mut slot.page);
         page.data[off..off + buf.len()].copy_from_slice(buf);
     }
 
@@ -326,7 +408,7 @@ impl Memory {
     /// Iterates `(page_base, page_bytes)` in address order, for hashing
     /// and state comparison.
     pub fn pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
-        self.pages.iter().map(|(&b, p)| (b, &p.data[..]))
+        self.pages.iter().map(|(&b, s)| (b, &s.page.data[..]))
     }
 
     /// FNV-1a digest of the full memory image — bases, permissions and
@@ -334,6 +416,10 @@ impl Memory {
     /// campaign can compare an end state against a golden reference
     /// without keeping the golden `Memory` alive (64-bit collisions are
     /// negligible at campaign scale).
+    ///
+    /// This walks the whole image every call; for the per-stride
+    /// reconvergence fingerprint use [`Memory::fingerprint`], which
+    /// reuses cached per-page digests.
     pub fn content_hash(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x100_0000_01b3;
@@ -342,18 +428,34 @@ impl Memory {
             h ^= byte as u64;
             h = h.wrapping_mul(PRIME);
         };
-        for (base, page) in self.pages.iter() {
+        for (base, slot) in self.pages.iter() {
             for b in base.to_le_bytes() {
                 eat(b);
             }
-            eat(page.perm.read as u8);
-            eat(page.perm.write as u8);
-            eat(page.perm.execute as u8);
-            for &b in page.data.iter() {
+            eat(slot.page.perm.read as u8);
+            eat(slot.page.perm.write as u8);
+            eat(slot.page.perm.execute as u8);
+            for &b in slot.page.data.iter() {
                 eat(b);
             }
         }
         h
+    }
+
+    /// Incremental digest of the full memory image: the XOR of every
+    /// page's digest (each keyed by its base and permissions) plus the
+    /// page count. Stores invalidate only the written page's cached
+    /// digest, so this recomputes O(pages dirtied since the last call)
+    /// rather than re-walking the image — equal images always produce
+    /// equal fingerprints, regardless of store history.
+    pub fn fingerprint(&mut self) -> u64 {
+        while let Some(base) = self.dirty.pop() {
+            let slot = self.pages.get_mut(&base).expect("dirty page is mapped");
+            let d = page_digest(base, &slot.page);
+            slot.digest = Some(d);
+            self.clean_xor ^= d;
+        }
+        self.clean_xor ^ (self.pages.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
     }
 }
 
@@ -458,6 +560,72 @@ mod tests {
         b.store_u64(0x1000, 8).unwrap();
         assert_ne!(a, b);
         assert_eq!(a.load_u64(0x1000).unwrap(), 7);
+    }
+
+    #[test]
+    fn clone_shares_pages_until_first_store() {
+        let mut a = Memory::new();
+        a.map(0x1000, 2 * PAGE_SIZE, Perm::RW);
+        a.store_u64(0x1000, 7).unwrap();
+        let mut b = a.clone();
+        for (base, slot) in a.pages.iter() {
+            assert!(Arc::ptr_eq(&slot.page, &b.pages[base].page), "page {base:#x} copied eagerly");
+        }
+        // A store to one page un-shares exactly that page.
+        b.store_u64(0x1000, 8).unwrap();
+        assert!(!Arc::ptr_eq(&a.pages[&0x1000].page, &b.pages[&0x1000].page));
+        assert!(Arc::ptr_eq(&a.pages[&0x2000].page, &b.pages[&0x2000].page));
+        assert_eq!(a.load_u64(0x1000).unwrap(), 7, "original must not see the clone's store");
+        assert_eq!(b.load_u64(0x1000).unwrap(), 8);
+    }
+
+    #[test]
+    fn fingerprint_tracks_equality_like_content_hash() {
+        let mut a = Memory::new();
+        a.map(0x1000, 0x1000, Perm::RW);
+        a.store_u64(0x1000, 7).unwrap();
+        let mut b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.store_u64(0x1000, 8).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Writing the old value back restores the fingerprint: it depends
+        // on contents, not store history.
+        a.store_u64(0x1000, 7).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Same contents, different permissions.
+        a.map(0x1000, 0x1000, Perm::R);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // And the digest cache never drifts from the full walk's verdict.
+        a.map(0x1000, 0x1000, Perm::RW);
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_page_placement() {
+        let mut a = Memory::new();
+        a.map(0x1000, 0x1000, Perm::RW);
+        let mut b = Memory::new();
+        b.map(0x2000, 0x1000, Perm::RW);
+        assert_ne!(a.fingerprint(), b.fingerprint(), "page base must key the digest");
+        let mut c = Memory::new();
+        c.map(0x1000, 0x2000, Perm::RW);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "page count must matter");
+    }
+
+    #[test]
+    fn fingerprint_cache_survives_clone() {
+        let mut a = Memory::new();
+        a.map(0x1000, 0x1000, Perm::RW);
+        a.store_u64(0x1008, 3).unwrap();
+        let fresh = a.fingerprint();
+        // Clone after the cache is warm, dirty one page, and check the
+        // incremental recombination against a from-scratch image.
+        let mut b = a.clone();
+        b.store_u64(0x1008, 4).unwrap();
+        b.store_u64(0x1008, 3).unwrap();
+        assert_eq!(b.fingerprint(), fresh);
+        assert_eq!(a.fingerprint(), fresh);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! function of checkpoint interval. `--latches-only` reproduces the
 //! §5.1.2 latch-targeted campaign instead.
 //!
-//! Usage: `fig4 [--points N] [--trials N] [--seed S] [--latches-only] [--threads N]`
+//! Usage: `fig4 [--points N] [--trials N] [--seed S] [--latches-only] [--threads N] [--cutoff K]`
 
 use restore_bench::{arg_flag, arg_u64, coverage_summary, uarch_table, FIG46_INTERVALS};
 use restore_inject::{
@@ -28,6 +28,9 @@ fn main() {
     }
     if let Some(n) = arg_u64(&args, "--threads") {
         cfg.threads = n as usize;
+    }
+    if let Some(k) = arg_u64(&args, "--cutoff") {
+        cfg.cutoff_stride = k;
     }
 
     eprintln!(

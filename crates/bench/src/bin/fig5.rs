@@ -2,7 +2,7 @@
 //! control-flow detection: only JRS high-confidence branch mispredictions
 //! count as cfv symptoms.
 //!
-//! Usage: `fig5 [--points N] [--trials N] [--seed S] [--threads N]`
+//! Usage: `fig5 [--points N] [--trials N] [--seed S] [--threads N] [--cutoff K]`
 
 use restore_bench::{arg_u64, coverage_summary, uarch_table, FIG46_INTERVALS};
 use restore_inject::{run_uarch_campaign_with_stats, CfvMode, UarchCampaignConfig, UarchCategory};
@@ -21,6 +21,9 @@ fn main() {
     }
     if let Some(n) = arg_u64(&args, "--threads") {
         cfg.threads = n as usize;
+    }
+    if let Some(k) = arg_u64(&args, "--cutoff") {
+        cfg.cutoff_stride = k;
     }
 
     eprintln!(

@@ -3,7 +3,7 @@
 //! other key data stores (§5.2.2's "low hanging fruit"), layered with
 //! symptom-based detection.
 //!
-//! Usage: `fig6 [--points N] [--trials N] [--seed S] [--threads N]`
+//! Usage: `fig6 [--points N] [--trials N] [--seed S] [--threads N] [--cutoff K]`
 
 use restore_bench::{arg_u64, coverage_summary, uarch_table, FIG46_INTERVALS};
 use restore_inject::{run_uarch_campaign_with_stats, CfvMode, UarchCampaignConfig};
@@ -24,6 +24,9 @@ fn main() {
     }
     if let Some(n) = arg_u64(&args, "--threads") {
         cfg.threads = n as usize;
+    }
+    if let Some(k) = arg_u64(&args, "--cutoff") {
+        cfg.cutoff_stride = k;
     }
 
     // Report the protection domain size (paper: ~7% state overhead for

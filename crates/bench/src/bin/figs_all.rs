@@ -3,7 +3,7 @@
 //! and Figure 7 (timing model) — everything the paper's evaluation
 //! section reports, in one pass.
 //!
-//! Usage: `figs_all [--points N] [--trials N] [--arch-trials N] [--seed S] [--threads N]`
+//! Usage: `figs_all [--points N] [--trials N] [--arch-trials N] [--seed S] [--threads N] [--cutoff K]`
 
 use restore_bench::*;
 use restore_core::fit::{figure8_sizes, FitScaling, MTBF_GOAL_FIT};
@@ -55,6 +55,9 @@ fn main() {
         ucfg.seed = s;
     }
     ucfg.threads = threads;
+    if let Some(k) = arg_u64(&args, "--cutoff") {
+        ucfg.cutoff_stride = k;
+    }
     eprintln!(
         "[{:6.1}s] µarch campaign ({} points x {} trials x 7 workloads) ...",
         t0.elapsed().as_secs_f64(),

@@ -10,7 +10,7 @@
 //! high-confidence mispredictions trade coverage for near-zero false
 //! positives; raw mispredictions and cache misses fail metric 3.
 //!
-//! Usage: `symptom_metrics [--points N] [--trials N] [--seed S] [--threads N]`
+//! Usage: `symptom_metrics [--points N] [--trials N] [--seed S] [--threads N] [--cutoff K]`
 
 use restore_bench::arg_u64;
 use restore_inject::{run_uarch_campaign_with_stats, UarchCampaignConfig, UarchTrial};
@@ -46,6 +46,9 @@ fn main() {
     }
     if let Some(n) = arg_u64(&args, "--threads") {
         cfg.threads = n as usize;
+    }
+    if let Some(k) = arg_u64(&args, "--cutoff") {
+        cfg.cutoff_stride = k;
     }
 
     // ---- metric 3: fault-free event rates ----

@@ -61,6 +61,14 @@ pub struct CampaignStats {
     pub golden_secs: f64,
     /// Worker seconds spent on injected trials, summed across workers.
     pub trial_secs: f64,
+    /// Observation-window cycles actually simulated by trials (golden
+    /// runs excluded — they run once per unit regardless of the cutoff).
+    pub cycles_simulated: u64,
+    /// Window cycles skipped because a trial's fingerprint matched the
+    /// golden run's at a stride boundary (reconvergence cutoff).
+    pub cycles_saved: u64,
+    /// Trials cut short by the reconvergence cutoff.
+    pub trials_cut: u64,
 }
 
 impl CampaignStats {
@@ -73,9 +81,21 @@ impl CampaignStats {
         }
     }
 
+    /// Fraction of planned trial window cycles the reconvergence cutoff
+    /// skipped: `saved / (simulated + saved)`. Zero when the cutoff is
+    /// off or never fired.
+    pub fn cycles_saved_fraction(&self) -> f64 {
+        let planned = self.cycles_simulated + self.cycles_saved;
+        if planned > 0 {
+            self.cycles_saved as f64 / planned as f64
+        } else {
+            0.0
+        }
+    }
+
     /// One-line human summary for progress logs.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} trials over {} units on {} thread{} in {:.2}s ({:.0} trials/s; \
              sweep {:.2}s, golden {:.2}s, trials {:.2}s worker-time)",
             self.trials,
@@ -87,7 +107,18 @@ impl CampaignStats {
             self.produce_secs,
             self.golden_secs,
             self.trial_secs,
-        )
+        );
+        if self.trials_cut > 0 {
+            s.push_str(&format!(
+                "; cutoff ended {}/{} trials early, skipping {} of {} window cycles ({:.0}%)",
+                self.trials_cut,
+                self.trials,
+                self.cycles_saved,
+                self.cycles_simulated + self.cycles_saved,
+                100.0 * self.cycles_saved_fraction(),
+            ));
+        }
+        s
     }
 }
 
@@ -99,6 +130,12 @@ pub(crate) struct UnitOutput<R> {
     pub golden_secs: f64,
     /// Seconds spent running injected trials.
     pub trial_secs: f64,
+    /// Trial window cycles simulated in this unit.
+    pub cycles_simulated: u64,
+    /// Trial window cycles skipped by the reconvergence cutoff.
+    pub cycles_saved: u64,
+    /// Trials this unit cut short at a fingerprint match.
+    pub trials_cut: u64,
 }
 
 /// Fans units out over `threads` scoped workers and reassembles results
@@ -125,6 +162,7 @@ where
     let (tx, rx) = channel::bounded::<(usize, U)>(threads * 2);
     let collected: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
     let stage_secs: Mutex<(f64, f64)> = Mutex::new((0.0, 0.0));
+    let cycle_counts: Mutex<(u64, u64, u64)> = Mutex::new((0, 0, 0));
 
     let wall0 = Instant::now();
     let mut produce_secs = 0.0;
@@ -136,6 +174,7 @@ where
             let work = &work;
             let collected = &collected;
             let stage_secs = &stage_secs;
+            let cycle_counts = &cycle_counts;
             s.spawn(move || {
                 for (index, unit) in rx {
                     let out = work(unit);
@@ -143,6 +182,12 @@ where
                         let mut st = stage_secs.lock();
                         st.0 += out.golden_secs;
                         st.1 += out.trial_secs;
+                    }
+                    {
+                        let mut cc = cycle_counts.lock();
+                        cc.0 += out.cycles_simulated;
+                        cc.1 += out.cycles_saved;
+                        cc.2 += out.trials_cut;
                     }
                     collected.lock().push((index, out.results));
                 }
@@ -170,6 +215,7 @@ where
     debug_assert!(collected.iter().enumerate().all(|(i, (idx, _))| i == *idx));
 
     let (golden_secs, trial_secs) = stage_secs.into_inner();
+    let (cycles_simulated, cycles_saved, trials_cut) = cycle_counts.into_inner();
     let results: Vec<R> = collected.into_iter().flat_map(|(_, r)| r).collect();
     let stats = CampaignStats {
         threads,
@@ -179,6 +225,9 @@ where
         produce_secs,
         golden_secs,
         trial_secs,
+        cycles_simulated,
+        cycles_saved,
+        trials_cut,
     };
     (results, stats)
 }
@@ -188,7 +237,14 @@ mod tests {
     use super::*;
 
     fn double_unit(u: u32) -> UnitOutput<u32> {
-        UnitOutput { results: vec![u * 2, u * 2 + 1], golden_secs: 0.01, trial_secs: 0.02 }
+        UnitOutput {
+            results: vec![u * 2, u * 2 + 1],
+            golden_secs: 0.01,
+            trial_secs: 0.02,
+            cycles_simulated: 100,
+            cycles_saved: 50,
+            trials_cut: 1,
+        }
     }
 
     #[test]
@@ -211,6 +267,11 @@ mod tests {
             assert_eq!(stats.trials, 114);
             assert_eq!(stats.threads, threads);
             assert!(stats.golden_secs > 0.0 && stats.trial_secs > 0.0);
+            assert_eq!(stats.cycles_simulated, 57 * 100);
+            assert_eq!(stats.cycles_saved, 57 * 50);
+            assert_eq!(stats.trials_cut, 57);
+            assert!((stats.cycles_saved_fraction() - 1.0 / 3.0).abs() < 1e-12);
+            assert!(stats.summary().contains("cutoff ended 57/114 trials early"));
         }
     }
 

@@ -15,6 +15,17 @@
 //! point's golden run and its trials. Per-unit seeds from
 //! [`crate::seeding`] make the trial vector bit-identical at any
 //! thread count.
+//!
+//! Most injections are masked, and a masked trial's machine state
+//! reconverges with the golden run long before the window ends. The
+//! **reconvergence cutoff** ([`UarchCampaignConfig::cutoff_stride`])
+//! exploits this: the golden run records a full-machine fingerprint
+//! ([`Pipeline::fingerprint`]) every `stride` cycles, the trial compares
+//! at the same boundaries, and on a match stops simulating — the
+//! simulator is deterministic, so equal complete state at equal cycle
+//! means identical futures, and the remaining observables are
+//! back-filled from the golden record. Results are bit-identical with
+//! the cutoff on or off; only the wall-clock changes.
 
 use crate::classify::UarchCategory;
 use crate::engine::{effective_threads, run_ordered, CampaignStats, UnitOutput};
@@ -78,6 +89,12 @@ pub struct UarchCampaignConfig {
     /// available parallelism. Results are bit-identical at every thread
     /// count.
     pub threads: usize,
+    /// Cycles between full-machine fingerprint comparisons against the
+    /// golden run; when a trial's fingerprint matches at a boundary its
+    /// future is identical to the golden run's, so the rest of the
+    /// window is skipped and back-filled. `0` disables the cutoff.
+    /// Results are bit-identical either way — only throughput changes.
+    pub cutoff_stride: u64,
 }
 
 impl Default for UarchCampaignConfig {
@@ -93,6 +110,11 @@ impl Default for UarchCampaignConfig {
             seed: 0xF4F5,
             target: InjectionTarget::AllState,
             threads: 0,
+            // A fingerprint costs roughly a few hundred cycles of
+            // simulation; 250 keeps that overhead a few percent while
+            // still catching reconvergence (typically a few hundred
+            // cycles after a masked flip) early in the 10k window.
+            cutoff_stride: 250,
         }
     }
 }
@@ -215,10 +237,24 @@ struct GoldenRun {
     /// keeping the full golden `Memory` alive per point was the campaign's
     /// largest resident allocation.
     end_mem_hash: u64,
-    halted: bool,
+    /// Status after the end-of-window drain (a trial cut at reconvergence
+    /// back-fills its ending from this).
+    end_status: Stop,
     retired: u64,
     dcache_misses: u64,
     dtlb_misses: u64,
+    /// Full-machine fingerprint at each `cutoff_stride` boundary of the
+    /// window (boundary `b` — i.e. after `b * stride` cycles — at index
+    /// `b - 1`); empty when the cutoff is disabled. Recording stops when
+    /// the golden run halts.
+    fingerprints: Vec<u64>,
+    /// Window cycles the golden run actually executed (less than
+    /// `window_cycles` when the workload halts inside the window). A cut
+    /// trial's remaining cycles are counted against this, not the full
+    /// window — post-match the trial mirrors the golden run, halts
+    /// included, so this is exactly what the exhaustive trial would have
+    /// simulated.
+    window_executed: u64,
 }
 
 /// Stops fetch and runs until the machine is empty (or `max` cycles).
@@ -251,10 +287,15 @@ fn golden_run(at: &Pipeline, cfg: &UarchCampaignConfig) -> GoldenRun {
     let mut trace = Vec::new();
     let mut hc = HashSet::new();
     let mut all = HashSet::new();
-    for _ in 0..cfg.window_cycles {
+    let stride = cfg.cutoff_stride;
+    let mut fingerprints =
+        Vec::with_capacity(cfg.window_cycles.checked_div(stride).unwrap_or(0) as usize);
+    let mut window_executed = 0u64;
+    for i in 0..cfg.window_cycles {
         if g.status() != Stop::Running {
             break;
         }
+        window_executed += 1;
         let r = g.cycle();
         assert!(r.exception.is_none(), "golden run raised an exception");
         assert!(!r.deadlock, "golden run deadlocked");
@@ -267,6 +308,9 @@ fn golden_run(at: &Pipeline, cfg: &UarchCampaignConfig) -> GoldenRun {
             }
         }
         trace.extend(r.retired);
+        if stride > 0 && (i + 1) % stride == 0 && g.status() == Stop::Running {
+            fingerprints.push(g.fingerprint());
+        }
     }
     drain(&mut g, cfg.drain_cycles);
     GoldenRun {
@@ -276,10 +320,12 @@ fn golden_run(at: &Pipeline, cfg: &UarchCampaignConfig) -> GoldenRun {
         end_state_hash: g.state_hash(),
         end_regs: g.arch_regs(),
         end_mem_hash: g.memory().content_hash(),
-        halted: g.status() == Stop::Halted,
+        end_status: g.status(),
         retired: g.retired(),
         dcache_misses: g.miss_counters().1,
         dtlb_misses: g.miss_counters().3,
+        fingerprints,
+        window_executed,
     }
 }
 
@@ -291,6 +337,16 @@ fn draw_bit(rng: &mut StdRng, catalog: &StateCatalog, target: InjectionTarget) -
     }
 }
 
+/// Window-cycle accounting for one trial.
+struct TrialCost {
+    /// Window cycles actually simulated.
+    simulated: u64,
+    /// Window cycles skipped by the reconvergence cutoff.
+    saved: u64,
+    /// The trial ended at a fingerprint match.
+    cut: bool,
+}
+
 fn run_trial(
     at: &Pipeline,
     golden: &GoldenRun,
@@ -298,7 +354,7 @@ fn run_trial(
     id: WorkloadId,
     bit: u64,
     cfg: &UarchCampaignConfig,
-) -> UarchTrial {
+) -> (UarchTrial, TrialCost) {
     let mut pipe = at.clone();
     let base_retired = pipe.retired();
     pipe.flip_bit(bit);
@@ -322,16 +378,20 @@ fn run_trial(
 
     let mut idx = 0usize; // next golden trace index to compare
     let mut terminated = false;
+    let stride = cfg.cutoff_stride;
+    let mut executed = 0u64;
+    let mut cut = false;
     // A control-flow violation means the *wrong instruction executed*: a
     // sustained PC divergence from the golden stream. A single-event PC
     // label mismatch that immediately re-aligns is a corrupted reporting
     // field (e.g. a flipped ROB `pc`), which is data corruption, not cfv.
     let mut pending_cfv: Option<u64> = None;
     let mut cfv_confirmed = false;
-    for _ in 0..cfg.window_cycles {
+    for i in 0..cfg.window_cycles {
         if pipe.status() != Stop::Running {
             break;
         }
+        executed += 1;
         let lat_now = |p: &Pipeline| p.retired() - base_retired;
         let r = pipe.cycle();
         for m in &r.mispredicts {
@@ -381,14 +441,51 @@ fn run_trial(
             trial.exception = Some(lat_now(&pipe));
             terminated = true;
         }
+        // Reconvergence check: compare the full-machine fingerprint at
+        // the same boundaries the golden run recorded (`status` is
+        // `Running` at every recorded boundary, so a stopped trial can
+        // never alias one). On a match the two machines are
+        // bit-identical, so the rest of the window replays the golden
+        // run — stop simulating and back-fill below.
+        if stride > 0
+            && (i + 1) % stride == 0
+            && pipe.status() == Stop::Running
+            && golden.fingerprints.get(((i + 1) / stride - 1) as usize) == Some(&pipe.fingerprint())
+        {
+            cut = true;
+            break;
+        }
     }
     // A pending divergence on the final compared event is indistinguishable
     // from a label flip; end-of-trial state comparison adjudicates it.
     let _ = pending_cfv;
 
-    let (_, dc, _, dt) = pipe.miss_counters();
-    trial.extra_dcache_misses = dc as i64 - golden.dcache_misses as i64;
-    trial.extra_dtlb_misses = dt as i64 - golden.dtlb_misses as i64;
+    let mut cost = TrialCost { simulated: executed, saved: 0, cut };
+    if cut {
+        // Not `window_cycles - executed`: the exhaustive trial would have
+        // stopped when the golden run stops (identical futures), so only
+        // the golden run's remaining executed cycles are real savings.
+        cost.saved = golden.window_executed - executed;
+        // Identical machines have identical futures: the skipped window
+        // cycles and the drain would reproduce the golden run's ending
+        // and its miss counters, so the counter deltas stay zero and the
+        // ending maps from the golden end status. `MaskedClean` (not
+        // `DeadResidue`) is exact — the fingerprint match witnessed that
+        // even dead microarchitectural state is clean.
+        trial.end = match golden.end_status {
+            Stop::Halted => EndState::Completed,
+            Stop::Running => EndState::MaskedClean,
+            Stop::Deadlock => {
+                trial.deadlock.get_or_insert(golden.retired - base_retired);
+                EndState::Terminated
+            }
+            Stop::Exception(_) => {
+                trial.exception.get_or_insert(golden.retired - base_retired);
+                EndState::Terminated
+            }
+        };
+        return (trial, cost);
+    }
     trial.end = if terminated {
         EndState::Terminated
     } else {
@@ -407,13 +504,13 @@ fn run_trial(
                 // Cheap comparisons first; the memory digest only runs
                 // when counters, halt status and registers all match.
                 let arch_clean = pipe.retired() == golden.retired
-                    && (pipe.status() == Stop::Halted) == golden.halted
+                    && (pipe.status() == Stop::Halted) == (golden.end_status == Stop::Halted)
                     && pipe.arch_regs() == golden.end_regs
                     && pipe.memory().content_hash() == golden.end_mem_hash;
                 if !arch_clean {
                     EndState::Latent
                 } else if pipe.state_hash() == golden.end_state_hash {
-                    if golden.halted {
+                    if golden.end_status == Stop::Halted {
                         EndState::Completed
                     } else {
                         EndState::MaskedClean
@@ -424,7 +521,13 @@ fn run_trial(
             }
         }
     };
-    trial
+    // Miss counters sample here — after the end-of-trial drain, the same
+    // point where the golden run samples its own. (They were previously
+    // read before the drain, silently excluding drain-window misses.)
+    let (_, dc, _, dt) = pipe.miss_counters();
+    trial.extra_dcache_misses = dc as i64 - golden.dcache_misses as i64;
+    trial.extra_dtlb_misses = dt as i64 - golden.dtlb_misses as i64;
+    (trial, cost)
 }
 
 /// One engine work unit: a pipeline snapshot at an injection point, with
@@ -487,12 +590,24 @@ fn work_point(
 
     let t0 = Instant::now();
     let mut results = Vec::with_capacity(cfg.trials_per_point);
+    let (mut cycles_simulated, mut cycles_saved, mut trials_cut) = (0u64, 0u64, 0u64);
     for t in 0..cfg.trials_per_point {
         let mut rng = StdRng::seed_from_u64(seeder.trial(unit.wl, unit.point, t));
         let bit = draw_bit(&mut rng, &unit.catalog, cfg.target);
-        results.push(run_trial(&unit.pipe, &golden, &unit.catalog, unit.id, bit, cfg));
+        let (trial, cost) = run_trial(&unit.pipe, &golden, &unit.catalog, unit.id, bit, cfg);
+        cycles_simulated += cost.simulated;
+        cycles_saved += cost.saved;
+        trials_cut += cost.cut as u64;
+        results.push(trial);
     }
-    UnitOutput { results, golden_secs, trial_secs: t0.elapsed().as_secs_f64() }
+    UnitOutput {
+        results,
+        golden_secs,
+        trial_secs: t0.elapsed().as_secs_f64(),
+        cycles_simulated,
+        cycles_saved,
+        trials_cut,
+    }
 }
 
 /// Runs the campaign over all seven workloads.

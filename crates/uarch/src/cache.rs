@@ -5,6 +5,13 @@
 //! §3.3 discusses cache/TLB misses as "valid but infrequent" events a
 //! soft error can provoke. Contents are excluded from fault injection per
 //! §4.2 ("caches are easily protected by ECC or parity").
+//!
+//! Being injection-excluded does not make them fingerprint-excluded: tag
+//! and LRU state steer future hit/miss timing, and the miss counters are
+//! trial observables, so both [`Cache::digest`] and [`Tlb::digest`] feed
+//! the full-machine reconvergence fingerprint.
+
+use crate::state::Fingerprint;
 
 /// LRU set-associative tag array (data lives in [`restore_arch::Memory`];
 /// this tracks presence only).
@@ -75,6 +82,17 @@ impl Cache {
     pub fn miss_ratio(&self) -> f64 {
         self.misses as f64 / self.accesses.max(1) as f64
     }
+
+    /// Folds the complete cache state — tags, LRU ranks and the
+    /// access/miss counters — into `f`.
+    pub fn digest(&self, f: &mut Fingerprint) {
+        for &t in &self.tags {
+            f.mix(t);
+        }
+        f.mix_bytes(&self.lru);
+        f.mix(self.accesses);
+        f.mix(self.misses);
+    }
 }
 
 /// Fully-associative TLB over 4 KiB pages with round-robin replacement.
@@ -106,6 +124,17 @@ impl Tlb {
             self.next = (self.next + 1) % self.pages.len();
             false
         }
+    }
+
+    /// Folds the complete TLB state — entries, replacement cursor and the
+    /// access/miss counters — into `f`.
+    pub fn digest(&self, f: &mut Fingerprint) {
+        for &p in &self.pages {
+            f.mix(p);
+        }
+        f.mix(self.next as u64);
+        f.mix(self.accesses);
+        f.mix(self.misses);
     }
 }
 

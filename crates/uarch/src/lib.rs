@@ -57,4 +57,4 @@ pub mod uop;
 
 pub use config::UarchConfig;
 pub use pipeline::{role_of, CycleReport, MispredictEvent, Pipeline, Stop};
-pub use state::{FaultState, FieldClass, StateCatalog, StateKind, StateRegion};
+pub use state::{FaultState, FieldClass, Fingerprint, StateCatalog, StateKind, StateRegion};

@@ -1509,4 +1509,88 @@ impl Pipeline {
         crate::state::FaultState::visit_state(self, &mut h);
         h.finish()
     }
+
+    /// Full-machine fingerprint: a digest of *everything* that can steer
+    /// the machine's future evolution, folded in this order:
+    ///
+    /// 1. the injectable latch/RAM state ([`Pipeline::state_hash`]),
+    /// 2. the simulation-artifact fields `visit_state` skips — uop ages,
+    ///    latency timestamps, prediction snapshots and the BOB's
+    ///    recovery checkpoints,
+    /// 3. predictors and the memory-dependence table,
+    /// 4. caches and TLBs, including their access/miss counters (the
+    ///    §3.3 symptom observables),
+    /// 5. memory, via [`restore_arch::Memory::fingerprint`]'s incremental
+    ///    per-page digest (O(pages stored to since the last call)),
+    /// 6. bookkeeping scalars (cycle, sequence counter, retirement
+    ///    state, fetch/stall control).
+    ///
+    /// The `output` log is the one deliberate exclusion: the machine
+    /// never reads it back, so it cannot influence evolution, and
+    /// campaigns observe results through registers, memory and the
+    /// retired stream rather than through it. With that caveat, equal
+    /// fingerprints at the same cycle mean identical futures in this
+    /// deterministic simulator — the property the fault-injection
+    /// campaign's reconvergence cutoff (`cutoff_stride`) relies on to
+    /// stop a trial early and back-fill the rest from the golden run.
+    pub fn fingerprint(&mut self) -> u64 {
+        let mut f = crate::state::Fingerprint::new();
+        f.mix(self.state_hash());
+        for e in self.fq.raw_slots() {
+            e.digest_artifacts(&mut f);
+        }
+        for d in &self.dec {
+            d.e.digest_artifacts(&mut f);
+        }
+        for s in &self.sched {
+            s.digest_artifacts(&mut f);
+        }
+        for e in &self.exec {
+            e.digest_artifacts(&mut f);
+        }
+        for e in self.rob.raw_slots() {
+            e.digest_artifacts(&mut f);
+        }
+        for e in self.ldq.raw_slots() {
+            e.digest_artifacts(&mut f);
+        }
+        for e in self.stq.raw_slots() {
+            e.digest_artifacts(&mut f);
+        }
+        for b in self.bob.raw_slots() {
+            // visit_state walks only the RAT snapshot; the rest of the
+            // checkpoint steers misprediction recovery.
+            f.mix(b.fl_head);
+            f.mix(b.ghr);
+            f.mix(b.ras_top as u64);
+            f.mix(b.seq);
+        }
+        self.bpred.digest(&mut f);
+        self.btb.digest(&mut f);
+        self.ras.digest(&mut f);
+        self.jrs.digest(&mut f);
+        self.memdep.digest(&mut f);
+        self.icache.digest(&mut f);
+        self.dcache.digest(&mut f);
+        self.itlb.digest(&mut f);
+        self.dtlb.digest(&mut f);
+        f.mix(self.mem.fingerprint());
+        f.mix(self.cycle);
+        f.mix(self.seq_counter);
+        f.mix(self.retired_total);
+        f.mix(self.last_retire_cycle);
+        f.mix(self.frontend_delay as u64);
+        f.mix(self.fetch_stall as u64);
+        f.mix(self.replay_count);
+        f.mix(self.last_retired_next_pc);
+        f.mix(self.fetch_enabled as u64);
+        f.mix(self.confidence_training as u64);
+        f.mix(match self.status {
+            Stop::Running => 0,
+            Stop::Exception(_) => 1,
+            Stop::Deadlock => 2,
+            Stop::Halted => 3,
+        });
+        f.finish()
+    }
 }

@@ -11,8 +11,12 @@
 //! Predictor tables are excluded from fault injection (corrupt entries
 //! only cause mispredictions, which the machine recovers from by design),
 //! so none of these structures implement
-//! [`FaultState`](crate::state::FaultState).
+//! [`FaultState`](crate::state::FaultState). They are still part of the
+//! full-machine reconvergence fingerprint — a diverged table entry can
+//! steer a later prediction, so each structure exposes a `digest` that
+//! folds its complete state into a [`Fingerprint`].
 
+use crate::state::Fingerprint;
 use crate::UarchConfig;
 
 #[inline]
@@ -95,6 +99,14 @@ impl BranchPredictor {
     pub fn repair(&mut self, used_ghr: u64, actual_taken: bool) {
         self.ghr = ((used_ghr << 1) | actual_taken as u64) & self.history_mask;
     }
+
+    /// Folds the complete predictor state into `f`.
+    pub fn digest(&self, f: &mut Fingerprint) {
+        f.mix_bytes(&self.bimodal);
+        f.mix_bytes(&self.gshare);
+        f.mix_bytes(&self.chooser);
+        f.mix(self.ghr);
+    }
 }
 
 /// Direct-mapped branch target buffer for jump/indirect targets.
@@ -129,6 +141,14 @@ impl Btb {
         self.tags[i] = pc;
         self.targets[i] = target;
     }
+
+    /// Folds the complete BTB state into `f`.
+    pub fn digest(&self, f: &mut Fingerprint) {
+        for (&t, &tgt) in self.tags.iter().zip(&self.targets) {
+            f.mix(t);
+            f.mix(tgt);
+        }
+    }
 }
 
 /// Circular return address stack, speculatively pushed/popped at fetch.
@@ -160,6 +180,14 @@ impl Ras {
         let v = self.stack[i];
         self.top = self.top.wrapping_sub(1);
         v
+    }
+
+    /// Folds the complete RAS state into `f`.
+    pub fn digest(&self, f: &mut Fingerprint) {
+        for &a in &self.stack {
+            f.mix(a);
+        }
+        f.mix(self.top as u64);
     }
 }
 
@@ -197,6 +225,21 @@ impl MemDepPredictor {
     pub fn record_violation(&mut self, pc: u64) {
         let i = self.idx(pc);
         self.conflict[i] = true;
+    }
+
+    /// Folds the complete conflict table into `f`, bit-packed.
+    pub fn digest(&self, f: &mut Fingerprint) {
+        let mut word = 0u64;
+        for (i, &c) in self.conflict.iter().enumerate() {
+            word = (word << 1) | c as u64;
+            if i % 64 == 63 {
+                f.mix(word);
+                word = 0;
+            }
+        }
+        if !self.conflict.len().is_multiple_of(64) {
+            f.mix(word);
+        }
     }
 }
 
@@ -238,6 +281,11 @@ impl JrsConfidence {
         let i = self.idx(pc, ghr);
         let c = &mut self.counters[i];
         *c = if correct { (*c + 1).min(self.max) } else { 0 };
+    }
+
+    /// Folds the complete confidence table into `f`.
+    pub fn digest(&self, f: &mut Fingerprint) {
+        f.mix_bytes(&self.counters);
     }
 }
 

@@ -113,6 +113,13 @@ impl<T: Default + Clone> CircQ<T> {
         &mut self.slots[idx % c]
     }
 
+    /// Every slot (live or not) in storage order, plus the head/len
+    /// pointers folded in by the caller. Dead slots matter to the
+    /// reconvergence fingerprint: a corrupted pointer can re-expose them.
+    pub fn raw_slots(&self) -> &[T] {
+        &self.slots
+    }
+
     /// Iterates `(absolute_slot_index, &entry)` oldest→youngest.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
         let cap = self.cap() as u64;

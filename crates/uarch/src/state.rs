@@ -168,6 +168,63 @@ impl StateVisitor for StateHasher {
     }
 }
 
+/// Order-sensitive word accumulator for the full-machine reconvergence
+/// fingerprint ([`crate::Pipeline::fingerprint`]).
+///
+/// Unlike [`StateHasher`] — which byte-feeds FNV-1a because it doubles as
+/// the end-of-trial masking digest and changes there are cheap — this is
+/// sampled every few dozen cycles over tens of thousands of words
+/// (predictor tables, cache tag arrays), so it mixes one multiply per
+/// word (splitmix64-style avalanche) instead of eight FNV rounds.
+#[derive(Debug)]
+pub struct Fingerprint {
+    hash: u64,
+}
+
+impl Fingerprint {
+    /// Fresh accumulator.
+    pub fn new() -> Fingerprint {
+        Fingerprint { hash: 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Folds one word into the digest; ordering matters.
+    #[inline]
+    pub fn mix(&mut self, v: u64) {
+        let mut x = self.hash ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        self.hash = x;
+    }
+
+    /// Folds a byte slice in as packed little-endian words.
+    #[inline]
+    pub fn mix_bytes(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("chunk of 8")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut last = [0u8; 8];
+            last[..rest.len()].copy_from_slice(rest);
+            // Tag the tail with its length so `[1]` and `[1, 0]` differ.
+            self.mix(u64::from_le_bytes(last) ^ ((rest.len() as u64) << 56));
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
 /// One named region of the global bit space.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StateRegion {
@@ -476,5 +533,31 @@ mod tests {
         a.visit_state(&mut ha);
         b.visit_state(&mut hb);
         assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let digest = |words: &[u64]| {
+            let mut f = Fingerprint::new();
+            for &w in words {
+                f.mix(w);
+            }
+            f.finish()
+        };
+        assert_eq!(digest(&[1, 2, 3]), digest(&[1, 2, 3]));
+        assert_ne!(digest(&[1, 2, 3]), digest(&[3, 2, 1]));
+        assert_ne!(digest(&[0]), digest(&[0, 0]));
+    }
+
+    #[test]
+    fn fingerprint_bytes_tag_the_tail() {
+        let digest = |bytes: &[u8]| {
+            let mut f = Fingerprint::new();
+            f.mix_bytes(bytes);
+            f.finish()
+        };
+        assert_eq!(digest(&[1, 2, 3]), digest(&[1, 2, 3]));
+        assert_ne!(digest(&[1]), digest(&[1, 0]), "zero-padded tails must stay distinct");
+        assert_ne!(digest(&[1; 8]), digest(&[1; 9]));
     }
 }

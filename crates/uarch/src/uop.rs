@@ -10,8 +10,15 @@
 //! (illegal encodings, retargeted ALU functions, bent displacements).
 //! Sequence numbers and cycle timestamps are simulation artifacts and are
 //! not visited.
+//!
+//! Those artifacts still determine future evolution — ages pick the
+//! oldest-ready uop, timestamps gate writeback, prediction snapshots feed
+//! retire-time training and recovery — so every entry type also exposes a
+//! `digest_artifacts` that folds the unvisited fields into the
+//! full-machine reconvergence fingerprint, which must witness *complete*
+//! machine equality before a trial may be cut short.
 
-use crate::state::{FieldClass, StateVisitor};
+use crate::state::{FieldClass, Fingerprint, StateVisitor};
 
 /// Exception codes carried in ROB entries (3 bits + a 64-bit auxiliary
 /// value — an address or the offending word).
@@ -119,6 +126,12 @@ impl PredInfo {
         v.flag(&mut self.taken);
         v.word(&mut self.next_pc, 64, FieldClass::Data);
     }
+
+    fn digest_artifacts(&self, f: &mut Fingerprint) {
+        f.mix(self.used_ghr);
+        f.mix(self.high_conf as u64);
+        f.mix(self.ras_top as u64);
+    }
 }
 
 /// One fetch-queue slot.
@@ -141,6 +154,11 @@ impl FqEntry {
         v.word32(&mut self.word, 32, FieldClass::Control);
         v.flag(&mut self.fetch_fault);
         self.pred.visit(v);
+    }
+
+    /// Folds the fields `visit` skips into `f`.
+    pub fn digest_artifacts(&self, f: &mut Fingerprint) {
+        self.pred.digest_artifacts(f);
     }
 }
 
@@ -209,6 +227,11 @@ impl SchedEntry {
     pub fn ready(&self) -> bool {
         self.valid && self.src.iter().all(|s| !s.used || s.ready)
     }
+
+    /// Folds the fields `visit` skips into `f`.
+    pub fn digest_artifacts(&self, f: &mut Fingerprint) {
+        f.mix(self.seq);
+    }
 }
 
 /// One reorder-buffer entry.
@@ -276,6 +299,12 @@ impl RobEntry {
         v.flag(&mut self.actual_taken);
         v.word(&mut self.next_pc, 64, FieldClass::Data);
     }
+
+    /// Folds the fields `visit` skips into `f`.
+    pub fn digest_artifacts(&self, f: &mut Fingerprint) {
+        self.pred.digest_artifacts(f);
+        f.mix(self.seq);
+    }
 }
 
 /// One load-queue entry.
@@ -325,6 +354,13 @@ impl LdqEntry {
         v.flag(&mut self.completed);
         v.flag(&mut self.speculative);
     }
+
+    /// Folds the fields `visit` skips into `f`.
+    pub fn digest_artifacts(&self, f: &mut Fingerprint) {
+        f.mix(self.seq);
+        f.mix(self.ready_at);
+        f.mix(self.mem_issued as u64);
+    }
 }
 
 /// One store-queue entry.
@@ -355,6 +391,11 @@ impl StqEntry {
         v.flag(&mut self.data_ready);
         v.word8(&mut self.width_log2, 2, FieldClass::Control);
         v.word8(&mut self.rob_idx, 7, FieldClass::Control);
+    }
+
+    /// Folds the fields `visit` skips into `f`.
+    pub fn digest_artifacts(&self, f: &mut Fingerprint) {
+        f.mix(self.seq);
     }
 }
 
@@ -404,6 +445,12 @@ impl ExecLatch {
         v.word8(&mut self.role, 3, FieldClass::Control);
         v.word8(&mut self.rob_idx, 7, FieldClass::Control);
         v.word8(&mut self.mem_idx, 5, FieldClass::Control);
+    }
+
+    /// Folds the fields `visit` skips into `f`.
+    pub fn digest_artifacts(&self, f: &mut Fingerprint) {
+        f.mix(self.seq);
+        f.mix(self.finish_at);
     }
 }
 
