@@ -1,0 +1,66 @@
+//! Dead-state pruning payoff: the default fig4-shaped µarch campaign
+//! (10 000-cycle windows, default reconvergence cutoff of 250) with the
+//! liveness oracle off vs. on.
+//!
+//! Pruning composes with the cutoff: the cutoff shortens masked trials
+//! to their reconvergence point, while the oracle removes dead-bit
+//! trials entirely — no pipeline clone, no simulated cycles — at the
+//! price of one shadow run per injection point that draws a dead bit.
+//! The trial count per point therefore matters: the paper-scale ~48
+//! trials per point amortise the shadow run across every dead draw at
+//! that point; this bench uses a reduced plan with the same shape.
+//!
+//! Both modes compute the identical trial vector — the equivalence
+//! tests (`crates/inject/tests/prune_equivalence.rs`) enforce that, and
+//! this bench re-asserts it against the unpruned baseline before
+//! timing.
+//!
+//! Set `CRITERION_JSON=/path/file.json` to append machine-readable
+//! results (see `BENCH_prune.json` at the repo root for the recorded
+//! baseline and the measured wall-clock reduction).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use restore_inject::{run_uarch_campaign_with_stats, PruneMode, UarchCampaignConfig};
+
+fn cfg(prune: PruneMode) -> UarchCampaignConfig {
+    // Default window/warmup/drain/cutoff — the acceptance-relevant
+    // shape — with a reduced plan, and enough trials per point to
+    // amortise the per-point golden and shadow runs as a paper-scale
+    // campaign would.
+    UarchCampaignConfig {
+        points_per_workload: 2,
+        trials_per_point: 24,
+        seed: 11,
+        threads: 1,
+        prune,
+        ..UarchCampaignConfig::default()
+    }
+}
+
+fn bench_trial_prune(c: &mut Criterion) {
+    let (baseline, off_stats) = run_uarch_campaign_with_stats(&cfg(PruneMode::Off));
+    let mut g = c.benchmark_group("trial-prune");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(off_stats.trials));
+    for (label, mode) in [("off", PruneMode::Off), ("on", PruneMode::On)] {
+        let cfg = cfg(mode);
+        let (trials, stats) = run_uarch_campaign_with_stats(&cfg);
+        assert_eq!(trials, baseline, "prune-{label} changed trial results");
+        assert_eq!(
+            stats.cycles_simulated + stats.cycles_saved + stats.cycles_pruned,
+            off_stats.cycles_simulated + off_stats.cycles_saved,
+            "prune-{label}: every planned window cycle must be accounted for"
+        );
+        eprintln!(
+            "prune {label:>3}: {:>5.1}% of trials pruned | {stats}",
+            100.0 * stats.trials_pruned as f64 / stats.trials.max(1) as f64,
+        );
+        g.bench_function(format!("prune-{label}"), |b| {
+            b.iter(|| run_uarch_campaign_with_stats(&cfg).0)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trial_prune);
+criterion_main!(benches);

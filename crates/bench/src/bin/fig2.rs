@@ -3,28 +3,21 @@
 //!
 //! Usage: `fig2 [--trials N] [--seed S] [--low32] [--size N] [--threads N]`
 
-use restore_bench::{arch_table, arg_flag, arg_u64, FIG2_LATENCIES};
+use restore_bench::{arch_table, cli, FIG2_LATENCIES};
 use restore_inject::{
     run_arch_campaign_with_stats, worst_case_ci95, ArchCampaignConfig, ArchCategory,
 };
-use restore_workloads::Scale;
+
+const USAGE: &str = "fig2 [--trials N] [--seed S] [--low32] [--size N] [--threads N]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut cfg = ArchCampaignConfig::default();
-    if let Some(t) = arg_u64(&args, "--trials") {
-        cfg.trials_per_workload = t as usize;
-    }
-    if let Some(s) = arg_u64(&args, "--seed") {
-        cfg.seed = s;
-    }
-    if let Some(n) = arg_u64(&args, "--size") {
-        cfg.scale = Scale { size: n as usize, ..cfg.scale };
-    }
-    cfg.low32 = arg_flag(&args, "--low32");
-    if let Some(n) = arg_u64(&args, "--threads") {
-        cfg.threads = n as usize;
-    }
+    cli::or_exit(
+        cli::reject_unknown(&args, &["--trials", "--seed", "--low32", "--size", "--threads"]),
+        USAGE,
+    );
+    cli::or_exit(cli::apply_arch_flags(&mut cfg, &args, "--trials"), USAGE);
 
     eprintln!(
         "fig2: {} trials/workload x 7 workloads{} ...",
@@ -32,7 +25,7 @@ fn main() {
         if cfg.low32 { " (low 32 bits only)" } else { "" }
     );
     let (trials, stats) = run_arch_campaign_with_stats(&cfg);
-    eprintln!("fig2: {}", stats.summary());
+    eprintln!("fig2: {stats}");
 
     println!("# Figure 2 — virtual machine fault injection");
     println!("# columns: symptom-latency bound (instructions); cells: % of all trials");

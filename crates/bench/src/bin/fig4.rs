@@ -3,34 +3,25 @@
 //! function of checkpoint interval. `--latches-only` reproduces the
 //! §5.1.2 latch-targeted campaign instead.
 //!
-//! Usage: `fig4 [--points N] [--trials N] [--seed S] [--latches-only] [--threads N] [--cutoff K]`
+//! Usage: `fig4 [--points N] [--trials N] [--seed S] [--latches-only] [--threads N]
+//! [--cutoff K] [--prune off|on|audit]`
 
-use restore_bench::{arg_flag, arg_u64, coverage_summary, uarch_table, FIG46_INTERVALS};
+use restore_bench::{cli, coverage_summary, uarch_table, FIG46_INTERVALS};
 use restore_inject::{
     run_uarch_campaign_with_stats, CfvMode, InjectionTarget, UarchCampaignConfig,
 };
 
+const USAGE: &str = "fig4 [--points N] [--trials N] [--seed S] [--latches-only] \
+                     [--threads N] [--cutoff K] [--prune off|on|audit]";
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut cfg = UarchCampaignConfig::default();
-    if let Some(p) = arg_u64(&args, "--points") {
-        cfg.points_per_workload = p as usize;
-    }
-    if let Some(t) = arg_u64(&args, "--trials") {
-        cfg.trials_per_point = t as usize;
-    }
-    if let Some(s) = arg_u64(&args, "--seed") {
-        cfg.seed = s;
-    }
-    let latches = arg_flag(&args, "--latches-only");
+    cli::or_exit(cli::reject_unknown(&args, &cli::uarch_flags_plus(&["--latches-only"])), USAGE);
+    cli::or_exit(cli::apply_uarch_flags(&mut cfg, &args), USAGE);
+    let latches = cli::flag(&args, "--latches-only");
     if latches {
         cfg.target = InjectionTarget::LatchesOnly;
-    }
-    if let Some(n) = arg_u64(&args, "--threads") {
-        cfg.threads = n as usize;
-    }
-    if let Some(k) = arg_u64(&args, "--cutoff") {
-        cfg.cutoff_stride = k;
     }
 
     eprintln!(
@@ -40,7 +31,7 @@ fn main() {
         if latches { "latches only" } else { "all state" }
     );
     let (trials, stats) = run_uarch_campaign_with_stats(&cfg);
-    eprintln!("fig4: {}", stats.summary());
+    eprintln!("fig4: {stats}");
 
     println!(
         "# Figure 4 — µarch injection into {} (perfect exception+cfv identification)",

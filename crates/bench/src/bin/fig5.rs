@@ -2,36 +2,27 @@
 //! control-flow detection: only JRS high-confidence branch mispredictions
 //! count as cfv symptoms.
 //!
-//! Usage: `fig5 [--points N] [--trials N] [--seed S] [--threads N] [--cutoff K]`
+//! Usage: `fig5 [--points N] [--trials N] [--seed S] [--threads N] [--cutoff K]
+//! [--prune off|on|audit]`
 
-use restore_bench::{arg_u64, coverage_summary, uarch_table, FIG46_INTERVALS};
+use restore_bench::{cli, coverage_summary, uarch_table, FIG46_INTERVALS};
 use restore_inject::{run_uarch_campaign_with_stats, CfvMode, UarchCampaignConfig, UarchCategory};
+
+const USAGE: &str =
+    "fig5 [--points N] [--trials N] [--seed S] [--threads N] [--cutoff K] [--prune off|on|audit]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut cfg = UarchCampaignConfig::default();
-    if let Some(p) = arg_u64(&args, "--points") {
-        cfg.points_per_workload = p as usize;
-    }
-    if let Some(t) = arg_u64(&args, "--trials") {
-        cfg.trials_per_point = t as usize;
-    }
-    if let Some(s) = arg_u64(&args, "--seed") {
-        cfg.seed = s;
-    }
-    if let Some(n) = arg_u64(&args, "--threads") {
-        cfg.threads = n as usize;
-    }
-    if let Some(k) = arg_u64(&args, "--cutoff") {
-        cfg.cutoff_stride = k;
-    }
+    cli::or_exit(cli::reject_unknown(&args, &cli::UARCH_FLAGS), USAGE);
+    cli::or_exit(cli::apply_uarch_flags(&mut cfg, &args), USAGE);
 
     eprintln!(
         "fig5: {} points x {} trials x 7 workloads ...",
         cfg.points_per_workload, cfg.trials_per_point
     );
     let (trials, stats) = run_uarch_campaign_with_stats(&cfg);
-    eprintln!("fig5: {}", stats.summary());
+    eprintln!("fig5: {stats}");
 
     println!("# Figure 5 — ReStore coverage (JRS high-confidence cfv detection)");
     println!("# columns: checkpoint interval (instructions); cells: % of all trials");

@@ -3,31 +3,22 @@
 //! other key data stores (§5.2.2's "low hanging fruit"), layered with
 //! symptom-based detection.
 //!
-//! Usage: `fig6 [--points N] [--trials N] [--seed S] [--threads N] [--cutoff K]`
+//! Usage: `fig6 [--points N] [--trials N] [--seed S] [--threads N] [--cutoff K]
+//! [--prune off|on|audit]`
 
-use restore_bench::{arg_u64, coverage_summary, uarch_table, FIG46_INTERVALS};
+use restore_bench::{cli, coverage_summary, uarch_table, FIG46_INTERVALS};
 use restore_inject::{run_uarch_campaign_with_stats, CfvMode, UarchCampaignConfig};
 use restore_uarch::{Pipeline, UarchConfig};
 use restore_workloads::WorkloadId;
 
+const USAGE: &str =
+    "fig6 [--points N] [--trials N] [--seed S] [--threads N] [--cutoff K] [--prune off|on|audit]";
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut cfg = UarchCampaignConfig::default();
-    if let Some(p) = arg_u64(&args, "--points") {
-        cfg.points_per_workload = p as usize;
-    }
-    if let Some(t) = arg_u64(&args, "--trials") {
-        cfg.trials_per_point = t as usize;
-    }
-    if let Some(s) = arg_u64(&args, "--seed") {
-        cfg.seed = s;
-    }
-    if let Some(n) = arg_u64(&args, "--threads") {
-        cfg.threads = n as usize;
-    }
-    if let Some(k) = arg_u64(&args, "--cutoff") {
-        cfg.cutoff_stride = k;
-    }
+    cli::or_exit(cli::reject_unknown(&args, &cli::UARCH_FLAGS), USAGE);
+    cli::or_exit(cli::apply_uarch_flags(&mut cfg, &args), USAGE);
 
     // Report the protection domain size (paper: ~7% state overhead for
     // parity/ECC; the covered fraction of bits is what matters here).
@@ -42,7 +33,7 @@ fn main() {
     );
 
     let (trials, stats) = run_uarch_campaign_with_stats(&cfg);
-    eprintln!("fig6: {}", stats.summary());
+    eprintln!("fig6: {stats}");
 
     println!("# Figure 6 — hardened (parity/ECC) pipeline + ReStore");
     println!("# columns: checkpoint interval (instructions); cells: % of all trials");

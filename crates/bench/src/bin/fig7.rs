@@ -4,16 +4,19 @@
 //!
 //! Usage: `fig7 [--cycles N] [--size N]`
 
-use restore_bench::arg_u64;
+use restore_bench::cli;
 use restore_perf::{profile_all, PerfModel, Policy, FIGURE7_INTERVALS};
 use restore_uarch::UarchConfig;
 use restore_workloads::Scale;
 
+const USAGE: &str = "fig7 [--cycles N] [--size N]";
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let cycles = arg_u64(&args, "--cycles").unwrap_or(150_000);
+    cli::or_exit(cli::reject_unknown(&args, &["--cycles", "--size"]), USAGE);
+    let cycles = cli::or_exit(cli::nonzero_u64(&args, "--cycles"), USAGE).unwrap_or(150_000);
     let mut scale = Scale::campaign();
-    if let Some(n) = arg_u64(&args, "--size") {
+    if let Some(n) = cli::or_exit(cli::nonzero_u64(&args, "--size"), USAGE) {
         scale.size = n as usize;
     }
 

@@ -6,28 +6,25 @@
 //! `--paper` uses the paper's reported fractions instead, and
 //! `--points/--trials` scale the measurement.
 //!
-//! Usage: `fig8 [--paper] [--points N] [--trials N] [--seed S]`
+//! Usage: `fig8 [--paper] [--points N] [--trials N] [--seed S] [--threads N]
+//! [--cutoff K] [--prune off|on|audit]`
 
-use restore_bench::{arg_flag, arg_u64, coverage_summary};
+use restore_bench::{cli, coverage_summary};
 use restore_core::fit::{figure8_sizes, FitScaling, MTBF_GOAL_FIT};
 use restore_inject::{run_uarch_campaign, CfvMode, UarchCampaignConfig};
 
+const USAGE: &str = "fig8 [--paper] [--points N] [--trials N] [--seed S] [--threads N] \
+                     [--cutoff K] [--prune off|on|audit]";
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scaling = if arg_flag(&args, "--paper") {
+    cli::or_exit(cli::reject_unknown(&args, &cli::uarch_flags_plus(&["--paper"])), USAGE);
+    let scaling = if cli::flag(&args, "--paper") {
         eprintln!("fig8: using the paper's reported failure fractions");
         FitScaling::paper()
     } else {
         let mut cfg = UarchCampaignConfig::default();
-        if let Some(p) = arg_u64(&args, "--points") {
-            cfg.points_per_workload = p as usize;
-        }
-        if let Some(t) = arg_u64(&args, "--trials") {
-            cfg.trials_per_point = t as usize;
-        }
-        if let Some(s) = arg_u64(&args, "--seed") {
-            cfg.seed = s;
-        }
+        cli::or_exit(cli::apply_uarch_flags(&mut cfg, &args), USAGE);
         eprintln!(
             "fig8: measuring failure fractions ({} points x {} trials x 7 workloads) ...",
             cfg.points_per_workload, cfg.trials_per_point

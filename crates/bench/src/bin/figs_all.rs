@@ -3,7 +3,8 @@
 //! and Figure 7 (timing model) — everything the paper's evaluation
 //! section reports, in one pass.
 //!
-//! Usage: `figs_all [--points N] [--trials N] [--arch-trials N] [--seed S] [--threads N] [--cutoff K]`
+//! Usage: `figs_all [--points N] [--trials N] [--arch-trials N] [--seed S] [--threads N]
+//! [--cutoff K] [--prune off|on|audit]`
 
 use restore_bench::*;
 use restore_core::fit::{figure8_sizes, FitScaling, MTBF_GOAL_FIT};
@@ -14,27 +15,24 @@ use restore_inject::{
 use restore_perf::{profile_all, PerfModel, Policy, FIGURE7_INTERVALS};
 use restore_uarch::UarchConfig;
 
+const USAGE: &str = "figs_all [--points N] [--trials N] [--arch-trials N] [--seed S] \
+                     [--threads N] [--cutoff K] [--prune off|on|audit]";
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let t0 = std::time::Instant::now();
+    cli::or_exit(cli::reject_unknown(&args, &cli::uarch_flags_plus(&["--arch-trials"])), USAGE);
 
     // ---------------- Figure 2 ----------------
     let mut acfg = ArchCampaignConfig::default();
-    if let Some(t) = arg_u64(&args, "--arch-trials") {
-        acfg.trials_per_workload = t as usize;
-    }
-    if let Some(s) = arg_u64(&args, "--seed") {
-        acfg.seed = s;
-    }
-    let threads = arg_u64(&args, "--threads").map(|n| n as usize).unwrap_or(0);
-    acfg.threads = threads;
+    cli::or_exit(cli::apply_arch_flags(&mut acfg, &args, "--arch-trials"), USAGE);
     eprintln!(
         "[{:6.1}s] figure 2 ({} trials/workload) ...",
         t0.elapsed().as_secs_f64(),
         acfg.trials_per_workload
     );
     let (arch_trials, astats) = run_arch_campaign_with_stats(&acfg);
-    eprintln!("[{:6.1}s] figure 2: {}", t0.elapsed().as_secs_f64(), astats.summary());
+    eprintln!("[{:6.1}s] figure 2: {astats}", t0.elapsed().as_secs_f64());
     println!("==== Figure 2 — virtual machine fault injection ({} trials) ====", arch_trials.len());
     println!("{}", arch_table(&arch_trials, &FIG2_LATENCIES));
 
@@ -45,19 +43,7 @@ fn main() {
 
     // ---------------- Shared µarch campaign ----------------
     let mut ucfg = UarchCampaignConfig::default();
-    if let Some(p) = arg_u64(&args, "--points") {
-        ucfg.points_per_workload = p as usize;
-    }
-    if let Some(t) = arg_u64(&args, "--trials") {
-        ucfg.trials_per_point = t as usize;
-    }
-    if let Some(s) = arg_u64(&args, "--seed") {
-        ucfg.seed = s;
-    }
-    ucfg.threads = threads;
-    if let Some(k) = arg_u64(&args, "--cutoff") {
-        ucfg.cutoff_stride = k;
-    }
+    cli::or_exit(cli::apply_uarch_flags(&mut ucfg, &args), USAGE);
     eprintln!(
         "[{:6.1}s] µarch campaign ({} points x {} trials x 7 workloads) ...",
         t0.elapsed().as_secs_f64(),
@@ -65,7 +51,7 @@ fn main() {
         ucfg.trials_per_point
     );
     let (trials, ustats) = run_uarch_campaign_with_stats(&ucfg);
-    eprintln!("[{:6.1}s] µarch campaign: {}", t0.elapsed().as_secs_f64(), ustats.summary());
+    eprintln!("[{:6.1}s] µarch campaign: {ustats}", t0.elapsed().as_secs_f64());
 
     println!(
         "==== Figure 4 — µarch injection, all state, perfect cfv ({} trials) ====",

@@ -10,9 +10,10 @@
 //! high-confidence mispredictions trade coverage for near-zero false
 //! positives; raw mispredictions and cache misses fail metric 3.
 //!
-//! Usage: `symptom_metrics [--points N] [--trials N] [--seed S] [--threads N] [--cutoff K]`
+//! Usage: `symptom_metrics [--points N] [--trials N] [--seed S] [--threads N] [--cutoff K]
+//! [--prune off|on|audit]`
 
-use restore_bench::arg_u64;
+use restore_bench::cli;
 use restore_inject::{run_uarch_campaign_with_stats, UarchCampaignConfig, UarchTrial};
 use restore_uarch::{Pipeline, Stop, UarchConfig};
 use restore_workloads::{Scale, WorkloadId};
@@ -34,22 +35,15 @@ fn median(v: &mut [u64]) -> Option<u64> {
     Some(v[v.len() / 2])
 }
 
+const USAGE: &str = "symptom_metrics [--points N] [--trials N] [--seed S] [--threads N] \
+                     [--cutoff K] [--prune off|on|audit]";
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let mut cfg = UarchCampaignConfig {
-        points_per_workload: arg_u64(&args, "--points").unwrap_or(6) as usize,
-        trials_per_point: arg_u64(&args, "--trials").unwrap_or(12) as usize,
-        ..UarchCampaignConfig::default()
-    };
-    if let Some(s) = arg_u64(&args, "--seed") {
-        cfg.seed = s;
-    }
-    if let Some(n) = arg_u64(&args, "--threads") {
-        cfg.threads = n as usize;
-    }
-    if let Some(k) = arg_u64(&args, "--cutoff") {
-        cfg.cutoff_stride = k;
-    }
+    // This study wants more bits per point than the campaign default.
+    let mut cfg = UarchCampaignConfig { trials_per_point: 12, ..UarchCampaignConfig::default() };
+    cli::or_exit(cli::reject_unknown(&args, &cli::UARCH_FLAGS), USAGE);
+    cli::or_exit(cli::apply_uarch_flags(&mut cfg, &args), USAGE);
 
     // ---- metric 3: fault-free event rates ----
     eprintln!("measuring fault-free symptom rates ...");
@@ -86,7 +80,7 @@ fn main() {
     );
     let (trials, stats) = run_uarch_campaign_with_stats(&cfg);
     let failures: Vec<&UarchTrial> = trials.iter().filter(|t| t.is_failure()).collect();
-    eprintln!("{} ({} failures)", stats.summary(), failures.len());
+    eprintln!("{stats} ({} failures)", failures.len());
 
     let collect = |f: &dyn Fn(&UarchTrial) -> Option<u64>| -> (usize, Vec<u64>) {
         let mut lats = Vec::new();

@@ -1,0 +1,248 @@
+//! Strict, shared CLI parsing for the figure binaries.
+//!
+//! Every binary used to carry its own copy of `--flag value` extraction
+//! built on a lenient helper that silently ignored anything it could
+//! not parse — `fig4 --trials x` would run the *default* campaign and
+//! happily print a table for the wrong experiment. Here the shared
+//! knobs are parsed once, strictly:
+//!
+//! * a flag given without a value, or with an unparseable one, is an
+//!   error;
+//! * `--points` / `--trials` / `--size` / `--cycles` reject zero (an
+//!   empty campaign is never what was asked for);
+//! * `--threads 0` (auto) and `--cutoff 0` (cutoff off) stay legal —
+//!   zero is meaningful there;
+//! * unknown `--flags` are rejected, so typos fail instead of running
+//!   the default.
+//!
+//! Errors print the binary's usage line and exit with status 2 via
+//! [`or_exit`].
+
+use restore_inject::{ArchCampaignConfig, PruneMode, UarchCampaignConfig};
+use restore_workloads::Scale;
+use std::fmt;
+
+/// A CLI parse failure (the message names the offending flag).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Unwraps a parse result or prints the error plus `usage` to stderr
+/// and exits with status 2.
+pub fn or_exit<T>(r: Result<T, CliError>, usage: &str) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        eprintln!("usage: {usage}");
+        std::process::exit(2);
+    })
+}
+
+/// `true` if the bare flag is present.
+pub fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// The raw value following `name`, if the flag is present. A flag at
+/// the end of the line or followed by another `--flag` is an error.
+pub fn value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, CliError> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v)),
+            _ => Err(CliError(format!("{name} requires a value"))),
+        },
+    }
+}
+
+/// Parses `name`'s value as a u64; unparseable input is an error, not a
+/// silent default.
+pub fn parsed_u64(args: &[String], name: &str) -> Result<Option<u64>, CliError> {
+    value(args, name)?
+        .map(|v| {
+            v.parse().map_err(|_| CliError(format!("{name}: `{v}` is not an unsigned integer")))
+        })
+        .transpose()
+}
+
+/// Like [`parsed_u64`] but additionally rejects zero — for knobs where
+/// zero would silently produce an empty experiment.
+pub fn nonzero_u64(args: &[String], name: &str) -> Result<Option<u64>, CliError> {
+    match parsed_u64(args, name)? {
+        Some(0) => Err(CliError(format!("{name} must be at least 1"))),
+        other => Ok(other),
+    }
+}
+
+/// Parses `--prune off|on|audit`.
+pub fn prune_mode(args: &[String]) -> Result<Option<PruneMode>, CliError> {
+    value(args, "--prune")?
+        .map(|v| match v {
+            "off" => Ok(PruneMode::Off),
+            "on" => Ok(PruneMode::On),
+            "audit" => Ok(PruneMode::Audit),
+            _ => Err(CliError(format!("--prune: `{v}` is not one of off|on|audit"))),
+        })
+        .transpose()
+}
+
+/// Errors on any `--flag` not in `known` (a typo would otherwise run
+/// the default experiment). Values (non-`--` tokens) pass through.
+pub fn reject_unknown(args: &[String], known: &[&str]) -> Result<(), CliError> {
+    for a in args.iter().skip(1) {
+        if a.starts_with("--") && !known.contains(&a.as_str()) {
+            return Err(CliError(format!("unknown flag {a}")));
+        }
+    }
+    Ok(())
+}
+
+/// The knobs every µarch campaign binary shares.
+pub const UARCH_FLAGS: [&str; 6] =
+    ["--points", "--trials", "--seed", "--threads", "--cutoff", "--prune"];
+
+/// [`UARCH_FLAGS`] plus a binary's own extras, for [`reject_unknown`].
+pub fn uarch_flags_plus(extra: &[&'static str]) -> Vec<&'static str> {
+    let mut known = UARCH_FLAGS.to_vec();
+    known.extend_from_slice(extra);
+    known
+}
+
+/// Applies the shared µarch campaign knobs to `cfg`:
+/// `--points N` / `--trials N` (nonzero), `--seed S`, `--threads N`
+/// (0 = auto), `--cutoff K` (0 = off), `--prune off|on|audit`.
+pub fn apply_uarch_flags(cfg: &mut UarchCampaignConfig, args: &[String]) -> Result<(), CliError> {
+    if let Some(p) = nonzero_u64(args, "--points")? {
+        cfg.points_per_workload = p as usize;
+    }
+    if let Some(t) = nonzero_u64(args, "--trials")? {
+        cfg.trials_per_point = t as usize;
+    }
+    if let Some(s) = parsed_u64(args, "--seed")? {
+        cfg.seed = s;
+    }
+    if let Some(n) = parsed_u64(args, "--threads")? {
+        cfg.threads = n as usize;
+    }
+    if let Some(k) = parsed_u64(args, "--cutoff")? {
+        cfg.cutoff_stride = k;
+    }
+    if let Some(m) = prune_mode(args)? {
+        cfg.prune = m;
+    }
+    Ok(())
+}
+
+/// Applies the architectural (Figure 2) campaign knobs to `cfg`:
+/// `--trials N` / `--size N` (nonzero), `--seed S`, `--threads N`
+/// (0 = auto), `--low32`. Pass `trials_flag` so `figs_all` can route
+/// its `--arch-trials` here without colliding with the µarch knob.
+pub fn apply_arch_flags(
+    cfg: &mut ArchCampaignConfig,
+    args: &[String],
+    trials_flag: &str,
+) -> Result<(), CliError> {
+    if let Some(t) = nonzero_u64(args, trials_flag)? {
+        cfg.trials_per_workload = t as usize;
+    }
+    if let Some(s) = parsed_u64(args, "--seed")? {
+        cfg.seed = s;
+    }
+    if let Some(n) = nonzero_u64(args, "--size")? {
+        cfg.scale = Scale { size: n as usize, ..cfg.scale };
+    }
+    if let Some(n) = parsed_u64(args, "--threads")? {
+        cfg.threads = n as usize;
+    }
+    cfg.low32 = flag(args, "--low32");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        std::iter::once("bin").chain(s.iter().copied()).map(String::from).collect()
+    }
+
+    #[test]
+    fn strict_values() {
+        let a = args(&["--points", "12", "--latches-only"]);
+        assert_eq!(parsed_u64(&a, "--points"), Ok(Some(12)));
+        assert_eq!(parsed_u64(&a, "--trials"), Ok(None));
+        assert!(flag(&a, "--latches-only"));
+        assert!(!flag(&a, "--low32"));
+
+        let bad = args(&["--points", "x"]);
+        assert!(parsed_u64(&bad, "--points").is_err(), "unparseable must not be ignored");
+        let missing = args(&["--points"]);
+        assert!(parsed_u64(&missing, "--points").is_err());
+        let eaten = args(&["--points", "--trials", "4"]);
+        assert!(parsed_u64(&eaten, "--points").is_err(), "a flag is not a value");
+    }
+
+    #[test]
+    fn zero_rejection_is_selective() {
+        let mut cfg = UarchCampaignConfig::default();
+        assert!(apply_uarch_flags(&mut cfg, &args(&["--points", "0"])).is_err());
+        assert!(apply_uarch_flags(&mut cfg, &args(&["--trials", "0"])).is_err());
+        // Zero means something for these two.
+        apply_uarch_flags(&mut cfg, &args(&["--threads", "0", "--cutoff", "0"])).unwrap();
+        assert_eq!(cfg.threads, 0);
+        assert_eq!(cfg.cutoff_stride, 0);
+    }
+
+    #[test]
+    fn uarch_flags_apply() {
+        let mut cfg = UarchCampaignConfig::default();
+        let a = args(&[
+            "--points",
+            "3",
+            "--trials",
+            "7",
+            "--seed",
+            "9",
+            "--threads",
+            "2",
+            "--cutoff",
+            "100",
+            "--prune",
+            "audit",
+        ]);
+        apply_uarch_flags(&mut cfg, &a).unwrap();
+        assert_eq!(cfg.points_per_workload, 3);
+        assert_eq!(cfg.trials_per_point, 7);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.cutoff_stride, 100);
+        assert_eq!(cfg.prune, PruneMode::Audit);
+        assert!(apply_uarch_flags(&mut cfg, &args(&["--prune", "maybe"])).is_err());
+    }
+
+    #[test]
+    fn arch_flags_apply() {
+        let mut cfg = ArchCampaignConfig::default();
+        let a = args(&["--trials", "5", "--size", "64", "--low32", "--seed", "1"]);
+        apply_arch_flags(&mut cfg, &a, "--trials").unwrap();
+        assert_eq!(cfg.trials_per_workload, 5);
+        assert_eq!(cfg.scale.size, 64);
+        assert_eq!(cfg.seed, 1);
+        assert!(cfg.low32);
+        assert!(apply_arch_flags(&mut cfg, &args(&["--size", "0"]), "--trials").is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let known = uarch_flags_plus(&["--latches-only"]);
+        assert!(reject_unknown(&args(&["--points", "3", "--latches-only"]), &known).is_ok());
+        assert!(reject_unknown(&args(&["--latchesonly"]), &known).is_err());
+        assert!(reject_unknown(&args(&["--prnue", "on"]), &known).is_err());
+    }
+}

@@ -17,12 +17,17 @@
 //! All binaries accept `--points N`, `--trials N` (scale knobs) and
 //! `--seed N`; defaults are sized for a single-core laptop run of
 //! minutes. Campaign binaries also take `--threads N` (default: the
-//! `RESTORE_THREADS` env var, then all available cores); results are
-//! bit-identical at every thread count. This library holds the shared
+//! `RESTORE_THREADS` env var, then all available cores), `--cutoff K`
+//! (reconvergence-cutoff stride; 0 disables) and
+//! `--prune off|on|audit` (dead-state pruning); results are
+//! bit-identical at every thread count and with either optimisation on
+//! or off. This library holds the shared flag parsing ([`cli`]),
 //! aggregation and table rendering.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod cli;
 
 use restore_inject::{ArchCategory, ArchTrial, CfvMode, Proportion, UarchCategory, UarchTrial};
 
@@ -121,16 +126,6 @@ pub fn coverage_summary(
     }
 }
 
-/// Minimal `--flag value` argument extraction for the figure binaries.
-pub fn arg_u64(args: &[String], name: &str) -> Option<u64> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
-}
-
-/// `true` if a bare flag is present.
-pub fn arg_flag(args: &[String], name: &str) -> bool {
-    args.iter().any(|a| a == name)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,15 +179,5 @@ mod tests {
         assert!((s.failure_fraction - 0.5).abs() < 1e-12);
         assert!((s.coverage_of_failures - 0.5).abs() < 1e-12);
         assert!((s.residual_failure_fraction - 0.25).abs() < 1e-12);
-    }
-
-    #[test]
-    fn arg_parsing() {
-        let args: Vec<String> =
-            ["--points", "12", "--latches-only"].iter().map(|s| s.to_string()).collect();
-        assert_eq!(arg_u64(&args, "--points"), Some(12));
-        assert_eq!(arg_u64(&args, "--trials"), None);
-        assert!(arg_flag(&args, "--latches-only"));
-        assert!(!arg_flag(&args, "--low32"));
     }
 }

@@ -161,6 +161,8 @@ fn work_unit(cfg: &ArchCampaignConfig, seeder: &Seeder, unit: TrialUnit) -> Unit
         cycles_simulated: 0,
         cycles_saved: 0,
         trials_cut: 0,
+        trials_pruned: 0,
+        cycles_pruned: 0,
     }
 }
 

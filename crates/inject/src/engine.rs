@@ -20,6 +20,7 @@
 
 use crossbeam::channel;
 use parking_lot::Mutex;
+use std::fmt;
 use std::time::Instant;
 
 /// Resolves a requested worker count: an explicit request wins, then the
@@ -69,6 +70,11 @@ pub struct CampaignStats {
     pub cycles_saved: u64,
     /// Trials cut short by the reconvergence cutoff.
     pub trials_cut: u64,
+    /// Trials classified by the liveness oracle without simulating
+    /// their window (dead-state pruning).
+    pub trials_pruned: u64,
+    /// Window cycles those pruned trials would have needed.
+    pub cycles_pruned: u64,
 }
 
 impl CampaignStats {
@@ -93,9 +99,20 @@ impl CampaignStats {
         }
     }
 
-    /// One-line human summary for progress logs.
+    /// One-line human summary for progress logs (same text as the
+    /// [`fmt::Display`] impl).
     pub fn summary(&self) -> String {
-        let mut s = format!(
+        self.to_string()
+    }
+}
+
+/// One-line human summary: throughput, stage times, and — when the
+/// optimisations fired — the cutoff/pruning breakdown plus the trial
+/// mix (fully simulated vs. cut vs. pruned).
+impl fmt::Display for CampaignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
             "{} trials over {} units on {} thread{} in {:.2}s ({:.0} trials/s; \
              sweep {:.2}s, golden {:.2}s, trials {:.2}s worker-time)",
             self.trials,
@@ -107,18 +124,40 @@ impl CampaignStats {
             self.produce_secs,
             self.golden_secs,
             self.trial_secs,
-        );
+        )?;
         if self.trials_cut > 0 {
-            s.push_str(&format!(
+            write!(
+                f,
                 "; cutoff ended {}/{} trials early, skipping {} of {} window cycles ({:.0}%)",
                 self.trials_cut,
                 self.trials,
                 self.cycles_saved,
                 self.cycles_simulated + self.cycles_saved,
                 100.0 * self.cycles_saved_fraction(),
-            ));
+            )?;
         }
-        s
+        if self.trials_pruned > 0 {
+            write!(
+                f,
+                "; liveness oracle pruned {}/{} trials, skipping {} window cycles",
+                self.trials_pruned, self.trials, self.cycles_pruned,
+            )?;
+        }
+        if self.trials > 0 && (self.trials_cut > 0 || self.trials_pruned > 0) {
+            let pct = |n: u64| 100.0 * n as f64 / self.trials as f64;
+            // In audit mode a pruned trial is also simulated (and may be
+            // cut), so the categories can overlap — saturate rather than
+            // wrap.
+            let full = self.trials.saturating_sub(self.trials_cut + self.trials_pruned);
+            write!(
+                f,
+                "; trial mix: {:.0}% simulated / {:.0}% cut / {:.0}% pruned",
+                pct(full),
+                pct(self.trials_cut),
+                pct(self.trials_pruned),
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -136,6 +175,10 @@ pub(crate) struct UnitOutput<R> {
     pub cycles_saved: u64,
     /// Trials this unit cut short at a fingerprint match.
     pub trials_cut: u64,
+    /// Trials this unit classified via the liveness oracle.
+    pub trials_pruned: u64,
+    /// Trial window cycles the pruned trials would have needed.
+    pub cycles_pruned: u64,
 }
 
 /// Fans units out over `threads` scoped workers and reassembles results
@@ -162,7 +205,7 @@ where
     let (tx, rx) = channel::bounded::<(usize, U)>(threads * 2);
     let collected: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
     let stage_secs: Mutex<(f64, f64)> = Mutex::new((0.0, 0.0));
-    let cycle_counts: Mutex<(u64, u64, u64)> = Mutex::new((0, 0, 0));
+    let cycle_counts: Mutex<[u64; 5]> = Mutex::new([0; 5]);
 
     let wall0 = Instant::now();
     let mut produce_secs = 0.0;
@@ -185,9 +228,11 @@ where
                     }
                     {
                         let mut cc = cycle_counts.lock();
-                        cc.0 += out.cycles_simulated;
-                        cc.1 += out.cycles_saved;
-                        cc.2 += out.trials_cut;
+                        cc[0] += out.cycles_simulated;
+                        cc[1] += out.cycles_saved;
+                        cc[2] += out.trials_cut;
+                        cc[3] += out.trials_pruned;
+                        cc[4] += out.cycles_pruned;
                     }
                     collected.lock().push((index, out.results));
                 }
@@ -215,7 +260,8 @@ where
     debug_assert!(collected.iter().enumerate().all(|(i, (idx, _))| i == *idx));
 
     let (golden_secs, trial_secs) = stage_secs.into_inner();
-    let (cycles_simulated, cycles_saved, trials_cut) = cycle_counts.into_inner();
+    let [cycles_simulated, cycles_saved, trials_cut, trials_pruned, cycles_pruned] =
+        cycle_counts.into_inner();
     let results: Vec<R> = collected.into_iter().flat_map(|(_, r)| r).collect();
     let stats = CampaignStats {
         threads,
@@ -228,6 +274,8 @@ where
         cycles_simulated,
         cycles_saved,
         trials_cut,
+        trials_pruned,
+        cycles_pruned,
     };
     (results, stats)
 }
@@ -244,6 +292,8 @@ mod tests {
             cycles_simulated: 100,
             cycles_saved: 50,
             trials_cut: 1,
+            trials_pruned: 1,
+            cycles_pruned: 25,
         }
     }
 
@@ -270,8 +320,14 @@ mod tests {
             assert_eq!(stats.cycles_simulated, 57 * 100);
             assert_eq!(stats.cycles_saved, 57 * 50);
             assert_eq!(stats.trials_cut, 57);
+            assert_eq!(stats.trials_pruned, 57);
+            assert_eq!(stats.cycles_pruned, 57 * 25);
             assert!((stats.cycles_saved_fraction() - 1.0 / 3.0).abs() < 1e-12);
-            assert!(stats.summary().contains("cutoff ended 57/114 trials early"));
+            let line = stats.to_string();
+            assert_eq!(line, stats.summary());
+            assert!(line.contains("cutoff ended 57/114 trials early"), "{line}");
+            assert!(line.contains("pruned 57/114 trials"), "{line}");
+            assert!(line.contains("trial mix: 0% simulated / 50% cut / 50% pruned"), "{line}");
         }
     }
 

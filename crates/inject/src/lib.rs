@@ -41,6 +41,7 @@
 mod arch_campaign;
 mod classify;
 mod engine;
+mod liveness;
 mod seeding;
 pub mod stats;
 mod uarch_campaign;
@@ -55,5 +56,5 @@ pub use stats::{worst_case_ci95, Proportion};
 pub use uarch_campaign::run_workload as run_uarch_workload;
 pub use uarch_campaign::{
     run_uarch_campaign, run_uarch_campaign_with_stats, CfvMode, EndState, InjectionTarget,
-    UarchCampaignConfig, UarchTrial,
+    PruneMode, UarchCampaignConfig, UarchTrial,
 };

@@ -26,14 +26,25 @@
 //! means identical futures, and the remaining observables are
 //! back-filled from the golden record. Results are bit-identical with
 //! the cutoff on or off; only the wall-clock changes.
+//!
+//! A second, complementary optimisation skips whole trials instead of
+//! trial tails: **dead-state pruning** ([`UarchCampaignConfig::prune`]).
+//! At each injection point a liveness oracle ([`crate::liveness`]) reads
+//! the machine's occupancy metadata; a flip into a provably dead field
+//! (an invalid ROB/IQ/LSQ slot, a free physical register, an empty
+//! latch) is classified without simulating its window at all — the
+//! masked/residue verdict comes from one shared shadow run per point.
+//! `PruneMode::Audit` simulates every pruned trial anyway and asserts
+//! the prediction was exact.
 
 use crate::classify::UarchCategory;
 use crate::engine::{effective_threads, run_ordered, CampaignStats, UnitOutput};
+use crate::liveness::{predict_dead_trial, PointOracle};
 use crate::seeding::{Seeder, DOMAIN_UARCH};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use restore_arch::Retired;
-use restore_uarch::{Pipeline, StateCatalog, Stop, UarchConfig};
+use restore_uarch::{FaultState, OccupancyRecorder, Pipeline, StateCatalog, Stop, UarchConfig};
 use restore_workloads::{Scale, WorkloadId};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -61,6 +72,23 @@ pub enum CfvMode {
     /// fault-induced misprediction counts ("a perfect confidence
     /// predictor would yield nearly twice the error coverage").
     AnyMispredict,
+}
+
+/// Dead-state injection pruning mode ([`UarchCampaignConfig::prune`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruneMode {
+    /// Every trial simulates its full observation window (modulo the
+    /// reconvergence cutoff).
+    #[default]
+    Off,
+    /// Trials whose flipped bit the liveness oracle proves dead are
+    /// classified from the per-point shadow run with zero simulated
+    /// window cycles. Results are bit-identical to `Off`.
+    On,
+    /// Like `On`, but every pruned trial is *also* simulated
+    /// exhaustively and the predicted record is asserted identical —
+    /// the oracle's equivalence check, at full cost.
+    Audit,
 }
 
 /// Configuration of a microarchitectural campaign.
@@ -95,6 +123,11 @@ pub struct UarchCampaignConfig {
     /// window is skipped and back-filled. `0` disables the cutoff.
     /// Results are bit-identical either way — only throughput changes.
     pub cutoff_stride: u64,
+    /// Dead-state pruning: skip simulating trials whose flipped bit the
+    /// liveness oracle proves dead at the injection point. Results are
+    /// bit-identical to [`PruneMode::Off`]; [`PruneMode::Audit`]
+    /// verifies that claim trial-by-trial at full simulation cost.
+    pub prune: PruneMode,
 }
 
 impl Default for UarchCampaignConfig {
@@ -115,6 +148,7 @@ impl Default for UarchCampaignConfig {
             // still catching reconvergence (typically a few hundred
             // cycles after a masked flip) early in the 10k window.
             cutoff_stride: 250,
+            prune: PruneMode::Off,
         }
     }
 }
@@ -225,22 +259,22 @@ impl UarchTrial {
 
 /// Cached golden observation from one injection point.
 #[derive(Debug)]
-struct GoldenRun {
+pub(crate) struct GoldenRun {
     trace: Vec<Retired>,
     /// `(retired_before, pc)` of golden high-confidence mispredicts.
     hc_events: HashSet<(u64, u64)>,
     /// `(retired_before, pc)` of all golden conditional mispredicts.
     all_events: HashSet<(u64, u64)>,
     end_state_hash: u64,
-    end_regs: [u64; 32],
+    pub(crate) end_regs: [u64; 32],
     /// Digest of the end memory image ([`restore_arch::Memory::content_hash`]);
     /// keeping the full golden `Memory` alive per point was the campaign's
     /// largest resident allocation.
-    end_mem_hash: u64,
+    pub(crate) end_mem_hash: u64,
     /// Status after the end-of-window drain (a trial cut at reconvergence
     /// back-fills its ending from this).
-    end_status: Stop,
-    retired: u64,
+    pub(crate) end_status: Stop,
+    pub(crate) retired: u64,
     dcache_misses: u64,
     dtlb_misses: u64,
     /// Full-machine fingerprint at each `cutoff_stride` boundary of the
@@ -255,12 +289,16 @@ struct GoldenRun {
     /// included, so this is exactly what the exhaustive trial would have
     /// simulated.
     window_executed: u64,
+    /// Per-field end-of-trial values in catalog order (the state the
+    /// classifier hashes), for the liveness oracle's written/untouched
+    /// verdicts. Empty unless pruning is enabled.
+    pub(crate) end_fields: Vec<u64>,
 }
 
 /// Stops fetch and runs until the machine is empty (or `max` cycles).
 /// An empty machine must stop cycling before the retirement watchdog
 /// misreads the idle period as a deadlock.
-fn drain(pipe: &mut Pipeline, max: u64) {
+pub(crate) fn drain(pipe: &mut Pipeline, max: u64) {
     pipe.set_fetch_enabled(false);
     for _ in 0..max {
         if pipe.status() != Stop::Running || pipe.in_flight() == 0 {
@@ -313,6 +351,13 @@ fn golden_run(at: &Pipeline, cfg: &UarchCampaignConfig) -> GoldenRun {
         }
     }
     drain(&mut g, cfg.drain_cycles);
+    let end_fields = if cfg.prune != PruneMode::Off {
+        let mut rec = OccupancyRecorder::new();
+        g.visit_state(&mut rec);
+        rec.values
+    } else {
+        Vec::new()
+    };
     GoldenRun {
         trace,
         hc_events: hc,
@@ -326,6 +371,7 @@ fn golden_run(at: &Pipeline, cfg: &UarchCampaignConfig) -> GoldenRun {
         dtlb_misses: g.miss_counters().3,
         fingerprints,
         window_executed,
+        end_fields,
     }
 }
 
@@ -345,6 +391,11 @@ struct TrialCost {
     saved: u64,
     /// The trial ended at a fingerprint match.
     cut: bool,
+    /// The trial was classified by the liveness oracle.
+    pruned: bool,
+    /// Window cycles the pruned trial would have needed (the golden
+    /// run's executed window — see `GoldenRun::window_executed`).
+    pruned_cycles: u64,
 }
 
 fn run_trial(
@@ -354,7 +405,31 @@ fn run_trial(
     id: WorkloadId,
     bit: u64,
     cfg: &UarchCampaignConfig,
+    oracle: Option<&PointOracle>,
 ) -> (UarchTrial, TrialCost) {
+    if let Some(oracle) = oracle {
+        if let Some(field) = oracle.dead_field(catalog, bit) {
+            let predicted =
+                predict_dead_trial(golden, catalog, id, bit, at.retired(), oracle.written(field));
+            // A dead trial's live evolution is the golden run's, so the
+            // exhaustive trial would have simulated (or been cut across)
+            // exactly the golden run's window cycles.
+            let pruned_cycles = golden.window_executed;
+            if cfg.prune == PruneMode::Audit {
+                let (actual, mut cost) = run_trial(at, golden, catalog, id, bit, cfg, None);
+                assert_eq!(
+                    actual, predicted,
+                    "liveness oracle disagrees with simulation (workload {id:?}, bit {bit})"
+                );
+                cost.pruned = true;
+                cost.pruned_cycles = pruned_cycles;
+                return (actual, cost);
+            }
+            let cost =
+                TrialCost { simulated: 0, saved: 0, cut: false, pruned: true, pruned_cycles };
+            return (predicted, cost);
+        }
+    }
     let mut pipe = at.clone();
     let base_retired = pipe.retired();
     pipe.flip_bit(bit);
@@ -460,7 +535,8 @@ fn run_trial(
     // from a label flip; end-of-trial state comparison adjudicates it.
     let _ = pending_cfv;
 
-    let mut cost = TrialCost { simulated: executed, saved: 0, cut };
+    let mut cost =
+        TrialCost { simulated: executed, saved: 0, cut, pruned: false, pruned_cycles: 0 };
     if cut {
         // Not `window_cycles - executed`: the exhaustive trial would have
         // stopped when the golden run stops (identical futures), so only
@@ -543,6 +619,30 @@ struct PointUnit {
     catalog: Arc<StateCatalog>,
 }
 
+/// Pre-selects one workload's injection cycles (paper §4.4): distinct
+/// uniform draws over the sampling span, sorted so one walker sweeps
+/// forward. Distinctness matters — a duplicate draw would silently
+/// double-weight one machine state in every downstream fraction, so
+/// collisions are rejection-sampled away (re-drawing only on collision
+/// keeps the collision-free plan identical to the historical one). The
+/// plan is seeded per workload, so it never depends on other workloads
+/// or on execution order.
+fn plan_points(cfg: &UarchCampaignConfig, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span = (cfg.window_cycles * 4).max(1);
+    // More points than span would make distinctness unsatisfiable.
+    let want = cfg.points_per_workload.min(span as usize);
+    let mut points: Vec<u64> = Vec::with_capacity(want);
+    while points.len() < want {
+        let p = cfg.warmup_cycles + rng.gen_range(0..span);
+        if !points.contains(&p) {
+            points.push(p);
+        }
+    }
+    points.sort_unstable();
+    points
+}
+
 /// Sweeps one workload's pipeline forward through its planned injection
 /// points, emitting a [`PointUnit`] at each reachable one.
 fn sweep_workload(
@@ -556,16 +656,7 @@ fn sweep_workload(
     let mut walker = Pipeline::new(cfg.uarch.clone(), &program);
     let catalog = Arc::new(walker.catalog());
 
-    // Pre-selected random injection cycles (paper §4.4), sorted so one
-    // walker sweeps forward. The point stream is seeded per workload, so
-    // the plan never depends on other workloads or on execution order.
-    let mut rng = StdRng::seed_from_u64(seeder.points(wl));
-    let span = cfg.window_cycles * 4;
-    let mut points: Vec<u64> =
-        (0..cfg.points_per_workload).map(|_| cfg.warmup_cycles + rng.gen_range(0..span)).collect();
-    points.sort_unstable();
-
-    for (point, cycle) in points.into_iter().enumerate() {
+    for (point, cycle) in plan_points(cfg, seeder.points(wl)).into_iter().enumerate() {
         while walker.cycles() < cycle && walker.status() == Stop::Running {
             walker.cycle();
         }
@@ -582,22 +673,38 @@ fn sweep_workload(
 fn work_point(
     cfg: &UarchCampaignConfig,
     seeder: &Seeder,
-    unit: PointUnit,
+    mut unit: PointUnit,
 ) -> UnitOutput<UarchTrial> {
     let g0 = Instant::now();
     let golden = Arc::new(golden_run(&unit.pipe, cfg));
+    // Occupancy capture is cheap; the oracle's shadow run only happens
+    // if a trial actually draws a dead bit, and its cost lands in
+    // `trial_secs` where the work it replaces would have been.
+    let mut oracle = match cfg.prune {
+        PruneMode::Off => None,
+        PruneMode::On | PruneMode::Audit => Some(PointOracle::capture(&mut unit.pipe)),
+    };
     let golden_secs = g0.elapsed().as_secs_f64();
 
     let t0 = Instant::now();
     let mut results = Vec::with_capacity(cfg.trials_per_point);
     let (mut cycles_simulated, mut cycles_saved, mut trials_cut) = (0u64, 0u64, 0u64);
+    let (mut trials_pruned, mut cycles_pruned) = (0u64, 0u64);
     for t in 0..cfg.trials_per_point {
         let mut rng = StdRng::seed_from_u64(seeder.trial(unit.wl, unit.point, t));
         let bit = draw_bit(&mut rng, &unit.catalog, cfg.target);
-        let (trial, cost) = run_trial(&unit.pipe, &golden, &unit.catalog, unit.id, bit, cfg);
+        if let Some(o) = oracle.as_mut() {
+            if o.dead_field(&unit.catalog, bit).is_some() {
+                o.ensure_written(&unit.pipe, &golden, &unit.catalog, cfg);
+            }
+        }
+        let (trial, cost) =
+            run_trial(&unit.pipe, &golden, &unit.catalog, unit.id, bit, cfg, oracle.as_ref());
         cycles_simulated += cost.simulated;
         cycles_saved += cost.saved;
         trials_cut += cost.cut as u64;
+        trials_pruned += cost.pruned as u64;
+        cycles_pruned += cost.pruned_cycles;
         results.push(trial);
     }
     UnitOutput {
@@ -607,6 +714,8 @@ fn work_point(
         cycles_simulated,
         cycles_saved,
         trials_cut,
+        trials_pruned,
+        cycles_pruned,
     }
 }
 
@@ -666,6 +775,45 @@ mod tests {
             seed: 3,
             ..UarchCampaignConfig::default()
         }
+    }
+
+    #[test]
+    fn injection_plan_is_deterministic_and_duplicate_free() {
+        let cfg = quick();
+        let seeder = Seeder::new(cfg.seed, DOMAIN_UARCH);
+        for wl in 0..WorkloadId::ALL.len() {
+            let a = plan_points(&cfg, seeder.points(wl));
+            assert_eq!(a, plan_points(&cfg, seeder.points(wl)), "plan not deterministic");
+            assert_eq!(a.len(), cfg.points_per_workload);
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "workload {wl}: {a:?} not distinct+sorted");
+            let span = cfg.window_cycles * 4;
+            assert!(a.iter().all(|&p| (cfg.warmup_cycles..cfg.warmup_cycles + span).contains(&p)));
+        }
+    }
+
+    /// Pins the exact plan vector: collision-free plans must match the
+    /// historical sampler draw-for-draw (rejection only replaces
+    /// colliding draws), so campaign results stay comparable across
+    /// code changes.
+    #[test]
+    fn injection_plan_is_pinned() {
+        let cfg = quick();
+        let pts = plan_points(&cfg, Seeder::new(cfg.seed, DOMAIN_UARCH).points(0));
+        assert_eq!(pts, vec![6_600, 6_709]);
+    }
+
+    /// A span smaller than the request forces collisions; the plan must
+    /// cap at the span and still come back duplicate-free.
+    #[test]
+    fn injection_plan_rejection_samples_collisions() {
+        let cfg = UarchCampaignConfig {
+            points_per_workload: 8,
+            window_cycles: 1, // span = 4
+            warmup_cycles: 10,
+            ..quick()
+        };
+        let pts = plan_points(&cfg, 7);
+        assert_eq!(pts, vec![10, 11, 12, 13]);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Regression tests for dead-state pruning's core guarantee: a campaign
+//! run with `prune: On` produces a trial vector **bit-identical** to the
+//! unpruned run, at every thread count and for both injection targets —
+//! the liveness oracle may only change how many windows get simulated,
+//! never what a trial reports.
+//!
+//! `prune: Audit` is the belt-and-braces version of the same claim: it
+//! simulates every pruned trial anyway and asserts the oracle's
+//! predicted record inside `run_trial` itself, so a passing audit run
+//! *is* the equivalence proof for exactly the trials it pruned.
+
+use restore_inject::{
+    run_uarch_campaign_with_stats, InjectionTarget, PruneMode, UarchCampaignConfig,
+};
+
+/// Small plan, small window: fast enough to run many times in debug
+/// builds (mirrors `cutoff_equivalence.rs`).
+fn small_cfg(threads: usize, prune: PruneMode) -> UarchCampaignConfig {
+    UarchCampaignConfig {
+        points_per_workload: 2,
+        trials_per_point: 4,
+        warmup_cycles: 500,
+        window_cycles: 1_500,
+        drain_cycles: 1_000,
+        seed: 0xC0FF,
+        threads,
+        prune,
+        ..UarchCampaignConfig::default()
+    }
+}
+
+#[test]
+fn prune_on_equals_prune_off_at_every_thread_count() {
+    let (baseline, stats_off) = run_uarch_campaign_with_stats(&small_cfg(1, PruneMode::Off));
+    assert!(!baseline.is_empty());
+    assert_eq!(stats_off.trials_pruned, 0, "PruneMode::Off must not prune");
+    assert_eq!(stats_off.cycles_pruned, 0);
+    for threads in [1, 2, 4] {
+        let (got, stats_on) = run_uarch_campaign_with_stats(&small_cfg(threads, PruneMode::On));
+        assert_eq!(got, baseline, "pruning diverged at {threads} threads");
+        assert!(
+            stats_on.trials_pruned > 0,
+            "expected some dead-bit trials to be pruned at {threads} threads"
+        );
+        assert!(stats_on.cycles_pruned > 0);
+        // Every planned window cycle is accounted for exactly once:
+        // simulated, skipped by the cutoff, or skipped by the oracle.
+        assert_eq!(
+            stats_on.cycles_simulated + stats_on.cycles_saved + stats_on.cycles_pruned,
+            stats_off.cycles_simulated + stats_off.cycles_saved,
+            "pruned cycles must account for the unpruned run's cycles"
+        );
+    }
+}
+
+#[test]
+fn prune_on_equals_prune_off_for_latch_campaign() {
+    let cfg = |threads, prune| UarchCampaignConfig {
+        target: InjectionTarget::LatchesOnly,
+        ..small_cfg(threads, prune)
+    };
+    let (baseline, _) = run_uarch_campaign_with_stats(&cfg(1, PruneMode::Off));
+    assert!(!baseline.is_empty());
+    for threads in [1, 2, 4] {
+        let (got, stats) = run_uarch_campaign_with_stats(&cfg(threads, PruneMode::On));
+        assert_eq!(got, baseline, "latch campaign diverged at {threads} threads");
+        assert!(stats.trials_pruned > 0, "latches draw dead fetch/decode/IQ slots too");
+    }
+}
+
+/// The audit mode's own assertions (prediction == exhaustive simulation,
+/// shadow-run live-trajectory checks) must hold over the whole small
+/// campaign, and an audit run still reports what it pruned while
+/// producing the baseline trial vector.
+#[test]
+fn audit_mode_verifies_oracle_against_simulation() {
+    let (baseline, _) = run_uarch_campaign_with_stats(&small_cfg(1, PruneMode::Off));
+    let (got, stats) = run_uarch_campaign_with_stats(&small_cfg(1, PruneMode::Audit));
+    assert_eq!(got, baseline, "audit mode changed trial results");
+    assert!(stats.trials_pruned > 0, "audit found nothing to check");
+    assert!(stats.cycles_simulated > 0, "audit must still simulate pruned trials");
+}
+
+/// Pruning composes with the reconvergence cutoff disabled too: the
+/// oracle's cycle accounting must balance against a fully exhaustive
+/// run, not just a cut one.
+#[test]
+fn prune_accounting_balances_without_cutoff() {
+    let cfg = |prune| UarchCampaignConfig { cutoff_stride: 0, ..small_cfg(1, prune) };
+    let (baseline, stats_off) = run_uarch_campaign_with_stats(&cfg(PruneMode::Off));
+    let (got, stats_on) = run_uarch_campaign_with_stats(&cfg(PruneMode::On));
+    assert_eq!(got, baseline);
+    assert_eq!(stats_off.cycles_saved, 0);
+    assert_eq!(stats_on.cycles_simulated + stats_on.cycles_pruned, stats_off.cycles_simulated,);
+}

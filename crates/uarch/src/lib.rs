@@ -57,4 +57,7 @@ pub mod uop;
 
 pub use config::UarchConfig;
 pub use pipeline::{role_of, CycleReport, MispredictEvent, Pipeline, Stop};
-pub use state::{FaultState, FieldClass, Fingerprint, StateCatalog, StateKind, StateRegion};
+pub use state::{
+    DeadStatePerturber, FaultState, FieldClass, Fingerprint, OccupancyRecorder, StateCatalog,
+    StateKind, StateRegion,
+};

@@ -1404,18 +1404,40 @@ impl crate::state::FaultState for Pipeline {
     fn visit_state<V: StateVisitor>(&mut self, v: &mut V) {
         use crate::state::StateKind::{Latch, Ram};
 
+        // Occupancy-dependent inputs, gathered up front so the walk
+        // itself stays borrow-clean. Skipped entirely for visitors that
+        // ignore occupancy (the hash/fingerprint hot paths).
+        let occupancy = v.wants_occupancy();
+        let restorable_heads: Vec<u64> =
+            if occupancy { self.bob.iter().map(|(_, b)| b.fl_head).collect() } else { Vec::new() };
+        let reg_live: Vec<bool> = if occupancy {
+            // A physical register in the current free window backs no
+            // architectural or speculative value: rename rewrites its
+            // ready bit at allocation and writeback rewrites its value
+            // before any consumer reads either. Registers re-freed by a
+            // future `restore_head` are allocated *now*, hence live.
+            let mut live = vec![true; self.cfg.phys_regs];
+            for t in self.free_list.free_tags() {
+                live[t as usize % self.cfg.phys_regs] = false;
+            }
+            live
+        } else {
+            Vec::new()
+        };
+
         v.region("pc-and-fetch-control", Latch);
         v.word(&mut self.pc, 64, FieldClass::Data);
         v.flag(&mut self.fetch_parked);
 
         v.region("fetch-queue", Ram);
         self.fq.visit_with(v, |e, v| e.visit(v));
-        self.fq.sanitize();
 
         v.region("decode-latch", Latch);
         for d in self.dec.iter_mut() {
             v.flag(&mut d.valid);
+            v.occupancy(d.valid);
             d.e.visit(v);
+            v.occupancy(true);
         }
 
         v.region("scheduler", Latch);
@@ -1430,15 +1452,12 @@ impl crate::state::FaultState for Pipeline {
 
         v.region("reorder-buffer", Ram);
         self.rob.visit_with(v, |e, v| e.visit(v));
-        self.rob.sanitize();
 
         v.region("load-queue", Latch);
         self.ldq.visit_with(v, |e, v| e.visit(v));
-        self.ldq.sanitize();
 
         v.region("store-queue", Latch);
         self.stq.visit_with(v, |e, v| e.visit(v));
-        self.stq.sanitize();
 
         v.region("branch-order-buffer", Ram);
         self.bob.visit_with(v, |b, v| {
@@ -1446,7 +1465,6 @@ impl crate::state::FaultState for Pipeline {
                 v.word8(t, 7, FieldClass::Control);
             }
         });
-        self.bob.sanitize();
 
         v.region("spec-rat", Ram);
         for t in self.spec_rat.iter_mut() {
@@ -1458,17 +1476,24 @@ impl crate::state::FaultState for Pipeline {
         }
 
         v.region("free-list", Ram);
-        self.free_list.visit(v);
+        self.free_list.visit(v, &restorable_heads);
 
         v.region("phys-regfile", Ram);
-        for r in self.phys_regs.iter_mut() {
+        for (i, r) in self.phys_regs.iter_mut().enumerate() {
+            if occupancy {
+                v.occupancy(reg_live[i]);
+            }
             v.word(r, 64, FieldClass::Data);
         }
 
         v.region("ready-scoreboard", Latch);
-        for b in self.phys_ready.iter_mut() {
+        for (i, b) in self.phys_ready.iter_mut().enumerate() {
+            if occupancy {
+                v.occupancy(reg_live[i]);
+            }
             v.flag(b);
         }
+        v.occupancy(true);
     }
 }
 

@@ -1,9 +1,19 @@
 //! Circular queues and the physical-register free list.
 //!
-//! The head/length pointers of these queues are themselves latches and are
-//! fault-injectable; [`CircQ::sanitize`] re-establishes the Rust-side
-//! invariants after a flip (a corrupted pointer still wreaks havoc — wrong
-//! entries become visible — but never indexes out of bounds).
+//! The head/tail pointers of these queues are themselves latches and are
+//! fault-injectable. Both structures keep them as modular counters over
+//! `2 * capacity` — the hardware idiom where full and empty differ by the
+//! wrap bit — and reduce them modulo capacity only at the point of use.
+//! A corrupted pointer therefore still wreaks havoc (wrong entries become
+//! visible, queues appear full or empty) but never indexes out of bounds,
+//! and because no clamping rewrites the stored latch value, a second flip
+//! of the same bit restores the machine exactly (flip involution — pinned
+//! by `state_catalog_proptest`).
+//!
+//! Both queues report slot *occupancy* to visitors that ask for it
+//! ([`crate::state::StateVisitor::occupancy`]): a slot outside the live
+//! window can only be read again after a push overwrites it, which is
+//! what makes dead-state injection pruning sound.
 
 use crate::state::{FieldClass, StateVisitor};
 
@@ -14,14 +24,16 @@ use crate::state::{FieldClass, StateVisitor};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CircQ<T> {
     slots: Vec<T>,
+    /// Pop pointer (modular counter over `2 * cap`).
     head: u64,
-    len: u64,
+    /// Push pointer (modular counter over `2 * cap`).
+    tail: u64,
 }
 
 impl<T: Default + Clone> CircQ<T> {
     /// Creates a queue of `cap` default-initialised slots.
     pub fn new(cap: usize) -> CircQ<T> {
-        CircQ { slots: vec![T::default(); cap.max(1)], head: 0, len: 0 }
+        CircQ { slots: vec![T::default(); cap.max(1)], head: 0, tail: 0 }
     }
 
     /// Capacity.
@@ -29,14 +41,28 @@ impl<T: Default + Clone> CircQ<T> {
         self.slots.len()
     }
 
-    /// Occupied entries.
+    #[inline]
+    fn c2(&self) -> u64 {
+        2 * self.cap() as u64
+    }
+
+    #[inline]
+    fn wrap(&self, x: u64) -> u64 {
+        x % self.c2()
+    }
+
+    /// Occupied entries. Pointer corruption can make the raw counter
+    /// distance exceed capacity; the visible length clamps there, so
+    /// every iteration stays bounded without rewriting the latches.
     pub fn len(&self) -> usize {
-        self.len as usize
+        let c2 = self.c2();
+        let raw = (self.tail % c2 + c2 - self.head % c2) % c2;
+        raw.min(self.cap() as u64) as usize
     }
 
     /// `true` if no entries are live.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// `true` if no slots remain.
@@ -51,9 +77,9 @@ impl<T: Default + Clone> CircQ<T> {
     /// Panics if full; callers check [`CircQ::is_full`] first.
     pub fn push(&mut self, v: T) -> usize {
         assert!(!self.is_full(), "queue overflow");
-        let idx = ((self.head + self.len) % self.cap() as u64) as usize;
+        let idx = (self.tail % self.cap() as u64) as usize;
         self.slots[idx] = v;
-        self.len += 1;
+        self.tail = self.wrap(self.tail + 1);
         idx
     }
 
@@ -76,8 +102,7 @@ impl<T: Default + Clone> CircQ<T> {
     pub fn pop_front(&mut self) -> Option<T> {
         let i = self.head_idx()?;
         let v = self.slots[i].clone();
-        self.head = (self.head + 1) % self.cap() as u64;
-        self.len -= 1;
+        self.head = self.wrap(self.head + 1);
         Some(v)
     }
 
@@ -86,8 +111,8 @@ impl<T: Default + Clone> CircQ<T> {
         if self.is_empty() {
             return None;
         }
-        self.len -= 1;
-        let idx = ((self.head + self.len) % self.cap() as u64) as usize;
+        self.tail = self.wrap(self.tail + self.c2() - 1);
+        let idx = (self.tail % self.cap() as u64) as usize;
         Some(self.slots[idx].clone())
     }
 
@@ -96,7 +121,7 @@ impl<T: Default + Clone> CircQ<T> {
         if self.is_empty() {
             return None;
         }
-        let idx = ((self.head + self.len - 1) % self.cap() as u64) as usize;
+        let idx = ((self.tail + self.c2() - 1) % self.cap() as u64) as usize;
         Some(&self.slots[idx])
     }
 
@@ -113,7 +138,7 @@ impl<T: Default + Clone> CircQ<T> {
         &mut self.slots[idx % c]
     }
 
-    /// Every slot (live or not) in storage order, plus the head/len
+    /// Every slot (live or not) in storage order, plus the head/tail
     /// pointers folded in by the caller. Dead slots matter to the
     /// reconvergence fingerprint: a corrupted pointer can re-expose them.
     pub fn raw_slots(&self) -> &[T] {
@@ -124,7 +149,7 @@ impl<T: Default + Clone> CircQ<T> {
     pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
         let cap = self.cap() as u64;
         let head = self.head;
-        (0..self.len).map(move |k| {
+        (0..self.len() as u64).map(move |k| {
             let idx = ((head + k) % cap) as usize;
             (idx, &self.slots[idx])
         })
@@ -132,25 +157,29 @@ impl<T: Default + Clone> CircQ<T> {
 
     /// Removes every live entry.
     pub fn clear(&mut self) {
-        self.len = 0;
+        self.tail = self.wrap(self.head);
     }
 
-    /// Visits the head/len pointers (latch bits) and every slot's payload
-    /// via `f`. Call [`CircQ::sanitize`] afterwards when the visitor may
-    /// have mutated state.
+    /// Visits the head/tail pointers (latch bits) and every slot's
+    /// payload via `f`, reporting per-slot occupancy to visitors that
+    /// ask: slots outside the `[head, tail)` window are dead — their
+    /// contents cannot be read before a push overwrites them.
     pub fn visit_with<V: StateVisitor>(&mut self, v: &mut V, mut f: impl FnMut(&mut T, &mut V)) {
-        let ptr_width = (64 - (self.cap() as u64).leading_zeros()).max(1);
+        let ptr_width = (64 - (self.c2() - 1).leading_zeros()).max(1);
+        let occupancy = v.wants_occupancy();
+        let (cap, start, len) = (self.cap() as u64, self.head, self.len() as u64);
         v.word(&mut self.head, ptr_width, FieldClass::Control);
-        v.word(&mut self.len, ptr_width + 1, FieldClass::Control);
-        for s in self.slots.iter_mut() {
+        v.word(&mut self.tail, ptr_width, FieldClass::Control);
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if occupancy {
+                let offset = (i as u64 + cap - start % cap) % cap;
+                v.occupancy(offset < len);
+            }
             f(s, v);
         }
-    }
-
-    /// Clamps pointers back into range after a bit flip.
-    pub fn sanitize(&mut self) {
-        self.head %= self.cap() as u64;
-        self.len = self.len.min(self.cap() as u64);
+        if occupancy {
+            v.occupancy(true);
+        }
     }
 }
 
@@ -191,7 +220,8 @@ impl FreeList {
 
     /// Free registers currently available.
     pub fn available(&self) -> u64 {
-        (self.tail + 2 * self.cap() - self.head) % (2 * self.cap())
+        let c2 = 2 * self.cap();
+        (self.tail % c2 + c2 - self.head % c2) % c2
     }
 
     /// Allocates a register, or `None` if empty.
@@ -255,23 +285,68 @@ impl FreeList {
         }
     }
 
+    /// Tags in the current free window `[head, tail)` — the physical
+    /// registers that back no architectural or speculative value right
+    /// now. The free-list aliasing contract (see
+    /// [`FreeList::restore_head`]) makes this exactly the set of
+    /// registers whose contents cannot be read before rename reallocates
+    /// them and writeback overwrites them.
+    pub fn free_tags(&self) -> impl Iterator<Item = u8> + '_ {
+        let cap = self.cap();
+        let n = self.available().min(cap);
+        (0..n).map(move |k| self.slots[((self.head + k) % cap) as usize])
+    }
+
+    /// The conservative live window of free-list *slots*: everything
+    /// from the oldest still-restorable head to the tail. A mispredicted
+    /// branch can rewind `head` to any checkpointed value
+    /// (`restore_head`), re-exposing slots behind the current head, so a
+    /// slot is only dead if no outstanding checkpoint can reach it.
+    /// Returns `(start_slot, live_slots)`.
+    fn restorable_window(&self, restorable_heads: &[u64]) -> (u64, u64) {
+        let c2 = 2 * self.cap();
+        let dist = |h: u64| (self.tail % c2 + c2 - h % c2) % c2;
+        let (mut best, mut best_d) = (self.head, dist(self.head));
+        for &h in restorable_heads {
+            let d = dist(h);
+            if d > best_d {
+                (best, best_d) = (h, d);
+            }
+        }
+        // A distance beyond capacity would alias the whole buffer: treat
+        // every slot as live (maximally conservative).
+        (best % self.cap(), best_d.min(self.cap()))
+    }
+
     /// Visits pointers and contents (RAM region in the hardened-pipeline
-    /// ECC domain).
-    pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
-        let ptr_width = 64 - (2 * self.cap()).leading_zeros();
+    /// ECC domain). `restorable_heads` are the head checkpoints still
+    /// held by unresolved branches; slots they can re-expose stay live
+    /// for occupancy-reporting purposes.
+    pub fn visit<V: StateVisitor>(&mut self, v: &mut V, restorable_heads: &[u64]) {
+        let ptr_width = (64 - (2 * self.cap() - 1).leading_zeros()).max(1);
         v.word(&mut self.head, ptr_width, FieldClass::Control);
         v.word(&mut self.tail, ptr_width, FieldClass::Control);
-        for s in self.slots.iter_mut() {
+        let occupancy = v.wants_occupancy();
+        let (start, window) =
+            if occupancy { self.restorable_window(restorable_heads) } else { (0, 0) };
+        let cap = self.cap();
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if occupancy {
+                let offset = (i as u64 + cap - start) % cap;
+                v.occupancy(offset < window);
+            }
             v.word8(s, 7, FieldClass::Control);
         }
-        self.head = self.wrap(self.head);
-        self.tail = self.wrap(self.tail);
+        if occupancy {
+            v.occupancy(true);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::OccupancyRecorder;
 
     #[test]
     fn fifo_order_and_slot_indices() {
@@ -330,14 +405,50 @@ mod tests {
     }
 
     #[test]
-    fn sanitize_clamps_pointers() {
+    fn corrupted_pointers_stay_in_bounds() {
         let mut q: CircQ<u32> = CircQ::new(4);
         q.push(1);
-        q.head = 77;
-        q.len = 99;
-        q.sanitize();
-        assert!(q.head < 4);
-        assert_eq!(q.len(), 4);
+        // Out-of-range counters, as a bit flip could leave them.
+        q.head = 15;
+        q.tail = 2;
+        assert!(q.len() <= q.cap());
+        let _ = q.front();
+        let _ = q.back();
+        let _ = q.iter().count();
+        // Use-site reduction is congruent modulo 2*cap: the visible
+        // window matches the canonical counters.
+        let mut canon: CircQ<u32> = CircQ::new(4);
+        canon.head = 15 % 8;
+        canon.tail = 2;
+        assert_eq!(q.len(), canon.len());
+        assert_eq!(q.head_idx(), canon.head_idx());
+    }
+
+    #[test]
+    fn visit_reports_window_occupancy() {
+        let mut q: CircQ<u64> = CircQ::new(4);
+        q.push(10);
+        q.push(20);
+        q.pop_front();
+        let mut rec = OccupancyRecorder::new();
+        q.visit_with(&mut rec, |s, v| v.word(s, 64, FieldClass::Data));
+        // head, tail, then 4 slots; only storage slot 1 is live.
+        assert_eq!(rec.live, vec![true, true, false, true, false, false]);
+    }
+
+    #[test]
+    fn visit_occupancy_handles_wrapped_window() {
+        let mut q: CircQ<u64> = CircQ::new(4);
+        for i in 0..4 {
+            q.push(i);
+        }
+        q.pop_front();
+        q.pop_front();
+        q.pop_front();
+        q.push(9); // window is slots {3, 0}
+        let mut rec = OccupancyRecorder::new();
+        q.visit_with(&mut rec, |s, v| v.word(s, 64, FieldClass::Data));
+        assert_eq!(rec.live, vec![true, true, true, false, false, true]);
     }
 
     #[test]
@@ -401,5 +512,33 @@ mod tests {
         assert_eq!(f.available(), 34);
         f.release(5); // must not panic or grow
         assert_eq!(f.available(), 34);
+    }
+
+    #[test]
+    fn free_tags_walks_the_window() {
+        let mut f = FreeList::new(36);
+        let tags: Vec<u8> = f.free_tags().collect();
+        assert_eq!(tags, vec![32, 33, 34, 35]);
+        f.alloc();
+        let tags: Vec<u8> = f.free_tags().collect();
+        assert_eq!(tags, vec![33, 34, 35]);
+    }
+
+    #[test]
+    fn visit_occupancy_respects_restorable_heads() {
+        let mut f = FreeList::new(36);
+        let snap = f.head_snapshot();
+        f.alloc();
+        f.alloc();
+        // Without a checkpoint only the current window [2, 4) is live.
+        let mut rec = OccupancyRecorder::new();
+        f.visit(&mut rec, &[]);
+        let slot_live = &rec.live[2..]; // skip head/tail pointer fields
+        assert_eq!(&slot_live[..5], &[false, false, true, true, false]);
+        // A restorable checkpoint at the old head re-exposes slots 0 and 1.
+        let mut rec = OccupancyRecorder::new();
+        f.visit(&mut rec, &[snap]);
+        let slot_live = &rec.live[2..];
+        assert_eq!(&slot_live[..5], &[true, true, true, true, false]);
     }
 }

@@ -76,6 +76,33 @@ pub trait StateVisitor {
         self.word(&mut v, width, class);
         *value = v as u8;
     }
+
+    /// Declares the liveness of the fields visited *after* this call:
+    /// `false` means the machine's own occupancy metadata (queue
+    /// pointers, valid bits, the rename free list) proves the upcoming
+    /// fields cannot be read before they are next overwritten. The
+    /// setting holds until the next `occupancy` or [`StateVisitor::region`]
+    /// call — every region starts implicitly live. Consumes no bits, so
+    /// the global bit numbering is identical whether or not a component
+    /// reports occupancy.
+    fn occupancy(&mut self, _live: bool) {}
+
+    /// `true` if this visitor consumes [`StateVisitor::occupancy`] calls.
+    /// Components may skip *computing* occupancy (not the bit walk!) for
+    /// visitors that ignore it — the hash/fingerprint hot paths.
+    fn wants_occupancy(&self) -> bool {
+        false
+    }
+}
+
+/// Mask covering the low `width` bits of a field.
+#[inline]
+pub fn width_mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
 }
 
 /// A component whose state bits can be visited.
@@ -225,6 +252,85 @@ impl Default for Fingerprint {
     }
 }
 
+/// Records, for every field in traversal order, whether the owning
+/// component reported it live and what value it held — the liveness
+/// oracle's snapshot of a machine.
+///
+/// Field numbering matches [`RangeRecorder::fields`] exactly (both push
+/// one entry per [`StateVisitor::word`] call), so `live[i]` and
+/// `values[i]` describe `catalog.fields[i]`.
+#[derive(Debug, Default)]
+pub struct OccupancyRecorder {
+    /// Per-field liveness, in traversal order. `false` means the
+    /// component's occupancy metadata proves the field is dead:
+    /// unreadable before its next overwrite.
+    pub live: Vec<bool>,
+    /// Per-field value at visit time, in traversal order.
+    pub values: Vec<u64>,
+    current: bool,
+}
+
+impl OccupancyRecorder {
+    /// Fresh recorder.
+    pub fn new() -> OccupancyRecorder {
+        OccupancyRecorder { live: Vec::new(), values: Vec::new(), current: true }
+    }
+
+    /// Fields reported dead.
+    pub fn dead_fields(&self) -> usize {
+        self.live.iter().filter(|&&l| !l).count()
+    }
+}
+
+impl StateVisitor for OccupancyRecorder {
+    fn region(&mut self, _name: &'static str, _kind: StateKind) {
+        self.current = true;
+    }
+    fn word(&mut self, value: &mut u64, _width: u32, _class: FieldClass) {
+        self.live.push(self.current);
+        self.values.push(*value);
+    }
+    fn occupancy(&mut self, live: bool) {
+        self.current = live;
+    }
+    fn wants_occupancy(&self) -> bool {
+        true
+    }
+}
+
+/// XORs every field marked dead in a prior [`OccupancyRecorder`] pass
+/// with its full width mask — the audit probe behind the liveness
+/// oracle: if dead fields truly cannot be read before being rewritten,
+/// a machine perturbed this way must evolve identically to the
+/// unperturbed one on every live observable.
+#[derive(Debug)]
+pub struct DeadStatePerturber<'a> {
+    live: &'a [bool],
+    idx: usize,
+}
+
+impl<'a> DeadStatePerturber<'a> {
+    /// Perturber over `live` flags recorded from the same machine state.
+    pub fn new(live: &'a [bool]) -> DeadStatePerturber<'a> {
+        DeadStatePerturber { live, idx: 0 }
+    }
+
+    /// Fields visited so far (must equal `live.len()` after the walk).
+    pub fn visited(&self) -> usize {
+        self.idx
+    }
+}
+
+impl StateVisitor for DeadStatePerturber<'_> {
+    fn region(&mut self, _name: &'static str, _kind: StateKind) {}
+    fn word(&mut self, value: &mut u64, width: u32, _class: FieldClass) {
+        if !self.live[self.idx] {
+            *value ^= width_mask(width);
+        }
+        self.idx += 1;
+    }
+}
+
 /// One named region of the global bit space.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StateRegion {
@@ -324,10 +430,17 @@ impl StateCatalog {
 
     /// The field class of a global bit index.
     pub fn class_of(&self, bit: u64) -> Option<FieldClass> {
+        self.field_index_of(bit).map(|i| self.fields[i].2)
+    }
+
+    /// The traversal-order field index containing a global bit index —
+    /// the key that links a drawn injection bit to per-field data
+    /// recorded by an [`OccupancyRecorder`] over the same machine.
+    pub fn field_index_of(&self, bit: u64) -> Option<usize> {
         // Fields are sorted by start; binary search.
-        let idx = self.fields.partition_point(|&(start, _, _)| start <= bit);
-        let (start, width, class) = *self.fields.get(idx.checked_sub(1)?)?;
-        (bit < start + width as u64).then_some(class)
+        let idx = self.fields.partition_point(|&(start, _, _)| start <= bit).checked_sub(1)?;
+        let (start, width, _) = *self.fields.get(idx)?;
+        (bit < start + width as u64).then_some(idx)
     }
 
     /// Total bits in latch regions.
@@ -523,6 +636,97 @@ mod tests {
         // ECC: 128 bits -> 2 words -> 16 check bits; parity: 2 control
         // fields in the latch region -> 2 bits. (16+2)/197.
         assert!((cat.lhf_overhead() - 18.0 / 197.0).abs() < 1e-12);
+    }
+
+    /// A device that reports half its RAM dead via `occupancy`.
+    struct HalfDead {
+        live_word: u64,
+        dead_word: u64,
+        flag: bool,
+    }
+
+    impl FaultState for HalfDead {
+        fn visit_state<V: StateVisitor>(&mut self, v: &mut V) {
+            v.region("half-dead", StateKind::Ram);
+            v.flag(&mut self.flag);
+            v.word(&mut self.live_word, 16, FieldClass::Data);
+            v.occupancy(false);
+            v.word(&mut self.dead_word, 16, FieldClass::Data);
+            v.region("after", StateKind::Latch);
+            // A new region resets to live without an explicit call.
+            let mut x = 3u64;
+            v.word(&mut x, 2, FieldClass::Control);
+        }
+    }
+
+    #[test]
+    fn occupancy_recorder_tracks_liveness_and_values() {
+        let mut d = HalfDead { live_word: 0xAB, dead_word: 0xCD, flag: true };
+        let mut rec = OccupancyRecorder::new();
+        d.visit_state(&mut rec);
+        assert_eq!(rec.live, vec![true, true, false, true]);
+        assert_eq!(rec.values, vec![1, 0xAB, 0xCD, 3]);
+        assert_eq!(rec.dead_fields(), 1);
+    }
+
+    #[test]
+    fn occupancy_recorder_field_order_matches_catalog() {
+        let mut d = HalfDead { live_word: 0, dead_word: 0, flag: false };
+        let mut rec = OccupancyRecorder::new();
+        d.visit_state(&mut rec);
+        let mut ranges = RangeRecorder::new();
+        HalfDead { live_word: 0, dead_word: 0, flag: false }.visit_state(&mut ranges);
+        let cat = ranges.into_catalog();
+        assert_eq!(rec.live.len(), cat.fields.len());
+        // The dead 16-bit word starts at bit 17 (flag + 16-bit live word).
+        for bit in [17, 25, 32] {
+            assert!(!rec.live[cat.field_index_of(bit).unwrap()], "bit {bit}");
+        }
+        for bit in [0, 1, 16, 33, 34] {
+            assert!(rec.live[cat.field_index_of(bit).unwrap()], "bit {bit}");
+        }
+        assert_eq!(cat.field_index_of(35), None);
+    }
+
+    #[test]
+    fn occupancy_is_invisible_to_bit_numbering() {
+        let mut with = BitCounter::default();
+        HalfDead { live_word: 0, dead_word: 0, flag: false }.visit_state(&mut with);
+        assert_eq!(with.bits, 1 + 16 + 16 + 2);
+    }
+
+    #[test]
+    fn dead_state_perturber_flips_only_dead_fields() {
+        let mut d = HalfDead { live_word: 0xAB, dead_word: 0xCD, flag: true };
+        let mut rec = OccupancyRecorder::new();
+        d.visit_state(&mut rec);
+        let mut p = DeadStatePerturber::new(&rec.live);
+        d.visit_state(&mut p);
+        assert_eq!(p.visited(), rec.live.len());
+        assert_eq!(d.live_word, 0xAB);
+        assert!(d.flag);
+        assert_eq!(d.dead_word, 0xCD ^ 0xFFFF);
+    }
+
+    #[test]
+    fn width_mask_covers_all_widths() {
+        assert_eq!(width_mask(1), 1);
+        assert_eq!(width_mask(7), 0x7F);
+        assert_eq!(width_mask(63), u64::MAX >> 1);
+        assert_eq!(width_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn field_index_of_agrees_with_class_of() {
+        let mut rec = RangeRecorder::new();
+        Toy::new().visit_state(&mut rec);
+        let cat = rec.into_catalog();
+        for bit in 0..cat.total_bits {
+            let idx = cat.field_index_of(bit).unwrap();
+            let (start, width, class) = cat.fields[idx];
+            assert!(bit >= start && bit < start + width as u64);
+            assert_eq!(cat.class_of(bit), Some(class));
+        }
     }
 
     #[test]

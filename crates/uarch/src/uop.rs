@@ -208,9 +208,12 @@ pub struct SchedEntry {
 }
 
 impl SchedEntry {
-    /// Visits the entry's latch bits.
+    /// Visits the entry's latch bits. The valid flag itself is always
+    /// live; the payload of an invalid entry is dead — wakeup, select
+    /// and squash all test `valid` before touching anything else.
     pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
         v.flag(&mut self.valid);
+        v.occupancy(self.valid);
         v.word32(&mut self.word, 32, FieldClass::Control);
         v.word(&mut self.pc, 64, FieldClass::Data);
         v.word8(&mut self.rob_idx, 7, FieldClass::Control);
@@ -221,6 +224,7 @@ impl SchedEntry {
         v.word8(&mut self.dest, 7, FieldClass::Control);
         v.flag(&mut self.has_dest);
         v.word8(&mut self.mem_idx, 5, FieldClass::Control);
+        v.occupancy(true);
     }
 
     /// `true` when every used source is ready.
@@ -432,9 +436,12 @@ pub struct ExecLatch {
 }
 
 impl ExecLatch {
-    /// Visits the latch bits.
+    /// Visits the latch bits. As with [`SchedEntry::visit`], the payload
+    /// of an invalid latch is dead: writeback skips invalid slots and a
+    /// new issue overwrites every field.
     pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
         v.flag(&mut self.valid);
+        v.occupancy(self.valid);
         v.word32(&mut self.word, 32, FieldClass::Control);
         v.word(&mut self.pc, 64, FieldClass::Data);
         v.word(&mut self.a, 64, FieldClass::Data);
@@ -445,6 +452,7 @@ impl ExecLatch {
         v.word8(&mut self.role, 3, FieldClass::Control);
         v.word8(&mut self.rob_idx, 7, FieldClass::Control);
         v.word8(&mut self.mem_idx, 5, FieldClass::Control);
+        v.occupancy(true);
     }
 
     /// Folds the fields `visit` skips into `f`.

@@ -143,19 +143,38 @@ proptest! {
         }
     }
 
-    /// Queue sanitize always restores indexable invariants.
+    /// Corrupted head/tail counters (any flip of the pointer latches,
+    /// reached through the public visitor path) leave every accessor
+    /// in bounds: the visible length clamps at capacity and no slot
+    /// index escapes the storage array.
     #[test]
-    fn sanitize_always_valid(head in any::<u64>(), len in any::<u64>(), cap in 1usize..64) {
+    fn corrupted_pointers_always_indexable(
+        fill in 0u64..64,
+        bit in 0u32..16,
+        cap in 1usize..64,
+    ) {
+        use restore_uarch::state::{FaultState, FieldClass, StateKind, StateVisitor};
+
+        struct JustQueue(CircQ<u8>);
+        impl FaultState for JustQueue {
+            fn visit_state<V: StateVisitor>(&mut self, v: &mut V) {
+                v.region("q", StateKind::Ram);
+                self.0.visit_with(v, |s, v| v.word8(s, 8, FieldClass::Data));
+            }
+        }
+
         let mut q: CircQ<u8> = CircQ::new(cap);
-        // Simulate a corrupted-pointer flip via the public visitor path:
-        // directly exercise sanitize's contract.
-        for _ in 0..(len % cap as u64) {
+        for _ in 0..(fill % cap as u64) {
             q.push(0);
         }
-        q.sanitize();
+        let mut wrapped = JustQueue(q);
+        let ptr_width = 64 - (2 * cap as u64 - 1).leading_zeros();
+        let mut f = restore_uarch::state::BitFlipper::new((bit % (2 * ptr_width)) as u64);
+        wrapped.visit_state(&mut f);
+        let q = wrapped.0;
         prop_assert!(q.len() <= q.cap());
         let _ = q.front();
         let _ = q.back();
-        let _ = head;
+        let _ = q.iter().count();
     }
 }
