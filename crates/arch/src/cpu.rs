@@ -301,6 +301,45 @@ impl Cpu {
     pub fn arch_state_eq(&self, other: &Cpu) -> bool {
         self.regs == other.regs && self.pc == other.pc && self.mem == other.mem
     }
+
+    /// Full-machine fingerprint for reconvergence detection, analogous
+    /// to the pipeline's: registers, PC, halt flag, retirement count,
+    /// the output log and the memory-image digest, folded with full
+    /// avalanche. Equal fingerprints mean — up to 64-bit collisions,
+    /// negligible at campaign scale — equal machines, and the simulator
+    /// is deterministic, so equal machines have identical futures
+    /// *including* the masking judgement (the output log is part of the
+    /// digest precisely so a converged pair cannot still differ in
+    /// anything the end-of-trial comparison reads).
+    ///
+    /// `&mut self` because the memory digest reuses cached per-page
+    /// digests ([`Memory::fingerprint`]), refreshed incrementally for
+    /// pages dirtied since the last call — so a steady-state call costs
+    /// O(registers + output + dirty pages), not O(memory image).
+    pub fn fingerprint(&mut self) -> u64 {
+        #[inline]
+        fn fold(acc: u64, word: u64) -> u64 {
+            // splitmix64 finalizer over an accumulator (public-domain
+            // constants; same mixer the seeding module uses).
+            let mut z = acc ^ word.wrapping_mul(0xA24B_AED4_963E_E407);
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut h = 0x5245_5354_4F52_4543; // "RESTOREC"
+        for &r in self.regs.as_array() {
+            h = fold(h, r);
+        }
+        h = fold(h, self.pc);
+        h = fold(h, self.retired);
+        h = fold(h, self.halted as u64);
+        h = fold(h, self.output.len() as u64);
+        for &v in &self.output {
+            h = fold(h, v);
+        }
+        fold(h, self.mem.fingerprint())
+    }
 }
 
 #[cfg(test)]
@@ -495,6 +534,40 @@ mod tests {
         assert!(c1.arch_state_eq(&c2));
         c2.regs.flip_bit(Reg::T5, 17);
         assert!(!c1.arch_state_eq(&c2));
+    }
+
+    #[test]
+    fn fingerprint_tracks_machine_state_and_output() {
+        let mut a = Asm::new("t", layout::TEXT_BASE);
+        a.li(Reg::T0, 7);
+        a.stq(Reg::T0, -8, Reg::SP);
+        a.mov(Reg::T0, Reg::A0);
+        a.outq();
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut c1 = Cpu::new(&p);
+        let mut c2 = Cpu::new(&p);
+        assert_eq!(c1.fingerprint(), c2.fingerprint());
+        c1.step().unwrap();
+        assert_ne!(c1.fingerprint(), c2.fingerprint(), "pc/reg change must show");
+        c2.step().unwrap();
+        assert_eq!(c1.fingerprint(), c2.fingerprint());
+        // Divergent register state, then reconvergence by overwrite.
+        let fork = c1.fingerprint();
+        c1.regs.flip_bit(Reg::T5, 3);
+        assert_ne!(c1.fingerprint(), fork);
+        c1.regs.flip_bit(Reg::T5, 3);
+        assert_eq!(c1.fingerprint(), fork, "flip∘flip must restore the fingerprint");
+        // Memory and output are covered too.
+        while !c1.is_halted() {
+            c1.step().unwrap();
+            c2.step().unwrap();
+        }
+        assert_eq!(c1.fingerprint(), c2.fingerprint());
+        c1.mem.flip_bit(layout::STACK_TOP - 8, 0);
+        assert_ne!(c1.fingerprint(), c2.fingerprint(), "memory change must show");
+        c1.mem.flip_bit(layout::STACK_TOP - 8, 0);
+        assert_eq!(c1.fingerprint(), c2.fingerprint());
     }
 
     #[test]

@@ -1,20 +1,23 @@
 //! Figure 2 — virtual machine fault injection: propagation of a single
 //! bit flip in an instruction result to symptoms, by latency.
 //!
-//! Usage: `fig2 [--trials N] [--seed S] [--low32] [--size N] [--threads N]`
+//! Usage: `fig2 [--trials N] [--seed S] [--low32] [--size N] [--threads N] [--cutoff K]`
 
 use restore_bench::{arch_table, cli, FIG2_LATENCIES};
 use restore_inject::{
     run_arch_campaign_with_stats, worst_case_ci95, ArchCampaignConfig, ArchCategory,
 };
 
-const USAGE: &str = "fig2 [--trials N] [--seed S] [--low32] [--size N] [--threads N]";
+const USAGE: &str = "fig2 [--trials N] [--seed S] [--low32] [--size N] [--threads N] [--cutoff K]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut cfg = ArchCampaignConfig::default();
     cli::or_exit(
-        cli::reject_unknown(&args, &["--trials", "--seed", "--low32", "--size", "--threads"]),
+        cli::reject_unknown(
+            &args,
+            &["--trials", "--seed", "--low32", "--size", "--threads", "--cutoff"],
+        ),
         USAGE,
     );
     cli::or_exit(cli::apply_arch_flags(&mut cfg, &args, "--trials"), USAGE);

@@ -141,8 +141,9 @@ pub fn apply_uarch_flags(cfg: &mut UarchCampaignConfig, args: &[String]) -> Resu
 
 /// Applies the architectural (Figure 2) campaign knobs to `cfg`:
 /// `--trials N` / `--size N` (nonzero), `--seed S`, `--threads N`
-/// (0 = auto), `--low32`. Pass `trials_flag` so `figs_all` can route
-/// its `--arch-trials` here without colliding with the µarch knob.
+/// (0 = auto), `--cutoff K` (0 = off), `--low32`. Pass `trials_flag` so
+/// `figs_all` can route its `--arch-trials` here without colliding with
+/// the µarch knob.
 pub fn apply_arch_flags(
     cfg: &mut ArchCampaignConfig,
     args: &[String],
@@ -159,6 +160,9 @@ pub fn apply_arch_flags(
     }
     if let Some(n) = parsed_u64(args, "--threads")? {
         cfg.threads = n as usize;
+    }
+    if let Some(k) = parsed_u64(args, "--cutoff")? {
+        cfg.cutoff_stride = k;
     }
     cfg.low32 = flag(args, "--low32");
     Ok(())
@@ -229,11 +233,12 @@ mod tests {
     #[test]
     fn arch_flags_apply() {
         let mut cfg = ArchCampaignConfig::default();
-        let a = args(&["--trials", "5", "--size", "64", "--low32", "--seed", "1"]);
+        let a = args(&["--trials", "5", "--size", "64", "--low32", "--seed", "1", "--cutoff", "0"]);
         apply_arch_flags(&mut cfg, &a, "--trials").unwrap();
         assert_eq!(cfg.trials_per_workload, 5);
         assert_eq!(cfg.scale.size, 64);
         assert_eq!(cfg.seed, 1);
+        assert_eq!(cfg.cutoff_stride, 0, "--cutoff 0 must disable the arch cutoff");
         assert!(cfg.low32);
         assert!(apply_arch_flags(&mut cfg, &args(&["--size", "0"]), "--trials").is_err());
     }

@@ -138,9 +138,7 @@ mod tests {
             bit: 0,
             region: "scheduler",
             lhf_protected: false,
-            deadlock: None,
-            exception: exc,
-            pc_divergence: None,
+            symptoms: restore_inject::SymptomLatencies { exception: exc, ..Default::default() },
             value_divergence: None,
             hc_mispredict: None,
             any_mispredict: None,

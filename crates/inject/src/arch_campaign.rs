@@ -8,16 +8,27 @@
 //! Each trial forks a golden and an injected architectural simulator at a
 //! random dynamic instruction, flips one bit of that instruction's result
 //! (destination register value or stored datum), and runs the pair in
-//! lockstep, recording the latency to each symptom class.
+//! lockstep, recording the latency to each symptom class. The campaign
+//! loop — planning, seeding, parallelism, stats — is the shared core in
+//! [`crate::campaign`]; this module contributes the [`FaultModel`]
+//! primitives.
+//!
+//! Like the microarchitectural campaign, the lockstep pair supports a
+//! **reconvergence cutoff** ([`ArchCampaignConfig::cutoff_stride`]): at
+//! stride boundaries the two machines' fingerprints
+//! ([`restore_arch::Cpu::fingerprint`]) are compared, and on a match the
+//! rest of the window is skipped — both machines are bit-identical, so
+//! the simulators' determinism guarantees no further symptom and a
+//! masked verdict. Results are bit-identical with the cutoff on or off.
 
-use crate::classify::ArchCategory;
-use crate::engine::{effective_threads, run_ordered, CampaignStats, UnitOutput};
-use crate::seeding::{Seeder, DOMAIN_ARCH};
+use crate::campaign::{self, FaultModel, TrialCost};
+use crate::classify::{ArchCategory, Symptom, SymptomLatencies};
+use crate::engine::CampaignStats;
+use crate::seeding::DOMAIN_ARCH;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use restore_arch::Cpu;
-use restore_workloads::{Scale, WorkloadId};
-use std::time::Instant;
+use restore_workloads::{run_length, Scale, WorkloadId};
 
 /// Configuration of a Figure 2 campaign.
 #[derive(Debug, Clone)]
@@ -40,6 +51,12 @@ pub struct ArchCampaignConfig {
     /// available parallelism. Results are bit-identical at every thread
     /// count.
     pub threads: usize,
+    /// Retired instructions between fingerprint comparisons of the
+    /// injected and golden machines; on a match the fault has provably
+    /// re-converged and the rest of the window is skipped. `0` disables
+    /// the cutoff. Results are bit-identical either way — only
+    /// throughput changes.
+    pub cutoff_stride: u64,
 }
 
 impl Default for ArchCampaignConfig {
@@ -51,6 +68,13 @@ impl Default for ArchCampaignConfig {
             seed: 0xF162,
             low32: false,
             threads: 0,
+            // A fingerprint folds the register file plus O(dirty pages)
+            // of memory digest; every 250 retired instructions that is a
+            // few percent of stepping cost, while masked trials (the
+            // majority) typically re-converge within a few hundred
+            // instructions of a run that would otherwise continue to
+            // program completion.
+            cutoff_stride: 250,
         }
     }
 }
@@ -61,15 +85,10 @@ impl Default for ArchCampaignConfig {
 pub struct ArchTrial {
     /// Workload injected into.
     pub workload: WorkloadId,
-    /// Latency to the first spurious exception.
-    pub exception: Option<u64>,
-    /// Latency to the first control-flow divergence from golden.
-    pub cfv: Option<u64>,
-    /// Latency to the first memory access with a corrupted address.
-    pub mem_addr: Option<u64>,
-    /// Latency to the first store of corrupted data (to a correct
-    /// address).
-    pub mem_data: Option<u64>,
+    /// First-observation symptom latencies. This fault model observes
+    /// exception, cfv, mem-addr and mem-data; deadlock is a
+    /// microarchitectural observable and stays `None`.
+    pub symptoms: SymptomLatencies,
     /// Architectural state re-converged with golden by trial end.
     pub masked: bool,
 }
@@ -77,92 +96,107 @@ pub struct ArchTrial {
 impl ArchTrial {
     /// Classifies the trial at a detection-latency bound, with the
     /// paper's precedence (exception > cfv > mem-addr > mem-data >
-    /// register).
+    /// register) via the shared [`SymptomLatencies::first_within`].
     pub fn classify(&self, latency_bound: u64) -> ArchCategory {
         if self.masked {
             return ArchCategory::Masked;
         }
-        let within = |l: Option<u64>| l.map(|v| v <= latency_bound).unwrap_or(false);
-        if within(self.exception) {
-            ArchCategory::Exception
-        } else if within(self.cfv) {
-            ArchCategory::Cfv
-        } else if within(self.mem_addr) {
-            ArchCategory::MemAddr
-        } else if within(self.mem_data) {
-            ArchCategory::MemData
-        } else {
-            ArchCategory::Register
+        match self.symptoms.first_within(latency_bound) {
+            Some(Symptom::Exception) => ArchCategory::Exception,
+            Some(Symptom::Cfv) => ArchCategory::Cfv,
+            Some(Symptom::MemAddr) => ArchCategory::MemAddr,
+            Some(Symptom::MemData) => ArchCategory::MemData,
+            // Deadlock is never recorded at this level; an undetected
+            // failing trial has corrupted registers only (so far).
+            Some(Symptom::Deadlock) | None => ArchCategory::Register,
         }
     }
 }
 
-/// One engine work unit: a golden CPU forked at an injection point.
-struct TrialUnit {
-    /// Workload index in [`WorkloadId::ALL`] (a seeding coordinate).
-    wl: usize,
-    id: WorkloadId,
-    /// Point index within the workload's sorted plan (a seeding
-    /// coordinate).
-    point: usize,
+/// The architectural campaign as a [`FaultModel`] instance.
+struct ArchModel<'a> {
+    cfg: &'a ArchCampaignConfig,
+}
+
+/// One workload's walker: the swept golden CPU plus the workload's
+/// fault-free run length (memoized in [`restore_workloads::run_length`]),
+/// which bounds the injection-point draw and prices the cutoff.
+#[derive(Clone)]
+struct ArchMachine {
     cpu: Cpu,
+    run_len: u64,
 }
 
-/// Sweeps one workload's golden CPU forward through its planned
-/// injection points — O(run_len) amortised instead of per-trial —
-/// emitting a [`TrialUnit`] at each reachable one.
-fn sweep_workload(
-    cfg: &ArchCampaignConfig,
-    seeder: &Seeder,
-    wl: usize,
-    id: WorkloadId,
-    emit: &mut dyn FnMut(TrialUnit),
-) {
-    let program = id.build(cfg.scale);
-    // Measure run length once.
-    let mut probe = Cpu::new(&program);
-    probe.run(5_000_000).expect("workloads are exception-free");
-    let run_len = probe.retired();
+/// Per-point bookkeeping: the lockstep iterations the exhaustive loop
+/// would execute from this fork (it stops when the golden side halts or
+/// the window expires; the victim instruction retires before the loop).
+struct ArchGolden {
+    window_executed: u64,
+}
 
-    // Sorted injection points, drawn from a per-workload stream so the
-    // plan never depends on other workloads or on execution order.
-    let mut rng = StdRng::seed_from_u64(seeder.points(wl));
-    let mut points: Vec<u64> = (0..cfg.trials_per_workload)
-        .map(|_| rng.gen_range(run_len / 20..run_len.saturating_sub(10).max(run_len / 20 + 1)))
-        .collect();
-    points.sort_unstable();
+impl FaultModel for ArchModel<'_> {
+    type Machine = ArchMachine;
+    type Golden = ArchGolden;
+    type Trial = ArchTrial;
 
-    let mut walker = Cpu::new(&program);
-    for (point, k) in points.into_iter().enumerate() {
-        while walker.retired() < k && !walker.is_halted() {
-            walker.step().expect("golden never faults");
-        }
-        if walker.is_halted() {
-            break;
-        }
-        emit(TrialUnit { wl, id, point, cpu: walker.clone() });
+    fn domain(&self) -> u64 {
+        DOMAIN_ARCH
     }
-}
+    fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+    fn threads(&self) -> usize {
+        self.cfg.threads
+    }
+    fn trials_per_point(&self) -> usize {
+        1
+    }
 
-/// Worker half: one injected trial against the unit's golden fork. The
-/// bit choice is seeded from the trial's coordinates, so it is identical
-/// regardless of which worker runs the unit and when.
-fn work_unit(cfg: &ArchCampaignConfig, seeder: &Seeder, unit: TrialUnit) -> UnitOutput<ArchTrial> {
-    let mut rng = StdRng::seed_from_u64(seeder.trial(unit.wl, unit.point, 0));
-    let bit = if cfg.low32 { rng.gen_range(0..32) } else { rng.gen_range(0..64) };
-    let t0 = Instant::now();
-    let results = run_trial(&unit.cpu, unit.id, bit, cfg.window).into_iter().collect();
-    // The architectural campaign has no reconvergence cutoff (trials are
-    // a few hundred instructions), so the cycle counters stay zero.
-    UnitOutput {
-        results,
-        golden_secs: 0.0,
-        trial_secs: t0.elapsed().as_secs_f64(),
-        cycles_simulated: 0,
-        cycles_saved: 0,
-        trials_cut: 0,
-        trials_pruned: 0,
-        cycles_pruned: 0,
+    fn spawn(&self, id: WorkloadId) -> ArchMachine {
+        let program = id.build(self.cfg.scale);
+        ArchMachine { cpu: Cpu::new(&program), run_len: run_length(id, self.cfg.scale) }
+    }
+
+    /// Sorted injection points over the workload's steady state
+    /// (skipping the first 5% warm-up and the final few instructions).
+    /// Duplicate draws are kept: unlike the µarch plan, each point runs
+    /// exactly one trial, so a duplicate is an independent trial at the
+    /// same instruction, not a double-weighted point.
+    fn plan(&self, walker: &ArchMachine, point_seed: u64) -> Vec<u64> {
+        let run_len = walker.run_len;
+        let mut rng = StdRng::seed_from_u64(point_seed);
+        let mut points: Vec<u64> = (0..self.cfg.trials_per_workload)
+            .map(|_| rng.gen_range(run_len / 20..run_len.saturating_sub(10).max(run_len / 20 + 1)))
+            .collect();
+        points.sort_unstable();
+        points
+    }
+
+    fn sweep_to(&self, walker: &mut ArchMachine, k: u64) -> bool {
+        while walker.cpu.retired() < k && !walker.cpu.is_halted() {
+            walker.cpu.step().expect("golden never faults");
+        }
+        !walker.cpu.is_halted()
+    }
+
+    fn golden(&self, fork: &mut ArchMachine) -> ArchGolden {
+        ArchGolden {
+            window_executed: self
+                .cfg
+                .window
+                .min(fork.run_len.saturating_sub(fork.cpu.retired() + 1)),
+        }
+    }
+
+    fn run_trial(
+        &self,
+        fork: &ArchMachine,
+        golden: &mut ArchGolden,
+        id: WorkloadId,
+        mut rng: StdRng,
+    ) -> (Option<ArchTrial>, TrialCost) {
+        let bit = if self.cfg.low32 { rng.gen_range(0..32) } else { rng.gen_range(0..64) };
+        run_trial(&fork.cpu, id, bit, self.cfg, golden.window_executed)
     }
 }
 
@@ -181,40 +215,28 @@ pub fn run_arch_campaign(cfg: &ArchCampaignConfig) -> Vec<ArchTrial> {
 /// Trials come back in plan order `(workload, point)` and are
 /// bit-identical for a given `(cfg.seed, cfg)` at every thread count.
 pub fn run_arch_campaign_with_stats(cfg: &ArchCampaignConfig) -> (Vec<ArchTrial>, CampaignStats) {
-    run_points(cfg, &WorkloadId::ALL.map(|id| (workload_index(id), id)))
+    campaign::run_all(&ArchModel { cfg })
 }
 
 /// Runs trials for a single workload (exposed for focused experiments).
 /// The result is exactly the workload's slice of the full campaign with
 /// the same seed.
 pub fn run_workload(cfg: &ArchCampaignConfig, id: WorkloadId) -> Vec<ArchTrial> {
-    run_points(cfg, &[(workload_index(id), id)]).0
-}
-
-fn workload_index(id: WorkloadId) -> usize {
-    WorkloadId::ALL.iter().position(|&w| w == id).expect("id is in ALL")
-}
-
-fn run_points(
-    cfg: &ArchCampaignConfig,
-    workloads: &[(usize, WorkloadId)],
-) -> (Vec<ArchTrial>, CampaignStats) {
-    let seeder = Seeder::new(cfg.seed, DOMAIN_ARCH);
-    run_ordered(
-        effective_threads(cfg.threads),
-        |emit| {
-            for &(wl, id) in workloads {
-                sweep_workload(cfg, &seeder, wl, id, emit);
-            }
-        },
-        |unit| work_unit(cfg, &seeder, unit),
-    )
+    campaign::run_single(&ArchModel { cfg }, id).0
 }
 
 /// Runs one trial from a golden CPU positioned at the injection point.
-/// Returns `None` if the instruction at the point produces no result to
-/// corrupt (fences, branches without link, PAL calls).
-fn run_trial(at: &Cpu, id: WorkloadId, bit: u32, window: u64) -> Option<ArchTrial> {
+/// Returns no trial if the instruction at the point produces no result
+/// to corrupt (fences, branches without link, PAL calls).
+/// `window_executed` is the exhaustive loop's iteration count from this
+/// fork ([`ArchGolden`]), used to price a cutoff.
+fn run_trial(
+    at: &Cpu,
+    id: WorkloadId,
+    bit: u32,
+    cfg: &ArchCampaignConfig,
+    window_executed: u64,
+) -> (Option<ArchTrial>, TrialCost) {
     let mut golden = at.clone();
     let mut injected = at.clone();
 
@@ -230,25 +252,23 @@ fn run_trial(at: &Cpu, id: WorkloadId, bit: u32, window: u64) -> Option<ArchTria
             let byte = (bit / 8) as u64 % m.len;
             injected.mem.flip_bit(m.addr + byte, bit % 8);
         } else {
-            return None;
+            return (None, TrialCost::default());
         }
     } else {
-        return None;
+        return (None, TrialCost::default());
     }
 
-    let mut trial = ArchTrial {
-        workload: id,
-        exception: None,
-        cfv: None,
-        mem_addr: None,
-        mem_data: None,
-        masked: false,
-    };
+    let mut trial =
+        ArchTrial { workload: id, symptoms: SymptomLatencies::default(), masked: false };
 
-    for n in 1..=window {
+    let stride = cfg.cutoff_stride;
+    let mut executed = 0u64;
+    let mut cut = false;
+    for n in 1..=cfg.window {
         if golden.is_halted() || injected.is_halted() {
             break;
         }
+        executed += 1;
         let g = match golden.step() {
             Ok(g) => g,
             Err(_) => break, // golden hit end-of-window conditions; stop
@@ -256,21 +276,22 @@ fn run_trial(at: &Cpu, id: WorkloadId, bit: u32, window: u64) -> Option<ArchTria
         let i = match injected.step() {
             Ok(i) => i,
             Err(_) => {
-                trial.exception.get_or_insert(n);
+                trial.symptoms.exception.get_or_insert(n);
                 break;
             }
         };
         if i.pc != g.pc || i.next_pc != g.next_pc {
-            trial.cfv.get_or_insert(n);
+            trial.symptoms.cfv.get_or_insert(n);
             // Control flow diverged: stop instruction-wise comparison of
             // memory effects (streams no longer align) but keep running
             // the injected side alone looking for a late exception.
-            for m in n + 1..=window {
+            for m in n + 1..=cfg.window {
                 if injected.is_halted() {
                     break;
                 }
+                executed += 1;
                 if injected.step().is_err() {
-                    trial.exception.get_or_insert(m);
+                    trial.symptoms.exception.get_or_insert(m);
                     break;
                 }
             }
@@ -278,11 +299,35 @@ fn run_trial(at: &Cpu, id: WorkloadId, bit: u32, window: u64) -> Option<ArchTria
         }
         if let (Some(gm), Some(im)) = (g.mem, i.mem) {
             if im.addr != gm.addr {
-                trial.mem_addr.get_or_insert(n);
+                trial.symptoms.mem_addr.get_or_insert(n);
             } else if im.is_store && im.value != gm.value {
-                trial.mem_data.get_or_insert(n);
+                trial.symptoms.mem_data.get_or_insert(n);
             }
         }
+        // Reconvergence check: equal fingerprints mean bit-identical
+        // machines (registers, pc, memory, retirement and the output
+        // log), and the simulator is deterministic — the remaining
+        // lockstep iterations can produce no divergence and the final
+        // masking comparison would find equal state.
+        if stride > 0
+            && n % stride == 0
+            && !golden.is_halted()
+            && !injected.is_halted()
+            && injected.fingerprint() == golden.fingerprint()
+        {
+            cut = true;
+            break;
+        }
+    }
+
+    let mut cost = TrialCost { simulated: executed, cut, ..TrialCost::default() };
+    if cut {
+        // The exhaustive loop would have run `window_executed` lockstep
+        // iterations (converged machines track the golden side to its
+        // halt), with no further symptom and a clean final comparison.
+        cost.saved = window_executed - executed;
+        trial.masked = true;
+        return (Some(trial), cost);
     }
 
     // Masking judgement (§3.1: "did not ultimately affect the executing
@@ -295,8 +340,8 @@ fn run_trial(at: &Cpu, id: WorkloadId, bit: u32, window: u64) -> Option<ArchTria
     } else {
         injected.is_halted() == golden.is_halted() && injected.arch_state_eq(&golden)
     };
-    trial.masked = trial.exception.is_none() && trial.cfv.is_none() && clean;
-    Some(trial)
+    trial.masked = trial.symptoms.exception.is_none() && trial.symptoms.cfv.is_none() && clean;
+    (Some(trial), cost)
 }
 
 #[cfg(test)]
@@ -342,13 +387,33 @@ mod tests {
     }
 
     #[test]
+    fn cutoff_saves_cycles_without_changing_trials() {
+        let on = quick_cfg();
+        let off = ArchCampaignConfig { cutoff_stride: 0, ..quick_cfg() };
+        let (t_on, s_on) = run_arch_campaign_with_stats(&on);
+        let (t_off, s_off) = run_arch_campaign_with_stats(&off);
+        assert_eq!(t_on, t_off, "cutoff changed trial records");
+        assert!(s_on.trials_cut > 0, "cutoff never fired on the smoke campaign");
+        assert!(s_on.cycles_saved > 0);
+        assert_eq!(s_off.trials_cut, 0);
+        assert_eq!(s_off.cycles_saved, 0);
+        assert_eq!(
+            s_on.cycles_simulated + s_on.cycles_saved,
+            s_off.cycles_simulated,
+            "cut trials must account for exactly the instructions the exhaustive loop runs"
+        );
+    }
+
+    #[test]
     fn classification_respects_precedence_and_latency() {
         let t = ArchTrial {
             workload: WorkloadId::Mcfx,
-            exception: Some(50),
-            cfv: Some(10),
-            mem_addr: Some(5),
-            mem_data: None,
+            symptoms: SymptomLatencies {
+                exception: Some(50),
+                cfv: Some(10),
+                mem_addr: Some(5),
+                ..SymptomLatencies::default()
+            },
             masked: false,
         };
         assert_eq!(t.classify(4), ArchCategory::Register);
@@ -362,10 +427,7 @@ mod tests {
     fn masked_trials_classify_masked_at_any_latency() {
         let t = ArchTrial {
             workload: WorkloadId::Gapx,
-            exception: None,
-            cfv: None,
-            mem_addr: None,
-            mem_data: None,
+            symptoms: SymptomLatencies::default(),
             masked: true,
         };
         for l in [0, 100, 1_000_000] {

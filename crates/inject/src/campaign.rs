@@ -1,0 +1,194 @@
+//! The shared trial-execution core: one sweep/seeding/lockstep/stats
+//! loop for every fault model.
+//!
+//! The architectural (Figure 2) and microarchitectural (Figures 4–8)
+//! campaigns decompose identically — plan per-workload injection
+//! coordinates, sweep one walker forward emitting a machine snapshot at
+//! each reachable point, fan the snapshots over the parallel engine,
+//! run a golden observation plus seeded trials per point, and account
+//! window cycles simulated/saved/pruned — but the two drivers used to
+//! each own a private copy of that loop, and optimisations landed in
+//! one without reaching the other (the reconvergence cutoff existed
+//! only at the µarch level; the arch campaign's cycle counters were
+//! hard-coded to zero). Following DETOx's structural argument
+//! (Lenz & Schirmeier, 2016), the loop now exists exactly once, here:
+//! a [`FaultModel`] supplies the model-specific primitives (spawning
+//! and sweeping a machine, the golden observation, one injected
+//! trial), and [`run_campaign`] owns plan order, per-unit seeding
+//! coordinates, [`run_ordered`] wiring and [`CampaignStats`]
+//! accounting. A third fault model — a new abstraction level, a remote
+//! backend — plugs in by implementing the trait; it inherits
+//! parallelism, determinism and the cost accounting without touching
+//! any campaign loop.
+//!
+//! Determinism contract (what makes results bit-identical at every
+//! thread count, for every model): injection plans are drawn from a
+//! per-workload seed stream, each trial's RNG is seeded from its
+//! `(workload, point, trial)` coordinates ([`crate::seeding`]), and the
+//! engine reassembles unit results in emission (= plan) order.
+
+use crate::engine::{effective_threads, run_ordered, CampaignStats, UnitOutput};
+use crate::seeding::Seeder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use restore_workloads::WorkloadId;
+use std::time::Instant;
+
+/// Window-cycle accounting for one trial, shared by every fault model
+/// ("cycles" are the model's window unit: pipeline cycles at the µarch
+/// level, retired instructions at the arch level).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct TrialCost {
+    /// Window cycles actually simulated.
+    pub simulated: u64,
+    /// Window cycles skipped by the reconvergence cutoff.
+    pub saved: u64,
+    /// The trial ended at a fingerprint match.
+    pub cut: bool,
+    /// The trial was classified by a liveness oracle.
+    pub pruned: bool,
+    /// Window cycles the pruned trial would have needed.
+    pub pruned_cycles: u64,
+}
+
+impl<R> UnitOutput<R> {
+    /// Folds one trial's cost into the unit's accounting.
+    pub(crate) fn absorb(&mut self, cost: TrialCost) {
+        self.cycles_simulated += cost.simulated;
+        self.cycles_saved += cost.saved;
+        self.trials_cut += cost.cut as u64;
+        self.trials_pruned += cost.pruned as u64;
+        self.cycles_pruned += cost.pruned_cycles;
+    }
+}
+
+/// A fault model: the primitives one abstraction level contributes to
+/// the shared campaign loop. Everything order- or thread-sensitive
+/// (plan enumeration, seeding, reassembly, stats) stays in
+/// [`run_campaign`]; implementations only ever see one machine, one
+/// golden observation, or one trial at a time.
+pub(crate) trait FaultModel: Sync {
+    /// A machine snapshot: cloned at each injection point, walked
+    /// forward by the sweeper in between.
+    type Machine: Send + Clone;
+    /// Per-point golden observation shared by the point's trials
+    /// (mutable so lazy per-point work — e.g. a liveness oracle's
+    /// shadow run — can live inside it).
+    type Golden;
+    /// One trial's record.
+    type Trial: Send;
+
+    /// Seeding domain tag ([`crate::seeding`]); distinct per model so
+    /// equal `--seed` values stay decorrelated across campaigns.
+    fn domain(&self) -> u64;
+    /// Campaign seed.
+    fn seed(&self) -> u64;
+    /// Requested worker threads (0 = auto).
+    fn threads(&self) -> usize;
+    /// Trials per injection point.
+    fn trials_per_point(&self) -> usize;
+
+    /// Builds the workload's walker, positioned before the first
+    /// injection coordinate.
+    fn spawn(&self, id: WorkloadId) -> Self::Machine;
+    /// Sorted injection coordinates for one workload, drawn from
+    /// `point_seed` (the per-workload stream — never from shared state,
+    /// so plans are independent of execution order).
+    fn plan(&self, walker: &Self::Machine, point_seed: u64) -> Vec<u64>;
+    /// Advances `walker` to `coord`; `false` when the workload stopped
+    /// first (the sweep abandons the remaining points, matching the
+    /// historical drivers).
+    fn sweep_to(&self, walker: &mut Self::Machine, coord: u64) -> bool;
+    /// The golden observation at a fork (runs once per point, on the
+    /// worker).
+    fn golden(&self, fork: &mut Self::Machine) -> Self::Golden;
+    /// Runs one injected trial against the fork and its golden
+    /// observation. `rng` is seeded from the trial's plan coordinates.
+    /// `None` means the drawn injection had no effect to corrupt (e.g.
+    /// a result-less instruction at the arch level) — the trial is
+    /// skipped, as the paper's methodology prescribes.
+    fn run_trial(
+        &self,
+        fork: &Self::Machine,
+        golden: &mut Self::Golden,
+        id: WorkloadId,
+        rng: StdRng,
+    ) -> (Option<Self::Trial>, TrialCost);
+}
+
+/// One engine work unit: a machine snapshot at an injection point, with
+/// the plan coordinates that seed its trials.
+struct PointUnit<M> {
+    /// Workload index in [`WorkloadId::ALL`] (a seeding coordinate).
+    wl: usize,
+    id: WorkloadId,
+    /// Point index within the workload's sorted plan (a seeding
+    /// coordinate).
+    point: usize,
+    machine: M,
+}
+
+/// Index of `id` in [`WorkloadId::ALL`] — the stable workload seeding
+/// coordinate.
+fn workload_index(id: WorkloadId) -> usize {
+    WorkloadId::ALL.iter().position(|&w| w == id).expect("id is in ALL")
+}
+
+/// Runs a model's campaign over all seven workloads.
+pub(crate) fn run_all<F: FaultModel>(model: &F) -> (Vec<F::Trial>, CampaignStats) {
+    run_campaign(model, &WorkloadId::ALL.map(|id| (workload_index(id), id)))
+}
+
+/// Runs a model's campaign over a single workload. Seeding coordinates
+/// are absolute, so the result is exactly the workload's slice of the
+/// full campaign with the same seed.
+pub(crate) fn run_single<F: FaultModel>(
+    model: &F,
+    id: WorkloadId,
+) -> (Vec<F::Trial>, CampaignStats) {
+    run_campaign(model, &[(workload_index(id), id)])
+}
+
+/// The one campaign loop. A serial sweeper (the [`run_ordered`]
+/// producer) walks each workload to its planned points and forks a
+/// [`PointUnit`] at each; workers run the point's golden observation
+/// and its coordinate-seeded trials, and results reassemble in plan
+/// order `(workload, point, trial)`.
+fn run_campaign<F: FaultModel>(
+    model: &F,
+    workloads: &[(usize, WorkloadId)],
+) -> (Vec<F::Trial>, CampaignStats) {
+    let seeder = Seeder::new(model.seed(), model.domain());
+    run_ordered(
+        effective_threads(model.threads()),
+        |emit| {
+            for &(wl, id) in workloads {
+                let mut walker = model.spawn(id);
+                let plan = model.plan(&walker, seeder.points(wl));
+                for (point, coord) in plan.into_iter().enumerate() {
+                    if !model.sweep_to(&mut walker, coord) {
+                        break;
+                    }
+                    emit(PointUnit { wl, id, point, machine: walker.clone() });
+                }
+            }
+        },
+        |mut unit: PointUnit<F::Machine>| {
+            let g0 = Instant::now();
+            let mut golden = model.golden(&mut unit.machine);
+            let golden_secs = g0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            let mut out = UnitOutput { golden_secs, ..UnitOutput::default() };
+            out.results.reserve(model.trials_per_point());
+            for t in 0..model.trials_per_point() {
+                let rng = StdRng::seed_from_u64(seeder.trial(unit.wl, unit.point, t));
+                let (trial, cost) = model.run_trial(&unit.machine, &mut golden, unit.id, rng);
+                out.absorb(cost);
+                out.results.extend(trial);
+            }
+            out.trial_secs = t0.elapsed().as_secs_f64();
+            out
+        },
+    )
+}

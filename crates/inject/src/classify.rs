@@ -1,6 +1,79 @@
-//! Trial outcome categories — the paper's Tables 1 and 2.
+//! Trial outcome categories — the paper's Tables 1 and 2 — and the
+//! shared symptom-latency record both campaign levels classify from.
 
 use core::fmt;
+
+/// A detectable symptom class, in the paper's detection-precedence
+/// order (deadlock > exception > cfv > mem-addr > mem-data). Both
+/// abstraction levels share this order; each simply never reports the
+/// classes its fault model cannot observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Symptom {
+    /// Watchdog saturation (microarchitectural campaigns only).
+    Deadlock,
+    /// An ISA-defined exception was raised.
+    Exception,
+    /// Control-flow violation — an incorrect instruction executed.
+    Cfv,
+    /// A memory access used a corrupted address (architectural level).
+    MemAddr,
+    /// A store wrote corrupted data to a correct address (architectural
+    /// level).
+    MemData,
+}
+
+/// First-observation latencies (retired instructions after injection)
+/// of each symptom class, shared by [`crate::ArchTrial`] and
+/// [`crate::UarchTrial`].
+///
+/// This is the one place the paper's detection precedence lives:
+/// [`SymptomLatencies::first_within`] resolves which symptom detects a
+/// trial at a given latency bound, so the two campaign classifiers
+/// cannot drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SymptomLatencies {
+    /// Latency to watchdog saturation.
+    pub deadlock: Option<u64>,
+    /// Latency to the first spurious exception.
+    pub exception: Option<u64>,
+    /// Latency to the first control-flow divergence from golden.
+    pub cfv: Option<u64>,
+    /// Latency to the first memory access with a corrupted address.
+    pub mem_addr: Option<u64>,
+    /// Latency to the first store of corrupted data (correct address).
+    pub mem_data: Option<u64>,
+}
+
+impl SymptomLatencies {
+    /// `true` if any symptom was observed at all.
+    pub fn any(&self) -> bool {
+        self.deadlock.is_some()
+            || self.exception.is_some()
+            || self.cfv.is_some()
+            || self.mem_addr.is_some()
+            || self.mem_data.is_some()
+    }
+
+    /// The highest-precedence symptom whose latency is within `bound`
+    /// (paper precedence: deadlock > exception > cfv > mem-addr >
+    /// mem-data), or `None` if nothing fired in time.
+    pub fn first_within(&self, bound: u64) -> Option<Symptom> {
+        let within = |l: Option<u64>| l.is_some_and(|v| v <= bound);
+        if within(self.deadlock) {
+            Some(Symptom::Deadlock)
+        } else if within(self.exception) {
+            Some(Symptom::Exception)
+        } else if within(self.cfv) {
+            Some(Symptom::Cfv)
+        } else if within(self.mem_addr) {
+            Some(Symptom::MemAddr)
+        } else if within(self.mem_data) {
+            Some(Symptom::MemData)
+        } else {
+            None
+        }
+    }
+}
 
 /// Categories of the architectural-level (virtual machine) study —
 /// **Table 1** of the paper.
@@ -127,6 +200,27 @@ impl fmt::Display for UarchCategory {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn precedence_resolves_in_paper_order() {
+        let s = SymptomLatencies {
+            deadlock: Some(500),
+            exception: Some(50),
+            cfv: Some(20),
+            mem_addr: Some(5),
+            mem_data: Some(2),
+        };
+        assert_eq!(s.first_within(1), None);
+        assert_eq!(s.first_within(2), Some(Symptom::MemData));
+        assert_eq!(s.first_within(5), Some(Symptom::MemAddr));
+        assert_eq!(s.first_within(20), Some(Symptom::Cfv));
+        assert_eq!(s.first_within(50), Some(Symptom::Exception));
+        assert_eq!(s.first_within(500), Some(Symptom::Deadlock));
+        assert_eq!(s.first_within(u64::MAX), Some(Symptom::Deadlock));
+        assert!(s.any());
+        assert!(!SymptomLatencies::default().any());
+        assert_eq!(SymptomLatencies::default().first_within(u64::MAX), None);
+    }
 
     #[test]
     fn labels_unique_and_nonempty() {

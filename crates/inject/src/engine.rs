@@ -181,6 +181,23 @@ pub(crate) struct UnitOutput<R> {
     pub cycles_pruned: u64,
 }
 
+/// An empty unit: no results, zero time, zero cycle accounting. (Not
+/// derived — that would demand `R: Default` for no reason.)
+impl<R> Default for UnitOutput<R> {
+    fn default() -> Self {
+        UnitOutput {
+            results: Vec::new(),
+            golden_secs: 0.0,
+            trial_secs: 0.0,
+            cycles_simulated: 0,
+            cycles_saved: 0,
+            trials_cut: 0,
+            trials_pruned: 0,
+            cycles_pruned: 0,
+        }
+    }
+}
+
 /// Fans units out over `threads` scoped workers and reassembles results
 /// in emission order.
 ///

@@ -39,22 +39,25 @@
 #![warn(missing_debug_implementations)]
 
 mod arch_campaign;
+mod campaign;
 mod classify;
 mod engine;
 mod liveness;
 mod seeding;
 pub mod stats;
 mod uarch_campaign;
+mod uarch_trial;
 
 pub use arch_campaign::run_workload as run_arch_workload;
 pub use arch_campaign::{
     run_arch_campaign, run_arch_campaign_with_stats, ArchCampaignConfig, ArchTrial,
 };
-pub use classify::{ArchCategory, UarchCategory};
+pub use classify::{ArchCategory, Symptom, SymptomLatencies, UarchCategory};
 pub use engine::{effective_threads, CampaignStats};
 pub use stats::{worst_case_ci95, Proportion};
 pub use uarch_campaign::run_workload as run_uarch_workload;
 pub use uarch_campaign::{
-    run_uarch_campaign, run_uarch_campaign_with_stats, CfvMode, EndState, InjectionTarget,
-    PruneMode, UarchCampaignConfig, UarchTrial,
+    run_uarch_campaign, run_uarch_campaign_with_stats, CfvMode, InjectionTarget, PruneMode,
+    UarchCampaignConfig,
 };
+pub use uarch_trial::{EndState, UarchTrial};

@@ -38,7 +38,9 @@
 //! every pruned trial exhaustively and asserts the predicted record is
 //! identical. See DESIGN.md "Liveness oracle" for the argument.
 
-use crate::uarch_campaign::{drain, EndState, GoldenRun, UarchCampaignConfig, UarchTrial};
+use crate::classify::SymptomLatencies;
+use crate::uarch_campaign::UarchCampaignConfig;
+use crate::uarch_trial::{drain, EndState, GoldenRun, UarchTrial};
 use restore_uarch::state::width_mask;
 use restore_uarch::{
     DeadStatePerturber, FaultState, OccupancyRecorder, Pipeline, StateCatalog, Stop,
@@ -170,9 +172,7 @@ pub(crate) fn predict_dead_trial(
         bit,
         region: catalog.region_of(bit).map(|r| r.name).unwrap_or("?"),
         lhf_protected: catalog.lhf_protected(bit),
-        deadlock: None,
-        exception: None,
-        pc_divergence: None,
+        symptoms: SymptomLatencies::default(),
         value_divergence: None,
         hc_mispredict: None,
         any_mispredict: None,
@@ -185,11 +185,11 @@ pub(crate) fn predict_dead_trial(
         (Stop::Running, true) => EndState::MaskedClean,
         (Stop::Halted | Stop::Running, false) => EndState::DeadResidue,
         (Stop::Deadlock, _) => {
-            trial.deadlock = Some(golden.retired - base_retired);
+            trial.symptoms.deadlock = Some(golden.retired - base_retired);
             EndState::Terminated
         }
         (Stop::Exception(_), _) => {
-            trial.exception = Some(golden.retired - base_retired);
+            trial.symptoms.exception = Some(golden.retired - base_retired);
             EndState::Terminated
         }
     };

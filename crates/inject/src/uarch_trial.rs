@@ -1,0 +1,521 @@
+//! The microarchitectural trial monitor: the per-point golden
+//! observation ([`GoldenRun`]), the injected lockstep trial
+//! ([`run_trial`]), and the trial record ([`UarchTrial`]) it produces.
+//!
+//! Each trial clones a warmed-up pipeline at a pre-selected random cycle,
+//! flips one uniformly chosen state bit, and monitors up to 10,000 cycles
+//! against a cached golden run from the same point (§4.2): watchdog
+//! deadlock, spurious exceptions, divergence of the retired stream
+//! (control flow vs. value corruption), fault-induced high-confidence
+//! branch mispredictions, and end-of-trial state comparison for the
+//! masked/latent/other split. Campaign orchestration — planning, seeding,
+//! parallelism — lives in [`crate::campaign`]; this module only ever sees
+//! one fork, one golden run, and one bit.
+
+use crate::campaign::TrialCost;
+use crate::classify::{Symptom, SymptomLatencies, UarchCategory};
+use crate::liveness::{predict_dead_trial, PointOracle};
+use crate::uarch_campaign::{CfvMode, InjectionTarget, PruneMode, UarchCampaignConfig};
+use rand::rngs::StdRng;
+use rand::Rng;
+use restore_arch::Retired;
+use restore_uarch::{FaultState, OccupancyRecorder, Pipeline, StateCatalog, Stop};
+use restore_workloads::WorkloadId;
+use std::collections::HashSet;
+
+/// How a trial's observation window ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndState {
+    /// Ran the full window; microarchitectural state identical to golden.
+    MaskedClean,
+    /// Ran the full window with matching architectural state, but residue
+    /// remains in (dead) microarchitectural state.
+    DeadResidue,
+    /// Ran the full window; architectural registers/memory differ from
+    /// golden while the retired streams matched — the fault is latent in
+    /// software-visible state.
+    Latent,
+    /// The window was cut short by an exception or deadlock.
+    Terminated,
+    /// Both runs halted (program completed) with identical final state.
+    Completed,
+}
+
+/// One microarchitectural injection trial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UarchTrial {
+    /// Workload injected into.
+    pub workload: WorkloadId,
+    /// Global bit index injected.
+    pub bit: u64,
+    /// Region (component) name of the bit.
+    pub region: &'static str,
+    /// `true` if the hardened pipeline's parity/ECC covers this bit.
+    pub lhf_protected: bool,
+    /// First-observation symptom latencies. This fault model observes
+    /// deadlock, exception and cfv (the latency to the first
+    /// control-flow divergence from golden); the memory-symptom classes
+    /// are architectural-level observables and stay `None`.
+    pub symptoms: SymptomLatencies,
+    /// Latency to the first value divergence (register write or store
+    /// data/address) from golden.
+    pub value_divergence: Option<u64>,
+    /// Latency to the first fault-induced high-confidence misprediction.
+    pub hc_mispredict: Option<u64>,
+    /// Latency to the first fault-induced misprediction of any
+    /// confidence (the perfect-confidence-predictor ablation).
+    pub any_mispredict: Option<u64>,
+    /// Data-cache misses beyond the golden run's count (§3.3 candidate
+    /// symptom; can be negative when the fault shortens execution).
+    pub extra_dcache_misses: i64,
+    /// Data-TLB misses beyond the golden run's count.
+    pub extra_dtlb_misses: i64,
+    /// How the window ended.
+    pub end: EndState,
+}
+
+impl UarchTrial {
+    /// Ground truth: did this fault cause (or remain able to cause) a
+    /// failure?
+    pub fn is_failure(&self) -> bool {
+        self.symptoms.any() || self.value_divergence.is_some() || self.end == EndState::Latent
+    }
+
+    /// Classifies the trial for a checkpoint interval (detection-latency
+    /// bound), a cfv detection mode, and optionally the hardened
+    /// (parity/ECC) pipeline of §5.2.2.
+    pub fn classify(&self, interval: u64, cfv: CfvMode, hardened: bool) -> UarchCategory {
+        if hardened && self.lhf_protected {
+            // Parity/ECC detects and recovers the flip before it can
+            // propagate; like the paper we report these under `other`
+            // ("covered by ECC and will not cause data corruption").
+            return UarchCategory::Other;
+        }
+        if !self.is_failure() {
+            return match self.end {
+                EndState::DeadResidue => UarchCategory::Other,
+                _ => UarchCategory::Masked,
+            };
+        }
+        // The shared precedence ([`SymptomLatencies::first_within`])
+        // resolves the detecting symptom; only the cfv latency depends
+        // on the detector model.
+        let detected = SymptomLatencies {
+            cfv: match cfv {
+                CfvMode::Perfect => self.symptoms.cfv,
+                CfvMode::HighConfidence => self.hc_mispredict,
+                CfvMode::AnyMispredict => self.any_mispredict,
+            },
+            ..self.symptoms
+        };
+        match detected.first_within(interval) {
+            Some(Symptom::Deadlock) => UarchCategory::Deadlock,
+            Some(Symptom::Exception) => UarchCategory::Exception,
+            Some(Symptom::Cfv) => UarchCategory::Cfv,
+            // The memory-symptom classes stay `None` at this level, so
+            // only the undetected-failure split remains.
+            _ => {
+                if self.symptoms.cfv.is_some() || self.value_divergence.is_some() {
+                    UarchCategory::Sdc
+                } else {
+                    UarchCategory::Latent
+                }
+            }
+        }
+    }
+}
+
+/// Cached golden observation from one injection point.
+#[derive(Debug)]
+pub(crate) struct GoldenRun {
+    trace: Vec<Retired>,
+    /// `(retired_before, pc)` of golden high-confidence mispredicts.
+    hc_events: HashSet<(u64, u64)>,
+    /// `(retired_before, pc)` of all golden conditional mispredicts.
+    all_events: HashSet<(u64, u64)>,
+    end_state_hash: u64,
+    pub(crate) end_regs: [u64; 32],
+    /// Digest of the end memory image ([`restore_arch::Memory::content_hash`]);
+    /// keeping the full golden `Memory` alive per point was the campaign's
+    /// largest resident allocation.
+    pub(crate) end_mem_hash: u64,
+    /// Status after the end-of-window drain (a trial cut at reconvergence
+    /// back-fills its ending from this).
+    pub(crate) end_status: Stop,
+    pub(crate) retired: u64,
+    dcache_misses: u64,
+    dtlb_misses: u64,
+    /// Full-machine fingerprint at each `cutoff_stride` boundary of the
+    /// window (boundary `b` — i.e. after `b * stride` cycles — at index
+    /// `b - 1`); empty when the cutoff is disabled. Recording stops when
+    /// the golden run halts.
+    fingerprints: Vec<u64>,
+    /// Window cycles the golden run actually executed (less than
+    /// `window_cycles` when the workload halts inside the window). A cut
+    /// trial's remaining cycles are counted against this, not the full
+    /// window — post-match the trial mirrors the golden run, halts
+    /// included, so this is exactly what the exhaustive trial would have
+    /// simulated.
+    pub(crate) window_executed: u64,
+    /// Per-field end-of-trial values in catalog order (the state the
+    /// classifier hashes), for the liveness oracle's written/untouched
+    /// verdicts. Empty unless pruning is enabled.
+    pub(crate) end_fields: Vec<u64>,
+}
+
+/// Stops fetch and runs until the machine is empty (or `max` cycles).
+/// An empty machine must stop cycling before the retirement watchdog
+/// misreads the idle period as a deadlock.
+pub(crate) fn drain(pipe: &mut Pipeline, max: u64) {
+    pipe.set_fetch_enabled(false);
+    for _ in 0..max {
+        if pipe.status() != Stop::Running || pipe.in_flight() == 0 {
+            break;
+        }
+        pipe.cycle();
+    }
+    pipe.set_fetch_enabled(true);
+}
+
+/// `(retired-since-fork, pc)` identity of a mispredict event.
+/// `retired_before` is sampled from the (possibly fault-corrupted)
+/// machine and can sit below the fork's baseline when the fault hits the
+/// retirement counter itself — saturate rather than underflow; such an
+/// event can never match a golden key, which is exactly right.
+#[inline]
+fn event_key(retired_before: u64, base_retired: u64, pc: u64) -> (u64, u64) {
+    (retired_before.saturating_sub(base_retired), pc)
+}
+
+pub(crate) fn golden_run(at: &Pipeline, cfg: &UarchCampaignConfig) -> GoldenRun {
+    let mut g = at.clone();
+    let base_retired = g.retired();
+    let mut trace = Vec::new();
+    let mut hc = HashSet::new();
+    let mut all = HashSet::new();
+    let stride = cfg.cutoff_stride;
+    let mut fingerprints =
+        Vec::with_capacity(cfg.window_cycles.checked_div(stride).unwrap_or(0) as usize);
+    let mut window_executed = 0u64;
+    for i in 0..cfg.window_cycles {
+        if g.status() != Stop::Running {
+            break;
+        }
+        window_executed += 1;
+        let r = g.cycle();
+        assert!(r.exception.is_none(), "golden run raised an exception");
+        assert!(!r.deadlock, "golden run deadlocked");
+        for m in &r.mispredicts {
+            if m.conditional {
+                all.insert(event_key(m.retired_before, base_retired, m.pc));
+                if m.high_confidence {
+                    hc.insert(event_key(m.retired_before, base_retired, m.pc));
+                }
+            }
+        }
+        trace.extend(r.retired);
+        if stride > 0 && (i + 1) % stride == 0 && g.status() == Stop::Running {
+            fingerprints.push(g.fingerprint());
+        }
+    }
+    drain(&mut g, cfg.drain_cycles);
+    let end_fields = if cfg.prune != PruneMode::Off {
+        let mut rec = OccupancyRecorder::new();
+        g.visit_state(&mut rec);
+        rec.values
+    } else {
+        Vec::new()
+    };
+    GoldenRun {
+        trace,
+        hc_events: hc,
+        all_events: all,
+        end_state_hash: g.state_hash(),
+        end_regs: g.arch_regs(),
+        end_mem_hash: g.memory().content_hash(),
+        end_status: g.status(),
+        retired: g.retired(),
+        dcache_misses: g.miss_counters().1,
+        dtlb_misses: g.miss_counters().3,
+        fingerprints,
+        window_executed,
+        end_fields,
+    }
+}
+
+/// Draws a global bit index for the configured target.
+pub(crate) fn draw_bit(rng: &mut StdRng, catalog: &StateCatalog, target: InjectionTarget) -> u64 {
+    match target {
+        InjectionTarget::AllState => rng.gen_range(0..catalog.total_bits),
+        InjectionTarget::LatchesOnly => catalog.latch_bit(rng.gen_range(0..catalog.latch_bits())),
+    }
+}
+
+pub(crate) fn run_trial(
+    at: &Pipeline,
+    golden: &GoldenRun,
+    catalog: &StateCatalog,
+    id: WorkloadId,
+    bit: u64,
+    cfg: &UarchCampaignConfig,
+    oracle: Option<&PointOracle>,
+) -> (UarchTrial, TrialCost) {
+    if let Some(oracle) = oracle {
+        if let Some(field) = oracle.dead_field(catalog, bit) {
+            let predicted =
+                predict_dead_trial(golden, catalog, id, bit, at.retired(), oracle.written(field));
+            // A dead trial's live evolution is the golden run's, so the
+            // exhaustive trial would have simulated (or been cut across)
+            // exactly the golden run's window cycles.
+            let pruned_cycles = golden.window_executed;
+            if cfg.prune == PruneMode::Audit {
+                let (actual, mut cost) = run_trial(at, golden, catalog, id, bit, cfg, None);
+                assert_eq!(
+                    actual, predicted,
+                    "liveness oracle disagrees with simulation (workload {id:?}, bit {bit})"
+                );
+                cost.pruned = true;
+                cost.pruned_cycles = pruned_cycles;
+                return (actual, cost);
+            }
+            let cost = TrialCost { pruned: true, pruned_cycles, ..TrialCost::default() };
+            return (predicted, cost);
+        }
+    }
+    let mut pipe = at.clone();
+    let base_retired = pipe.retired();
+    pipe.flip_bit(bit);
+
+    let region = catalog.region_of(bit).map(|r| r.name).unwrap_or("?");
+    let mut trial = UarchTrial {
+        workload: id,
+        bit,
+        region,
+        lhf_protected: catalog.lhf_protected(bit),
+        symptoms: SymptomLatencies::default(),
+        value_divergence: None,
+        hc_mispredict: None,
+        any_mispredict: None,
+        extra_dcache_misses: 0,
+        extra_dtlb_misses: 0,
+        end: EndState::MaskedClean,
+    };
+
+    let mut idx = 0usize; // next golden trace index to compare
+    let mut terminated = false;
+    let stride = cfg.cutoff_stride;
+    let mut executed = 0u64;
+    let mut cut = false;
+    // A control-flow violation means the *wrong instruction executed*: a
+    // sustained PC divergence from the golden stream. A single-event PC
+    // label mismatch that immediately re-aligns is a corrupted reporting
+    // field (e.g. a flipped ROB `pc`), which is data corruption, not cfv.
+    let mut pending_cfv: Option<u64> = None;
+    let mut cfv_confirmed = false;
+    for i in 0..cfg.window_cycles {
+        if pipe.status() != Stop::Running {
+            break;
+        }
+        executed += 1;
+        let lat_now = |p: &Pipeline| p.retired() - base_retired;
+        let r = pipe.cycle();
+        for m in &r.mispredicts {
+            if !m.conditional {
+                continue;
+            }
+            let key = event_key(m.retired_before, base_retired, m.pc);
+            if !golden.all_events.contains(&key) {
+                trial.any_mispredict.get_or_insert(key.0 + 1);
+            }
+            if m.high_confidence && !golden.hc_events.contains(&key) {
+                trial.hc_mispredict.get_or_insert(key.0 + 1);
+            }
+        }
+        for ret in &r.retired {
+            if cfv_confirmed {
+                break; // streams no longer aligned; nothing to compare
+            }
+            let Some(g) = golden.trace.get(idx) else { break };
+            let lat = idx as u64 + 1;
+            if ret.pc != g.pc {
+                match pending_cfv {
+                    Some(at) => {
+                        trial.symptoms.cfv.get_or_insert(at);
+                        cfv_confirmed = true;
+                    }
+                    None => pending_cfv = Some(lat),
+                }
+            } else {
+                // A one-off PC label mismatch whose dataflow matched was a
+                // corrupted reporting field (e.g. a flipped ROB `pc`): it
+                // redirects nothing and writes nothing wrong, so it is not
+                // a failure. Any real effect shows up as a reg/mem
+                // mismatch or as end-of-trial residue.
+                pending_cfv = None;
+                if ret.reg_write != g.reg_write || ret.mem != g.mem || ret.halted != g.halted {
+                    trial.value_divergence.get_or_insert(lat);
+                }
+            }
+            idx += 1;
+        }
+        if r.deadlock {
+            trial.symptoms.deadlock = Some(lat_now(&pipe));
+            terminated = true;
+        }
+        if r.exception.is_some() {
+            trial.symptoms.exception = Some(lat_now(&pipe));
+            terminated = true;
+        }
+        // Reconvergence check: compare the full-machine fingerprint at
+        // the same boundaries the golden run recorded (`status` is
+        // `Running` at every recorded boundary, so a stopped trial can
+        // never alias one). On a match the two machines are
+        // bit-identical, so the rest of the window replays the golden
+        // run — stop simulating and back-fill below.
+        if stride > 0
+            && (i + 1) % stride == 0
+            && pipe.status() == Stop::Running
+            && golden.fingerprints.get(((i + 1) / stride - 1) as usize) == Some(&pipe.fingerprint())
+        {
+            cut = true;
+            break;
+        }
+    }
+    // A pending divergence on the final compared event is indistinguishable
+    // from a label flip; end-of-trial state comparison adjudicates it.
+    let _ = pending_cfv;
+
+    let mut cost = TrialCost { simulated: executed, cut, ..TrialCost::default() };
+    if cut {
+        // Not `window_cycles - executed`: the exhaustive trial would have
+        // stopped when the golden run stops (identical futures), so only
+        // the golden run's remaining executed cycles are real savings.
+        cost.saved = golden.window_executed - executed;
+        // Identical machines have identical futures: the skipped window
+        // cycles and the drain would reproduce the golden run's ending
+        // and its miss counters, so the counter deltas stay zero and the
+        // ending maps from the golden end status. `MaskedClean` (not
+        // `DeadResidue`) is exact — the fingerprint match witnessed that
+        // even dead microarchitectural state is clean.
+        trial.end = match golden.end_status {
+            Stop::Halted => EndState::Completed,
+            Stop::Running => EndState::MaskedClean,
+            Stop::Deadlock => {
+                trial.symptoms.deadlock.get_or_insert(golden.retired - base_retired);
+                EndState::Terminated
+            }
+            Stop::Exception(_) => {
+                trial.symptoms.exception.get_or_insert(golden.retired - base_retired);
+                EndState::Terminated
+            }
+        };
+        return (trial, cost);
+    }
+    trial.end = if terminated {
+        EndState::Terminated
+    } else {
+        drain(&mut pipe, cfg.drain_cycles);
+        match pipe.status() {
+            Stop::Deadlock => {
+                // Saturation during the drain still counts.
+                trial.symptoms.deadlock.get_or_insert(pipe.retired() - base_retired);
+                EndState::Terminated
+            }
+            Stop::Exception(_) => {
+                trial.symptoms.exception.get_or_insert(pipe.retired() - base_retired);
+                EndState::Terminated
+            }
+            _ => {
+                // Cheap comparisons first; the memory digest only runs
+                // when counters, halt status and registers all match.
+                let arch_clean = pipe.retired() == golden.retired
+                    && (pipe.status() == Stop::Halted) == (golden.end_status == Stop::Halted)
+                    && pipe.arch_regs() == golden.end_regs
+                    && pipe.memory().content_hash() == golden.end_mem_hash;
+                if !arch_clean {
+                    EndState::Latent
+                } else if pipe.state_hash() == golden.end_state_hash {
+                    if golden.end_status == Stop::Halted {
+                        EndState::Completed
+                    } else {
+                        EndState::MaskedClean
+                    }
+                } else {
+                    EndState::DeadResidue
+                }
+            }
+        }
+    };
+    // Miss counters sample here — after the end-of-trial drain, the same
+    // point where the golden run samples its own. (They were previously
+    // read before the drain, silently excluding drain-window misses.)
+    let (_, dc, _, dt) = pipe.miss_counters();
+    trial.extra_dcache_misses = dc as i64 - golden.dcache_misses as i64;
+    trial.extra_dtlb_misses = dt as i64 - golden.dtlb_misses as i64;
+    (trial, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_key_saturates_below_baseline() {
+        // A flipped retirement counter can report `retired_before` below
+        // the fork's baseline; the key must clamp, not underflow.
+        assert_eq!(event_key(5, 10, 0x40), (0, 0x40));
+        assert_eq!(event_key(10, 10, 0x40), (0, 0x40));
+        assert_eq!(event_key(17, 10, 0x44), (7, 0x44));
+    }
+
+    #[test]
+    fn hardened_classification_moves_protected_bits_to_other() {
+        let t = UarchTrial {
+            workload: WorkloadId::Mcfx,
+            bit: 0,
+            region: "phys-regfile",
+            lhf_protected: true,
+            symptoms: SymptomLatencies { exception: Some(10), ..SymptomLatencies::default() },
+            value_divergence: None,
+            hc_mispredict: None,
+            any_mispredict: None,
+            extra_dcache_misses: 0,
+            extra_dtlb_misses: 0,
+            end: EndState::Terminated,
+        };
+        assert_eq!(t.classify(100, CfvMode::Perfect, false), UarchCategory::Exception);
+        assert_eq!(t.classify(100, CfvMode::Perfect, true), UarchCategory::Other);
+    }
+
+    #[test]
+    fn classification_precedence_and_latency() {
+        let t = UarchTrial {
+            workload: WorkloadId::Mcfx,
+            bit: 0,
+            region: "scheduler",
+            lhf_protected: false,
+            symptoms: SymptomLatencies {
+                deadlock: Some(500),
+                exception: Some(50),
+                cfv: Some(20),
+                ..SymptomLatencies::default()
+            },
+            value_divergence: Some(5),
+            hc_mispredict: Some(80),
+            any_mispredict: Some(30),
+            extra_dcache_misses: 0,
+            extra_dtlb_misses: 0,
+            end: EndState::Terminated,
+        };
+        use CfvMode::*;
+        assert_eq!(t.classify(10, Perfect, false), UarchCategory::Sdc);
+        assert_eq!(t.classify(20, Perfect, false), UarchCategory::Cfv);
+        assert_eq!(t.classify(50, Perfect, false), UarchCategory::Exception);
+        assert_eq!(t.classify(500, Perfect, false), UarchCategory::Deadlock);
+        // Realistic cfv detection fires later than perfect.
+        assert_eq!(t.classify(20, HighConfidence, false), UarchCategory::Sdc);
+        assert_eq!(t.classify(80, HighConfidence, false), UarchCategory::Exception);
+        // The perfect-confidence ablation sits between the two.
+        assert_eq!(t.classify(30, AnyMispredict, false), UarchCategory::Cfv);
+    }
+}

@@ -1,0 +1,133 @@
+//! Golden-vector regression tests for the campaign refactor.
+//!
+//! The fixtures under `tests/golden/` were recorded from small
+//! fixed-seed campaigns **before** the shared `FaultModel`/`TrialRunner`
+//! core existed; these tests re-run the same campaigns and assert the
+//! trial records are still bit-identical, field for field. They are the
+//! proof that unifying the two campaign drivers changed no result.
+//!
+//! The rendering is deliberately a flat `name=value` text format rather
+//! than a `Debug` dump: the *fields* are the contract, not the struct
+//! layout, so the record types can be reshaped (and were) without
+//! touching the fixtures.
+//!
+//! To regenerate after an intentional behaviour change, run with
+//! `RESTORE_UPDATE_GOLDEN=1` and commit the diff — never regenerate to
+//! make an unintentional difference pass.
+
+use restore_inject::{
+    run_arch_campaign, run_uarch_campaign, ArchCampaignConfig, ArchTrial, InjectionTarget,
+    UarchCampaignConfig, UarchTrial,
+};
+use restore_workloads::Scale;
+
+fn opt(v: Option<u64>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "-".into())
+}
+
+fn render_uarch(trials: &[UarchTrial]) -> String {
+    let mut out = String::new();
+    for t in trials {
+        out.push_str(&format!(
+            "wl={} bit={} region={} lhf={} deadlock={} exception={} cfv={} value={} \
+             hc={} any={} dc={} dt={} end={:?}\n",
+            t.workload,
+            t.bit,
+            t.region,
+            t.lhf_protected as u8,
+            opt(t.symptoms.deadlock),
+            opt(t.symptoms.exception),
+            opt(t.symptoms.cfv),
+            opt(t.value_divergence),
+            opt(t.hc_mispredict),
+            opt(t.any_mispredict),
+            t.extra_dcache_misses,
+            t.extra_dtlb_misses,
+            t.end,
+        ));
+    }
+    out
+}
+
+fn render_arch(trials: &[ArchTrial]) -> String {
+    let mut out = String::new();
+    for t in trials {
+        out.push_str(&format!(
+            "wl={} exception={} cfv={} mem_addr={} mem_data={} masked={}\n",
+            t.workload,
+            opt(t.symptoms.exception),
+            opt(t.symptoms.cfv),
+            opt(t.symptoms.mem_addr),
+            opt(t.symptoms.mem_data),
+            t.masked as u8,
+        ));
+    }
+    out
+}
+
+/// Compares `got` against the named fixture, or rewrites the fixture
+/// when `RESTORE_UPDATE_GOLDEN=1`.
+fn check(name: &str, got: &str) {
+    let path = format!("{}/tests/golden/{name}.txt", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var("RESTORE_UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::write(&path, got).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .expect("fixture exists; regenerate with RESTORE_UPDATE_GOLDEN=1");
+    assert_eq!(got, want, "{name}: trial records diverged from the pinned pre-refactor campaign");
+}
+
+fn uarch_cfg(target: InjectionTarget) -> UarchCampaignConfig {
+    UarchCampaignConfig {
+        points_per_workload: 2,
+        trials_per_point: 4,
+        warmup_cycles: 500,
+        window_cycles: 1_500,
+        drain_cycles: 1_000,
+        seed: 0x60D,
+        target,
+        threads: 2,
+        ..UarchCampaignConfig::default()
+    }
+}
+
+fn arch_cfg(low32: bool) -> ArchCampaignConfig {
+    ArchCampaignConfig {
+        scale: Scale::smoke(),
+        trials_per_workload: 12,
+        window: 100_000,
+        seed: 0x60D,
+        low32,
+        threads: 2,
+        ..ArchCampaignConfig::default()
+    }
+}
+
+#[test]
+fn uarch_allstate_matches_pinned_vector() {
+    let trials = run_uarch_campaign(&uarch_cfg(InjectionTarget::AllState));
+    assert!(!trials.is_empty());
+    check("uarch_allstate", &render_uarch(&trials));
+}
+
+#[test]
+fn uarch_latches_matches_pinned_vector() {
+    let trials = run_uarch_campaign(&uarch_cfg(InjectionTarget::LatchesOnly));
+    assert!(!trials.is_empty());
+    check("uarch_latches", &render_uarch(&trials));
+}
+
+#[test]
+fn arch_matches_pinned_vector() {
+    let trials = run_arch_campaign(&arch_cfg(false));
+    assert!(!trials.is_empty());
+    check("arch", &render_arch(&trials));
+}
+
+#[test]
+fn arch_low32_matches_pinned_vector() {
+    let trials = run_arch_campaign(&arch_cfg(true));
+    assert!(!trials.is_empty());
+    check("arch_low32", &render_arch(&trials));
+}

@@ -167,6 +167,41 @@ pub fn build_all(scale: Scale) -> Vec<Program> {
     WorkloadId::ALL.iter().map(|id| id.build(scale)).collect()
 }
 
+/// Instruction budget for [`run_length`]'s probe run; every kernel at
+/// every supported scale halts well inside it.
+const RUN_LENGTH_BUDGET: u64 = 5_000_000;
+
+/// Retired-instruction count of `id`'s fault-free run at `scale`,
+/// memoized per `(WorkloadId, Scale)` for the life of the process.
+///
+/// Campaign planners need the run length to place injection points; the
+/// probe costs millions of simulated instructions, so repeated
+/// campaigns (test suites, figure binaries sharing a process) would
+/// otherwise re-execute it on every invocation. The probe is
+/// deterministic, so caching cannot change any planned point.
+///
+/// # Panics
+///
+/// Panics if the kernel faults (workloads are exception-free by
+/// construction).
+pub fn run_length(id: WorkloadId, scale: Scale) -> u64 {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<(WorkloadId, Scale), u64>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(Mutex::default);
+    if let Some(&len) = cache.lock().unwrap().get(&(id, scale)) {
+        return len;
+    }
+    // Probe outside the lock: a minutes-long hold would serialize every
+    // concurrent campaign. A racing duplicate probe computes the same
+    // deterministic value, so last-write-wins is harmless.
+    let mut probe = restore_arch::Cpu::new(&id.build(scale));
+    probe.run(RUN_LENGTH_BUDGET).expect("workloads are exception-free");
+    let len = probe.retired();
+    cache.lock().unwrap().insert((id, scale), len);
+    len
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +232,20 @@ mod tests {
             cpu.run(30_000).unwrap();
             assert!(!cpu.is_halted(), "{id} halted before 30k instructions at campaign scale");
         }
+    }
+
+    #[test]
+    fn run_length_is_memoized_and_matches_a_fresh_probe() {
+        let id = WorkloadId::Mcfx;
+        let scale = Scale::smoke();
+        let cached = run_length(id, scale);
+        let mut probe = Cpu::new(&id.build(scale));
+        assert_eq!(probe.run(5_000_000).unwrap(), RunExit::Halted);
+        assert_eq!(cached, probe.retired());
+        // Second call must serve the cache (same value either way; this
+        // pins the (id, scale) key covering both fields).
+        assert_eq!(run_length(id, scale), cached);
+        assert_ne!(run_length(id, Scale::smoke().with_seed(99)), 0);
     }
 
     #[test]

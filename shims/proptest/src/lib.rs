@@ -274,7 +274,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`](fn@self::vec).
     #[derive(Debug, Clone)]
     pub struct SizeRange(Range<usize>);
 
@@ -295,7 +295,7 @@ pub mod collection {
         VecStrategy { elem, size: size.into().0 }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](fn@self::vec).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         elem: S,

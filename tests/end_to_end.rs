@@ -96,8 +96,7 @@ fn arch_campaign_symptoms_are_fast() {
         trials_per_workload: 30,
         window: 150_000,
         seed: 11,
-        low32: false,
-        threads: 0,
+        ..ArchCampaignConfig::default()
     };
     let trials = run_arch_campaign(&cfg);
     let failing: Vec<_> = trials.iter().filter(|t| !t.masked).collect();
@@ -111,7 +110,10 @@ fn arch_campaign_symptoms_are_fast() {
             )
         })
         .count();
-    let sym_total = failing.iter().filter(|t| t.exception.is_some() || t.cfv.is_some()).count();
+    let sym_total = failing
+        .iter()
+        .filter(|t| t.symptoms.exception.is_some() || t.symptoms.cfv.is_some())
+        .count();
     // Most symptomatic trials fire within 100 instructions (the paper:
     // "the majority of the coverage is still obtained with relatively
     // short latency").
