@@ -6,6 +6,7 @@
 //! is compared against (§4.2).
 
 use crate::alu::{self, AluOut};
+use crate::state::{FaultState, FieldClass, StateKind, StateVisitor};
 use crate::{Exception, Memory, Perm};
 use restore_isa::{decode, Inst, PalFunc, Program, Reg};
 
@@ -50,6 +51,16 @@ impl RegFile {
         assert!(bit < 64);
         if !r.is_zero() {
             self.regs[r.index()] ^= 1u64 << bit;
+        }
+    }
+
+    /// Visits the 31 writable registers' bits. `r31` is hardwired zero —
+    /// no latch backs it, so it contributes no injectable state and
+    /// walking it would let a flip create an unreadable nonzero residue
+    /// that `arch_state_eq` could never observe through [`RegFile::read`].
+    pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+        for r in self.regs.iter_mut().take(31) {
+            v.word(r, 64, FieldClass::Data);
         }
     }
 }
@@ -136,9 +147,15 @@ pub struct Cpu {
     /// Program counter.
     pub pc: u64,
     /// Memory image.
+    // audit: skip -- the memory image is not injection substrate at this
+    // level (§3.1 flips instruction results, not stored bits); it is
+    // compared whole by `arch_state_eq` and digested by `fingerprint`
     pub mem: Memory,
+    // audit: skip -- output log: write-only observable, never read back
     output: Vec<u64>,
+    // audit: skip -- retirement counter is simulation bookkeeping
     retired: u64,
+    // audit: skip -- halt flag is simulation bookkeeping, not a latch
     halted: bool,
 }
 
@@ -339,6 +356,29 @@ impl Cpu {
             h = fold(h, v);
         }
         fold(h, self.mem.fingerprint())
+    }
+
+    /// Builds the catalog of this machine's injectable state — the
+    /// architectural analogue of `Pipeline::catalog` in `restore-uarch`,
+    /// used by the state auditor's census and contract checks.
+    pub fn catalog(&mut self) -> crate::state::StateCatalog {
+        let mut rec = crate::state::RangeRecorder::new();
+        self.visit_state(&mut rec);
+        rec.into_catalog()
+    }
+}
+
+/// The architectural machine's injectable state: the software-visible
+/// registers and the PC. Memory is excluded (the §3.1 fault model
+/// corrupts instruction *results*, and stored bits are compared whole at
+/// trial end); the output log, retirement counter and halt flag are
+/// simulation bookkeeping with no hardware latch behind them.
+impl FaultState for Cpu {
+    fn visit_state<V: StateVisitor>(&mut self, v: &mut V) {
+        v.region("arch-regfile", StateKind::Ram);
+        self.regs.visit(v);
+        v.region("arch-pc", StateKind::Latch);
+        v.word(&mut self.pc, 64, FieldClass::Data);
     }
 }
 
@@ -568,6 +608,31 @@ mod tests {
         assert_ne!(c1.fingerprint(), c2.fingerprint(), "memory change must show");
         c1.mem.flip_bit(layout::STACK_TOP - 8, 0);
         assert_eq!(c1.fingerprint(), c2.fingerprint());
+    }
+
+    #[test]
+    fn state_walk_covers_regs_and_pc_with_involutive_flips() {
+        let mut a = Asm::new("t", layout::TEXT_BASE);
+        a.nop();
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut cpu = Cpu::new(&p);
+        let cat = cpu.catalog();
+        // 31 writable registers (r31 is hardwired zero) plus the PC.
+        assert_eq!(cat.total_bits, 31 * 64 + 64);
+        assert_eq!(cat.regions.len(), 2);
+        assert_eq!(cat.regions[0].name, "arch-regfile");
+        assert_eq!(cat.regions[1].name, "arch-pc");
+        let baseline = cpu.clone();
+        for bit in [0, 63, 64, 30 * 64 + 7, 31 * 64, 31 * 64 + 63] {
+            let mut f = crate::state::BitFlipper::new(bit);
+            cpu.visit_state(&mut f);
+            assert!(f.flipped, "bit {bit}");
+            assert!(cpu != baseline, "bit {bit} had no effect");
+            let mut f = crate::state::BitFlipper::new(bit);
+            cpu.visit_state(&mut f);
+            assert!(cpu == baseline, "bit {bit} not involutive");
+        }
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //! The pieces: [`Memory`] (sparse 64-bit paged address space with
 //! permissions), [`Exception`] (precise ISA exceptions — a headline
 //! ReStore symptom), [`alu`] (operation semantics shared with the
-//! pipeline), and [`Cpu`] (the stepper, emitting a [`Retired`] event per
-//! instruction for trace comparison).
+//! pipeline), [`Cpu`] (the stepper, emitting a [`Retired`] event per
+//! instruction for trace comparison), and [`state`] — the bit-addressable
+//! state-visitor substrate shared by both machine models (the
+//! microarchitectural crate re-exports it as `restore_uarch::state`).
 //!
 //! # Examples
 //!
@@ -41,6 +43,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -48,7 +51,9 @@ pub mod alu;
 mod cpu;
 mod exception;
 mod mem;
+pub mod state;
 
 pub use cpu::{BranchEffect, Cpu, MemEffect, RegFile, Retired, RunExit};
 pub use exception::Exception;
 pub use mem::{AccessKind, MemError, Memory, Perm, PAGE_SIZE};
+pub use state::{FaultState, FieldClass, StateCatalog, StateKind, StateVisitor};

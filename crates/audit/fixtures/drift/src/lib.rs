@@ -1,0 +1,40 @@
+//! Deliberately drifted state walks, scanned (never compiled) by the
+//! `restore-audit` tests. Each defect here must keep producing its
+//! finding — if the scanner stops seeing them, the scanner regressed,
+//! not this file.
+
+/// A widget whose walk forgot a field.
+pub struct DriftWidget {
+    /// Covered.
+    pub valid: bool,
+    /// Covered.
+    pub payload: u64,
+    /// NOT covered by the walk below and NOT exempted: the scanner must
+    /// report `unvisited-field` for `DriftWidget.dropped_tag` at this
+    /// declaration's line.
+    pub dropped_tag: u8,
+    /// Exempted with a reason: no finding.
+    // audit: skip -- scratch buffer, rewritten before every read
+    pub scratch: u64,
+}
+
+impl FaultState for DriftWidget {
+    fn visit_state<V: StateVisitor>(&mut self, v: &mut V) {
+        v.region("drift-widget", StateKind::Latch);
+        v.flag(&mut self.valid);
+        v.word(&mut self.payload, 64, FieldClass::Data);
+    }
+}
+
+/// A widget that over-declares a width.
+pub struct WidthBuster {
+    /// Visited via `word8` with width 9 — the scanner must report
+    /// `width-unsound`.
+    pub tag: u8,
+}
+
+impl WidthBuster {
+    pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+        v.word8(&mut self.tag, 9, FieldClass::Control);
+    }
+}

@@ -1,0 +1,34 @@
+//! `restore-audit`: soundness guards for the fault-injection substrate.
+//!
+//! Every campaign result in this workspace rests on one assumption: the
+//! [`StateVisitor`](restore_arch::state::StateVisitor) walks really do
+//! cover every bit of architecturally interesting state, with stable
+//! global numbering and lossless flips. This crate checks that
+//! assumption from two directions:
+//!
+//! * [`scanner`] — a static, dependency-free token-level analyzer over
+//!   the simulator sources. For every type with a `FaultState` impl or a
+//!   `visit`/`visit_state` method it cross-checks declared struct fields
+//!   against the fields the walk actually hands to the visitor, enforces
+//!   explicit `// audit: skip -- <reason>` exemptions for everything
+//!   else, and width/type soundness on direct visits.
+//! * [`contract`] — a runtime checker that wraps real machine walks in a
+//!   [`ContractVisitor`] and verifies the
+//!   protocol invariants: region-before-word, stable bit numbering
+//!   across consecutive walks, non-mutating hash paths, and
+//!   flip ∘ flip = identity on sampled bits.
+//! * [`census`] — the per-region bit census (latch/RAM × control/data)
+//!   of both machine models, for comparison against the paper's §4
+//!   numbers.
+//!
+//! The `restore-audit` binary wires all three into CI.
+
+#![forbid(unsafe_code)]
+
+pub mod census;
+pub mod contract;
+pub mod scanner;
+
+pub use census::{cpu_census, pipeline_census, Census};
+pub use contract::{check_contract, ContractReport, ContractVisitor};
+pub use scanner::{analyze_dirs, analyze_sources, Analysis, Finding, Severity};

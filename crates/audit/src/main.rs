@@ -1,0 +1,194 @@
+//! `restore-audit` CLI.
+//!
+//! ```text
+//! restore-audit [--check] [--census] [--contract] [--json] [--root DIR]
+//! ```
+//!
+//! * `--check` (default): run the static field-coverage scanner over
+//!   `crates/uarch/src` and `crates/arch/src`; exit 1 on any finding.
+//! * `--contract`: run the runtime invariant battery against a warmed
+//!   default-config pipeline and the architectural CPU; exit 1 on any
+//!   violation.
+//! * `--census`: print the per-region bit census of both machines.
+//! * `--json`: machine-readable output for `--check`/`--census`.
+//! * `--root DIR`: repository root to scan (defaults to the workspace
+//!   this binary was built from).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use restore_audit::contract::check_contract;
+use restore_audit::scanner::Severity;
+use restore_audit::{analyze_dirs, cpu_census, pipeline_census};
+use restore_uarch::{Pipeline, UarchConfig};
+use restore_workloads::{Scale, WorkloadId};
+
+struct Options {
+    check: bool,
+    census: bool,
+    contract: bool,
+    json: bool,
+    root: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: restore-audit [--check] [--census] [--contract] [--json] [--root DIR]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut opts =
+        Options { check: false, census: false, contract: false, json: false, root: default_root };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => opts.check = true,
+            "--census" => opts.census = true,
+            "--contract" => opts.contract = true,
+            "--json" => opts.json = true,
+            "--root" => match args.next() {
+                Some(d) => opts.root = PathBuf::from(d),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    if !opts.check && !opts.census && !opts.contract {
+        opts.check = true;
+    }
+    opts
+}
+
+fn run_check(opts: &Options) -> bool {
+    let roots = [opts.root.join("crates/uarch/src"), opts.root.join("crates/arch/src")];
+    let analysis = match analyze_dirs(&roots) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("restore-audit: cannot scan {}: {e}", opts.root.display());
+            return false;
+        }
+    };
+    if opts.json {
+        let mut out = String::from("{\"findings\":[");
+        for (i, f) in analysis.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"severity\":\"{}\",\"kind\":\"{}\",\"type\":\"{}\",\"field\":\"{}\",\
+                 \"file\":\"{}\",\"line\":{}}}",
+                match f.severity {
+                    Severity::Error => "error",
+                    Severity::Note => "note",
+                },
+                f.kind,
+                f.type_name,
+                f.field,
+                f.file.display(),
+                f.line,
+            ));
+        }
+        out.push_str(&format!(
+            "],\"files_scanned\":{},\"structs\":{},\"walks\":{},\"clean\":{}}}",
+            analysis.files_scanned,
+            analysis.structs.len(),
+            analysis.walks.len(),
+            analysis.is_clean(),
+        ));
+        println!("{out}");
+    } else {
+        for f in &analysis.findings {
+            println!("{f}");
+        }
+        let errors = analysis.errors().count();
+        println!(
+            "restore-audit: scanned {} files, {} structs, {} walk bodies: {}",
+            analysis.files_scanned,
+            analysis.structs.len(),
+            analysis.walks.len(),
+            if errors == 0 { "coverage clean".to_string() } else { format!("{errors} error(s)") },
+        );
+    }
+    analysis.is_clean()
+}
+
+fn run_contract() -> bool {
+    let program = WorkloadId::Vortexx.build(Scale { size: 32, seed: 7 });
+    let mut ok = true;
+
+    let mut pipe = Pipeline::new(UarchConfig::default(), &program);
+    for _ in 0..500 {
+        pipe.cycle();
+    }
+    let report = check_contract(&mut pipe, 64);
+    println!(
+        "uarch-pipeline: {} bits, {} regions, {} fields, {} flips sampled: {}",
+        report.total_bits,
+        report.regions,
+        report.fields,
+        report.flips_checked,
+        if report.is_ok() { "contract holds" } else { "VIOLATIONS" },
+    );
+    for v in &report.violations {
+        println!("  {v}");
+        ok = false;
+    }
+
+    let mut cpu = restore_arch::Cpu::new(&program);
+    for _ in 0..500 {
+        if cpu.is_halted() || cpu.step().is_err() {
+            break;
+        }
+    }
+    let report = check_contract(&mut cpu, 64);
+    println!(
+        "arch-cpu: {} bits, {} regions, {} fields, {} flips sampled: {}",
+        report.total_bits,
+        report.regions,
+        report.fields,
+        report.flips_checked,
+        if report.is_ok() { "contract holds" } else { "VIOLATIONS" },
+    );
+    for v in &report.violations {
+        println!("  {v}");
+        ok = false;
+    }
+    ok
+}
+
+fn run_census(json: bool) {
+    let pipe = pipeline_census();
+    let cpu = cpu_census();
+    if json {
+        println!("{{\"machines\":[{},{}]}}", pipe.to_json(), cpu.to_json());
+    } else {
+        print!("{}", pipe.to_table());
+        print!("{}", cpu.to_table());
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let mut ok = true;
+    if opts.check {
+        ok &= run_check(&opts);
+    }
+    if opts.contract {
+        ok &= run_contract();
+    }
+    if opts.census {
+        run_census(opts.json);
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,1098 @@
+//! Static state-coverage analyzer.
+//!
+//! A dependency-free, token-level scanner over the simulator sources.
+//! For every type that implements `FaultState` or exposes a
+//! `visit`/`visit_state`/`visit_with` method, it extracts the struct's
+//! declared fields and cross-checks them against the fields the walk body
+//! actually hands to the visitor:
+//!
+//! * `v.word(&mut self.f, …)` / `word32` / `word8` / `flag` — direct,
+//! * `self.f.visit(…)` / `self.f.visit_with(…)` — nested walk,
+//! * `self.f.iter_mut()` — element-wise walk of a container field.
+//!
+//! Any field not reached one of these ways is an error unless it carries
+//! an explicit exemption comment:
+//!
+//! ```text
+//! // audit: skip -- <reason the field is not fault-injectable state>
+//! ```
+//!
+//! placed on the field's line or on a comment line between it and the
+//! previous field. The reason is mandatory; `audit:` comments that do not
+//! parse are themselves findings, so typos cannot silently waive
+//! coverage. Direct visits additionally get width soundness checks:
+//! a literal width must fit the visit method (`word8` ≤ 8, `word32` ≤ 32,
+//! `word` ≤ 64) and the declared field type, and the method must match
+//! the field's primitive type (`flag` ↔ `bool`, `word8` ↔ `u8`, …).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lexical token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Token kinds the analyzer distinguishes.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character.
+    Punct(char),
+    /// Integer literal (decimal or hex, `_` separators allowed).
+    Int(u64),
+    /// Anything else (float/string/char/lifetime placeholder).
+    Other,
+}
+
+impl Tok {
+    fn is_ident(&self, s: &str) -> bool {
+        matches!(self, Tok::Ident(i) if i == s)
+    }
+    fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tok::Punct(p) if *p == c)
+    }
+    fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+/// An `// audit: …` comment found during tokenization.
+#[derive(Debug, Clone)]
+struct AuditComment {
+    line: u32,
+    /// `Ok(reason)` for a well-formed `audit: skip -- reason`,
+    /// `Err(raw_text)` for a malformed directive.
+    parsed: Result<String, String>,
+}
+
+/// Tokenizes Rust source, stripping comments/strings but harvesting
+/// `// audit:` directives.
+fn tokenize(text: &str) -> (Vec<Token>, Vec<AuditComment>) {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut toks = Vec::new();
+    let mut audits = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+    let n = bytes.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && bytes[j] != '\n' {
+                    j += 1;
+                }
+                let comment: String = bytes[start..j].iter().collect();
+                let trimmed = comment.trim_start_matches(['/', '!']).trim();
+                if let Some(rest) = trimmed.strip_prefix("audit:") {
+                    let rest = rest.trim();
+                    let parsed = match rest.strip_prefix("skip") {
+                        Some(tail) => match tail.trim().strip_prefix("--") {
+                            Some(reason) if !reason.trim().is_empty() => {
+                                Ok(reason.trim().to_string())
+                            }
+                            _ => Err(trimmed.to_string()),
+                        },
+                        None => Err(trimmed.to_string()),
+                    };
+                    audits.push(AuditComment { line, parsed });
+                }
+                i = j;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                // String literal (handles escapes; raw strings are caught
+                // by the `r` ident path below falling through here, which
+                // is good enough for the sources we scan).
+                i += 1;
+                while i < n {
+                    match bytes[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Token { tok: Tok::Other, line });
+            }
+            '\'' => {
+                // Lifetime or char literal. A lifetime is `'ident` not
+                // followed by a closing quote.
+                let mut j = i + 1;
+                if j < n && is_ident_start(bytes[j]) {
+                    while j < n && is_ident_cont(bytes[j]) {
+                        j += 1;
+                    }
+                    if j < n && bytes[j] == '\'' {
+                        // char literal like 'a'
+                        i = j + 1;
+                    } else {
+                        i = j; // lifetime
+                    }
+                    toks.push(Token { tok: Tok::Other, line });
+                } else {
+                    // char literal with escape or punctuation: '\n', '%'
+                    i += 1;
+                    while i < n && bytes[i] != '\'' {
+                        if bytes[i] == '\\' {
+                            i += 1;
+                        }
+                        if bytes[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                    toks.push(Token { tok: Tok::Other, line });
+                }
+            }
+            c if is_ident_start(c) => {
+                let mut j = i;
+                while j < n && is_ident_cont(bytes[j]) {
+                    j += 1;
+                }
+                let ident: String = bytes[i..j].iter().collect();
+                toks.push(Token { tok: Tok::Ident(ident), line });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < n
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_' || bytes[j] == '.')
+                {
+                    // Stop a float's `.` from eating a method call: `1.max(2)`.
+                    if bytes[j] == '.' && j + 1 < n && !bytes[j + 1].is_ascii_digit() {
+                        break;
+                    }
+                    j += 1;
+                }
+                let lit: String = bytes[i..j].iter().filter(|&&ch| ch != '_').collect();
+                let tok = if let Some(hex) = lit.strip_prefix("0x").or(lit.strip_prefix("0X")) {
+                    u64::from_str_radix(hex, 16).map(Tok::Int).unwrap_or(Tok::Other)
+                } else {
+                    let digits: String = lit.chars().take_while(char::is_ascii_digit).collect();
+                    let has_suffix_only =
+                        lit.chars().skip(digits.len()).all(|ch| ch.is_ascii_alphabetic());
+                    if has_suffix_only {
+                        digits.parse::<u64>().map(Tok::Int).unwrap_or(Tok::Other)
+                    } else {
+                        Tok::Other
+                    }
+                };
+                toks.push(Token { tok, line });
+                i = j;
+            }
+            c if c.is_whitespace() => i += 1,
+            c => {
+                toks.push(Token { tok: Tok::Punct(c), line });
+                i += 1;
+            }
+        }
+    }
+    (toks, audits)
+}
+
+/// One declared struct field.
+#[derive(Debug, Clone)]
+pub struct FieldInfo {
+    /// Field name.
+    pub name: String,
+    /// Declared type, whitespace-normalized (e.g. `Vec<u8>`).
+    pub ty: String,
+    /// 1-based source line of the declaration.
+    pub line: u32,
+    /// Exemption reason, if the field carries `// audit: skip -- …`.
+    pub exempt: Option<String>,
+}
+
+/// One struct with named fields.
+#[derive(Debug, Clone)]
+pub struct StructInfo {
+    /// Type name.
+    pub name: String,
+    /// Source file.
+    pub file: PathBuf,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Declared fields in order.
+    pub fields: Vec<FieldInfo>,
+}
+
+/// How a walk body reaches a field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisitKind {
+    /// `v.word(&mut self.f, …)` and friends.
+    Direct,
+    /// `self.f.visit(…)` / `self.f.visit_with(…)`.
+    Nested,
+    /// `self.f.iter_mut()` element-wise walk.
+    Iterated,
+}
+
+/// One coverage site inside a walk body.
+#[derive(Debug, Clone)]
+pub struct VisitSite {
+    /// Field reached.
+    pub field: String,
+    /// How it was reached.
+    pub kind: VisitKind,
+    /// Visitor method for direct sites (`word`, `word32`, `word8`, `flag`).
+    pub method: Option<String>,
+    /// Literal width argument, when present and literal.
+    pub width: Option<u64>,
+    /// Source line of the site.
+    pub line: u32,
+}
+
+/// One `visit`/`visit_state`/`visit_with` body attached to a type.
+#[derive(Debug, Clone)]
+pub struct WalkInfo {
+    /// Target type name.
+    pub type_name: String,
+    /// Walk method name.
+    pub method: String,
+    /// `true` when the walk came from an `impl FaultState for …` block.
+    pub from_fault_state_impl: bool,
+    /// Source file.
+    pub file: PathBuf,
+    /// 1-based line of the `fn`.
+    pub line: u32,
+    /// Coverage sites extracted from the body.
+    pub sites: Vec<VisitSite>,
+}
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails `--check`.
+    Error,
+    /// Reported but does not fail the build.
+    Note,
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Error or note.
+    pub severity: Severity,
+    /// Machine-readable kind (`unvisited-field`, `width-overflow`, …).
+    pub kind: &'static str,
+    /// Owning type, when applicable.
+    pub type_name: String,
+    /// Field, when applicable.
+    pub field: String,
+    /// Source file.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Note => "note",
+        };
+        let subject = if self.field.is_empty() {
+            self.type_name.clone()
+        } else {
+            format!("{}.{}", self.type_name, self.field)
+        };
+        write!(
+            f,
+            "{sev}[{}]: {} — {}\n  --> {}:{}",
+            self.kind,
+            subject,
+            self.detail,
+            self.file.display(),
+            self.line
+        )
+    }
+}
+
+/// Everything the analyzer learned about one file.
+#[derive(Debug, Default)]
+struct FileFacts {
+    structs: Vec<StructInfo>,
+    walks: Vec<WalkInfo>,
+    malformed: Vec<(PathBuf, u32, String)>,
+}
+
+/// Full analysis result over a set of roots.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Structs seen, by declaration order across files.
+    pub structs: Vec<StructInfo>,
+    /// Walk bodies seen.
+    pub walks: Vec<WalkInfo>,
+    /// Findings, errors first.
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// Findings that fail `--check`.
+    pub fn errors(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.severity == Severity::Error)
+    }
+
+    /// `true` when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.errors().next().is_none()
+    }
+}
+
+/// Recursively collects `.rs` files under `root`, sorted for determinism.
+fn rust_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(root)?.collect::<Result<Vec<_>, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for e in entries {
+        let p = e.path();
+        if p.is_dir() {
+            rust_files(&p, out)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every `.rs` file under the given roots and cross-checks field
+/// coverage.
+///
+/// # Errors
+///
+/// Returns an I/O error if a root cannot be read.
+pub fn analyze_dirs(roots: &[PathBuf]) -> std::io::Result<Analysis> {
+    let mut files = Vec::new();
+    for root in roots {
+        rust_files(root, &mut files)?;
+    }
+    let mut facts = FileFacts::default();
+    for f in &files {
+        let text = std::fs::read_to_string(f)?;
+        scan_file(f, &text, &mut facts);
+    }
+    Ok(cross_check(facts, files.len()))
+}
+
+/// Scans in-memory sources (used by tests); paths are labels only.
+pub fn analyze_sources(sources: &[(&str, &str)]) -> Analysis {
+    let mut facts = FileFacts::default();
+    for (path, text) in sources {
+        scan_file(Path::new(path), text, &mut facts);
+    }
+    cross_check(facts, sources.len())
+}
+
+fn scan_file(path: &Path, text: &str, facts: &mut FileFacts) {
+    let (toks, audits) = tokenize(text);
+    for a in &audits {
+        if let Err(raw) = &a.parsed {
+            facts.malformed.push((path.to_path_buf(), a.line, raw.clone()));
+        }
+    }
+    let skips: Vec<(u32, String)> =
+        audits.iter().filter_map(|a| a.parsed.as_ref().ok().map(|r| (a.line, r.clone()))).collect();
+    parse_items(path, &toks, &skips, facts);
+}
+
+/// Advances past a balanced `<…>` group if one starts at `i`.
+fn skip_generics(toks: &[Token], mut i: usize) -> usize {
+    if i < toks.len() && toks[i].tok.is_punct('<') {
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i].tok {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advances past a balanced group opened by the delimiter at `i`.
+fn skip_balanced(toks: &[Token], mut i: usize, open: char, close: char) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        if toks[i].tok.is_punct(open) {
+            depth += 1;
+        } else if toks[i].tok.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_items(path: &Path, toks: &[Token], skips: &[(u32, String)], facts: &mut FileFacts) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Ident(k) if k == "struct" => {
+                i = parse_struct(path, toks, i, skips, facts);
+            }
+            Tok::Ident(k) if k == "impl" => {
+                i = parse_impl(path, toks, i, facts);
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parses `struct Name { … }` starting at the `struct` keyword; returns
+/// the index after the item. Tuple and unit structs are skipped.
+fn parse_struct(
+    path: &Path,
+    toks: &[Token],
+    start: usize,
+    skips: &[(u32, String)],
+    facts: &mut FileFacts,
+) -> usize {
+    let mut i = start + 1;
+    let Some(name) = toks.get(i).and_then(|t| t.tok.ident().map(String::from)) else {
+        return i;
+    };
+    let decl_line = toks[start].line;
+    i = skip_generics(toks, i + 1);
+    // Skip a `where` clause if present.
+    while i < toks.len() && !toks[i].tok.is_punct('{') {
+        if toks[i].tok.is_punct(';') || toks[i].tok.is_punct('(') {
+            return i; // unit or tuple struct
+        }
+        i += 1;
+    }
+    if i >= toks.len() {
+        return i;
+    }
+    let body_end = skip_balanced(toks, i, '{', '}');
+    let mut fields = Vec::new();
+    let mut j = i + 1;
+    let mut prev_field_line = decl_line;
+    while j < body_end - 1 {
+        // Skip attributes.
+        if toks[j].tok.is_punct('#') {
+            j += 1;
+            if j < body_end && toks[j].tok.is_punct('[') {
+                j = skip_balanced(toks, j, '[', ']');
+            }
+            continue;
+        }
+        // Skip visibility.
+        if toks[j].tok.is_ident("pub") {
+            j += 1;
+            if j < body_end && toks[j].tok.is_punct('(') {
+                j = skip_balanced(toks, j, '(', ')');
+            }
+            continue;
+        }
+        // Field: `name : type ,`
+        if let Some(fname) = toks[j].tok.ident() {
+            let fline = toks[j].line;
+            if j + 1 < body_end && toks[j + 1].tok.is_punct(':') {
+                let mut k = j + 2;
+                let mut ty = String::new();
+                let mut angle = 0i32;
+                let mut paren = 0i32;
+                let mut bracket = 0i32;
+                while k < body_end - 1 {
+                    match &toks[k].tok {
+                        Tok::Punct(',') if angle == 0 && paren == 0 && bracket == 0 => break,
+                        Tok::Punct(c) => {
+                            match c {
+                                '<' => angle += 1,
+                                '>' => angle -= 1,
+                                '(' => paren += 1,
+                                ')' => paren -= 1,
+                                '[' => bracket += 1,
+                                ']' => bracket -= 1,
+                                _ => {}
+                            }
+                            ty.push(*c);
+                        }
+                        Tok::Ident(id) => {
+                            if !ty.is_empty() && ty.ends_with(char::is_alphanumeric) {
+                                ty.push(' ');
+                            }
+                            ty.push_str(id);
+                        }
+                        Tok::Int(v) => {
+                            if !ty.is_empty() && ty.ends_with(char::is_alphanumeric) {
+                                ty.push(' ');
+                            }
+                            ty.push_str(&v.to_string());
+                        }
+                        Tok::Other => ty.push('?'),
+                    }
+                    k += 1;
+                }
+                // A directive attaches to the first field at or below it:
+                // either on a line of its own between two fields, or
+                // trailing on the field's own line.
+                let exempt = skips
+                    .iter()
+                    .find(|(l, _)| (*l > prev_field_line && *l <= fline) || *l == fline)
+                    .map(|(_, r)| r.clone());
+                fields.push(FieldInfo { name: fname.to_string(), ty, line: fline, exempt });
+                prev_field_line = fline;
+                j = k + 1;
+                continue;
+            }
+        }
+        j += 1;
+    }
+    facts.structs.push(StructInfo { name, file: path.to_path_buf(), line: decl_line, fields });
+    body_end
+}
+
+/// Parses an `impl` block starting at the `impl` keyword; extracts walk
+/// bodies. Returns the index after the block.
+fn parse_impl(path: &Path, toks: &[Token], start: usize, facts: &mut FileFacts) -> usize {
+    let mut i = skip_generics(toks, start + 1);
+    // Head: everything up to `{`, split on `for`.
+    let mut head: Vec<&Token> = Vec::new();
+    let mut for_pos: Option<usize> = None;
+    let mut angle = 0i32;
+    while i < toks.len() && !(angle == 0 && toks[i].tok.is_punct('{')) {
+        match &toks[i].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Ident(k) if k == "for" && angle == 0 => for_pos = Some(head.len()),
+            _ => {}
+        }
+        head.push(&toks[i]);
+        i += 1;
+    }
+    if i >= toks.len() {
+        return i;
+    }
+    let (trait_toks, type_toks) = match for_pos {
+        Some(p) => (&head[..p], &head[p + 1..]),
+        None => (&[] as &[&Token], &head[..]),
+    };
+    let from_fault_state_impl =
+        trait_toks.iter().rev().find_map(|t| t.tok.ident()).is_some_and(|id| id == "FaultState");
+    let type_name = type_toks.iter().find_map(|t| t.tok.ident()).unwrap_or("").to_string();
+    let body_end = skip_balanced(toks, i, '{', '}');
+    if type_name.is_empty() {
+        return body_end;
+    }
+
+    // Find `fn visit…` at depth 1 of the impl body.
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < body_end {
+        match &toks[j].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => depth -= 1,
+            Tok::Ident(k) if k == "fn" && depth == 1 => {
+                let name = toks
+                    .get(j + 1)
+                    .and_then(|t| t.tok.ident().map(String::from))
+                    .unwrap_or_default();
+                if matches!(name.as_str(), "visit" | "visit_state" | "visit_with") {
+                    let fn_line = toks[j].line;
+                    // Skip to parameter list, then past it.
+                    let mut k = j + 2;
+                    while k < body_end && !toks[k].tok.is_punct('(') {
+                        k += 1;
+                    }
+                    k = skip_balanced(toks, k, '(', ')');
+                    // Skip return type up to the body brace.
+                    while k < body_end && !toks[k].tok.is_punct('{') {
+                        k += 1;
+                    }
+                    let fn_end = skip_balanced(toks, k, '{', '}');
+                    let sites = extract_sites(&toks[k..fn_end]);
+                    facts.walks.push(WalkInfo {
+                        type_name: type_name.clone(),
+                        method: name,
+                        from_fault_state_impl,
+                        file: path.to_path_buf(),
+                        line: fn_line,
+                        sites,
+                    });
+                    // `depth` bookkeeping: we consumed the whole fn body.
+                    j = fn_end;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    body_end
+}
+
+const DIRECT_METHODS: [&str; 4] = ["word", "word32", "word8", "flag"];
+
+/// Extracts coverage sites from a walk body token stream.
+fn extract_sites(body: &[Token]) -> Vec<VisitSite> {
+    let mut sites = Vec::new();
+    for w in 0..body.len() {
+        // Direct: `. METHOD ( & mut self . FIELD [, WIDTH]`
+        if body[w].tok.is_punct('.') {
+            if let Some(m) = body.get(w + 1).and_then(|t| t.tok.ident()) {
+                if DIRECT_METHODS.contains(&m)
+                    && body.get(w + 2).is_some_and(|t| t.tok.is_punct('('))
+                    && body.get(w + 3).is_some_and(|t| t.tok.is_punct('&'))
+                    && body.get(w + 4).is_some_and(|t| t.tok.is_ident("mut"))
+                    && body.get(w + 5).is_some_and(|t| t.tok.is_ident("self"))
+                    && body.get(w + 6).is_some_and(|t| t.tok.is_punct('.'))
+                {
+                    if let Some(field) = body.get(w + 7).and_then(|t| t.tok.ident()) {
+                        // A deeper path (`self.a.b`) is not a plain field
+                        // visit; record the head field as Nested-like
+                        // coverage only if followed by `,` or `)`.
+                        let next = body.get(w + 8).map(|t| &t.tok);
+                        let terminates = matches!(next, Some(Tok::Punct(',' | ')')));
+                        if terminates {
+                            let width = if m == "flag" {
+                                Some(1)
+                            } else {
+                                match body.get(w + 9).map(|t| &t.tok) {
+                                    Some(Tok::Int(v))
+                                        if body
+                                            .get(w + 10)
+                                            .is_some_and(|t| t.tok.is_punct(',')) =>
+                                    {
+                                        Some(*v)
+                                    }
+                                    _ => None,
+                                }
+                            };
+                            sites.push(VisitSite {
+                                field: field.to_string(),
+                                kind: VisitKind::Direct,
+                                method: Some(m.to_string()),
+                                width,
+                                line: body[w].line,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Nested / iterated: `self . FIELD . (visit|visit_with|iter_mut) (`
+        if body[w].tok.is_ident("self") && body.get(w + 1).is_some_and(|t| t.tok.is_punct('.')) {
+            if let Some(field) = body.get(w + 2).and_then(|t| t.tok.ident()) {
+                if body.get(w + 3).is_some_and(|t| t.tok.is_punct('.'))
+                    && body.get(w + 5).is_some_and(|t| t.tok.is_punct('('))
+                {
+                    if let Some(m) = body.get(w + 4).and_then(|t| t.tok.ident()) {
+                        let kind = match m {
+                            "visit" | "visit_with" => Some(VisitKind::Nested),
+                            "iter_mut" => Some(VisitKind::Iterated),
+                            _ => None,
+                        };
+                        if let Some(kind) = kind {
+                            sites.push(VisitSite {
+                                field: field.to_string(),
+                                kind,
+                                method: None,
+                                width: None,
+                                line: body[w].line,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// Bit capacity of a primitive type name, if recognized.
+fn bits_of(ty: &str) -> Option<u64> {
+    match ty {
+        "bool" => Some(1),
+        "u8" => Some(8),
+        "u16" => Some(16),
+        "u32" => Some(32),
+        "u64" | "usize" => Some(64),
+        _ => None,
+    }
+}
+
+/// Method → required primitive type and width cap.
+fn method_contract(method: &str) -> (&'static str, u64) {
+    match method {
+        "flag" => ("bool", 1),
+        "word8" => ("u8", 8),
+        "word32" => ("u32", 32),
+        _ => ("u64", 64),
+    }
+}
+
+fn cross_check(facts: FileFacts, files_scanned: usize) -> Analysis {
+    let mut findings = Vec::new();
+    for (file, line, raw) in &facts.malformed {
+        findings.push(Finding {
+            severity: Severity::Error,
+            kind: "malformed-exemption",
+            type_name: String::new(),
+            field: String::new(),
+            file: file.clone(),
+            line: *line,
+            detail: format!(
+                "unparseable audit directive `// {raw}`; the grammar is \
+                 `// audit: skip -- <reason>` with a non-empty reason"
+            ),
+        });
+    }
+
+    // Types with at least one walk get checked. Walks are grouped by
+    // type name; the struct definition is preferred from the same file.
+    let mut checked: Vec<&str> = Vec::new();
+    for walk in &facts.walks {
+        if checked.contains(&walk.type_name.as_str()) {
+            continue;
+        }
+        checked.push(&walk.type_name);
+        let walks: Vec<&WalkInfo> =
+            facts.walks.iter().filter(|w| w.type_name == walk.type_name).collect();
+        let def = facts
+            .structs
+            .iter()
+            .find(|s| s.name == walk.type_name && s.file == walk.file)
+            .or_else(|| facts.structs.iter().find(|s| s.name == walk.type_name));
+        let Some(def) = def else {
+            findings.push(Finding {
+                severity: Severity::Note,
+                kind: "no-struct-definition",
+                type_name: walk.type_name.clone(),
+                field: String::new(),
+                file: walk.file.clone(),
+                line: walk.line,
+                detail: "walk target has no named-field struct definition in the scanned \
+                         set (tuple struct, enum, or external type); coverage not checked"
+                    .to_string(),
+            });
+            continue;
+        };
+
+        for f in &def.fields {
+            let sites: Vec<&VisitSite> =
+                walks.iter().flat_map(|w| w.sites.iter()).filter(|s| s.field == f.name).collect();
+            match (&f.exempt, sites.is_empty()) {
+                (None, true) => findings.push(Finding {
+                    severity: Severity::Error,
+                    kind: "unvisited-field",
+                    type_name: def.name.clone(),
+                    field: f.name.clone(),
+                    file: def.file.clone(),
+                    line: f.line,
+                    detail: format!(
+                        "declared in `{}` but never passed to the state visitor in {}; \
+                         add it to the walk or exempt it with `// audit: skip -- <reason>`",
+                        def.name,
+                        walks
+                            .iter()
+                            .map(|w| format!("`{}::{}`", w.type_name, w.method))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    ),
+                }),
+                (Some(reason), false) => findings.push(Finding {
+                    severity: Severity::Error,
+                    kind: "exempt-but-visited",
+                    type_name: def.name.clone(),
+                    field: f.name.clone(),
+                    file: def.file.clone(),
+                    line: f.line,
+                    detail: format!(
+                        "exempted (\"{reason}\") but the walk visits it anyway; drop the \
+                         stale exemption so coverage intent stays accurate"
+                    ),
+                }),
+                _ => {}
+            }
+
+            // Width/type soundness on direct sites.
+            for s in sites.iter().filter(|s| s.kind == VisitKind::Direct) {
+                let method = s.method.as_deref().unwrap_or("word");
+                let (want_ty, cap) = method_contract(method);
+                if let Some(w) = s.width {
+                    if w == 0 {
+                        findings.push(width_finding(
+                            def,
+                            f,
+                            s,
+                            format!("`{method}` called with zero width — a field of no bits"),
+                        ));
+                    } else if w > cap {
+                        findings.push(width_finding(
+                            def,
+                            f,
+                            s,
+                            format!(
+                                "`{method}` called with width {w}, but the method caps at {cap}"
+                            ),
+                        ));
+                    }
+                    if let Some(tbits) = bits_of(&f.ty) {
+                        if w > tbits {
+                            findings.push(width_finding(
+                                def, f, s,
+                                format!(
+                                    "declared width {w} exceeds the {tbits} bits of field type `{}`",
+                                    f.ty
+                                ),
+                            ));
+                        }
+                    }
+                }
+                if bits_of(&f.ty).is_some() && f.ty != want_ty {
+                    findings.push(width_finding(
+                        def,
+                        f,
+                        s,
+                        format!(
+                            "visited via `{method}` (which takes `{want_ty}`) but declared as `{}`",
+                            f.ty
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.severity == Severity::Note, a.file.clone(), a.line).cmp(&(
+            b.severity == Severity::Note,
+            b.file.clone(),
+            b.line,
+        ))
+    });
+    Analysis { structs: facts.structs, walks: facts.walks, findings, files_scanned }
+}
+
+fn width_finding(def: &StructInfo, f: &FieldInfo, s: &VisitSite, detail: String) -> Finding {
+    Finding {
+        severity: Severity::Error,
+        kind: "width-unsound",
+        type_name: def.name.clone(),
+        field: f.name.clone(),
+        file: def.file.clone(),
+        line: s.line,
+        detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str = r#"
+        pub struct Entry {
+            pub valid: bool,
+            pub word: u32,
+            /// Age (artifact).
+            // audit: skip -- simulation artifact
+            pub seq: u64,
+            pub tags: Vec<u8>,
+            pub pred: PredInfo,
+        }
+        impl Entry {
+            pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+                v.flag(&mut self.valid);
+                v.word32(&mut self.word, 32, FieldClass::Control);
+                for t in self.tags.iter_mut() {
+                    v.word8(t, 7, FieldClass::Control);
+                }
+                self.pred.visit(v);
+            }
+        }
+    "#;
+
+    #[test]
+    fn clean_struct_has_no_findings() {
+        let a = analyze_sources(&[("clean.rs", CLEAN)]);
+        assert!(a.is_clean(), "{:#?}", a.findings);
+        assert_eq!(a.structs.len(), 1);
+        assert_eq!(a.walks.len(), 1);
+        assert_eq!(a.walks[0].sites.len(), 4);
+    }
+
+    #[test]
+    fn unvisited_field_is_reported_with_location() {
+        let src = r#"
+            struct Hole { a: u64, missing: u8 }
+            impl FaultState for Hole {
+                fn visit_state<V: StateVisitor>(&mut self, v: &mut V) {
+                    v.region("hole", StateKind::Latch);
+                    v.word(&mut self.a, 64, FieldClass::Data);
+                }
+            }
+        "#;
+        let a = analyze_sources(&[("hole.rs", src)]);
+        let f = a.errors().next().expect("a finding");
+        assert_eq!(f.kind, "unvisited-field");
+        assert_eq!(f.type_name, "Hole");
+        assert_eq!(f.field, "missing");
+        assert_eq!(f.line, 2);
+        assert!(a.walks[0].from_fault_state_impl);
+    }
+
+    #[test]
+    fn width_overflow_and_type_mismatch_are_reported() {
+        let src = r#"
+            struct W { a: u8, b: u32 }
+            impl W {
+                fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+                    v.word8(&mut self.a, 9, FieldClass::Control);
+                    v.word8(&mut self.b, 3, FieldClass::Control);
+                }
+            }
+        "#;
+        let a = analyze_sources(&[("w.rs", src)]);
+        let kinds: Vec<_> = a.errors().map(|f| (f.kind, f.field.as_str())).collect();
+        assert!(kinds.contains(&("width-unsound", "a")), "{kinds:?}");
+        assert!(kinds.contains(&("width-unsound", "b")), "{kinds:?}");
+    }
+
+    #[test]
+    fn stale_exemption_is_reported() {
+        let src = r#"
+            struct S {
+                // audit: skip -- claimed dead
+                a: u64,
+            }
+            impl S {
+                fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+                    v.word(&mut self.a, 64, FieldClass::Data);
+                }
+            }
+        "#;
+        let a = analyze_sources(&[("s.rs", src)]);
+        assert_eq!(a.errors().next().map(|f| f.kind), Some("exempt-but-visited"));
+    }
+
+    #[test]
+    fn malformed_exemption_is_an_error() {
+        let src = r#"
+            struct S {
+                // audit: skip
+                a: u64,
+            }
+            impl S {
+                fn visit<V: StateVisitor>(&mut self, v: &mut V) {}
+            }
+        "#;
+        let a = analyze_sources(&[("s.rs", src)]);
+        let kinds: Vec<_> = a.errors().map(|f| f.kind).collect();
+        assert!(kinds.contains(&"malformed-exemption"), "{kinds:?}");
+        assert!(kinds.contains(&"unvisited-field"), "{kinds:?}");
+    }
+
+    #[test]
+    fn exemption_reason_waives_coverage() {
+        let src = r#"
+            struct S {
+                // audit: skip -- scratch, never read
+                a: u64,
+                b: bool,
+            }
+            impl S {
+                fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+                    v.flag(&mut self.b);
+                }
+            }
+        "#;
+        let a = analyze_sources(&[("s.rs", src)]);
+        assert!(a.is_clean(), "{:#?}", a.findings);
+    }
+
+    #[test]
+    fn tuple_struct_walk_is_a_note_not_an_error() {
+        let src = r#"
+            struct One<T>(T);
+            impl FaultState for One<u64> {
+                fn visit_state<V: StateVisitor>(&mut self, v: &mut V) {
+                    v.word(&mut self.0, 64, FieldClass::Data);
+                }
+            }
+        "#;
+        let a = analyze_sources(&[("one.rs", src)]);
+        assert!(a.is_clean());
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].kind, "no-struct-definition");
+    }
+
+    #[test]
+    fn trailing_same_line_exemption_attaches() {
+        let src = "struct S { a: u64, // audit: skip -- same line\n }\n\
+                   impl S { fn visit<V: StateVisitor>(&mut self, v: &mut V) {} }";
+        let a = analyze_sources(&[("s.rs", src)]);
+        assert!(a.is_clean(), "{:#?}", a.findings);
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_do_not_derail_tokenizer() {
+        let src = r#"
+            struct P<'a> { live: &'a [bool], idx: u64 }
+            impl<'a> P<'a> {
+                fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+                    let _c = 'x';
+                    let _s = "a \" b";
+                    v.word(&mut self.idx, 64, FieldClass::Data);
+                    for l in self.live.iter_mut() { v.flag(l); }
+                }
+            }
+        "#;
+        let a = analyze_sources(&[("p.rs", src)]);
+        assert!(a.is_clean(), "{:#?}", a.findings);
+    }
+}

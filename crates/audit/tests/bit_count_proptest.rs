@@ -1,0 +1,80 @@
+//! Randomized agreement between the three independent views of a
+//! machine's bit space: the `BitCounter` total, the `StateCatalog`
+//! built by `RangeRecorder`, and the `ContractVisitor` trace — plus the
+//! fingerprint walk's stability under catalog construction. If any walk
+//! skipped or double-counted a field for some configuration shape, the
+//! three totals would disagree for that shape.
+
+use proptest::prelude::*;
+use restore_audit::contract::{ContractVisitor, TraceEvent};
+use restore_uarch::state::{BitCounter, FaultState};
+use restore_uarch::{Pipeline, UarchConfig};
+use restore_workloads::{Scale, WorkloadId};
+
+fn pipeline(cfg: UarchConfig, warm: u64) -> Pipeline {
+    let program = WorkloadId::Vortexx.build(Scale { size: 24, seed: 3 });
+    let mut p = Pipeline::new(cfg, &program);
+    for _ in 0..warm {
+        p.cycle();
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For a randomized pipeline shape: BitCounter, the catalog, and the
+    /// contract trace must report the identical bit total, and the
+    /// fingerprint must be unchanged by running the counting walks.
+    #[test]
+    fn bit_count_agrees_across_all_walks(
+        fetch_queue in 2usize..16,
+        sched_entries in 2usize..24,
+        rob_entries in 4usize..48,
+        extra_phys in 0usize..64,
+        ldq_entries in 2usize..12,
+        stq_entries in 2usize..12,
+        bob_entries in 1usize..8,
+        warm in 0u64..800,
+    ) {
+        let cfg = UarchConfig {
+            fetch_queue,
+            sched_entries,
+            rob_entries,
+            // The renamer needs one free physical register per
+            // architectural one; keep the pool comfortably above that.
+            phys_regs: 40 + extra_phys,
+            ldq_entries,
+            stq_entries,
+            bob_entries,
+            ..UarchConfig::default()
+        };
+        let mut p = pipeline(cfg, warm);
+        let fp_before = p.fingerprint();
+
+        let mut counter = BitCounter::default();
+        p.visit_state(&mut counter);
+
+        let catalog = p.catalog();
+
+        let mut contract = ContractVisitor::new();
+        p.visit_state(&mut contract);
+        let trace_bits: u64 = contract
+            .trace
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Word { width, .. } => u64::from(*width),
+                _ => 0,
+            })
+            .sum();
+
+        prop_assert_eq!(counter.bits, catalog.total_bits);
+        prop_assert_eq!(counter.bits, contract.total_bits);
+        prop_assert_eq!(counter.bits, trace_bits);
+        prop_assert!(contract.violations.is_empty(), "{:#?}", contract.violations);
+        prop_assert!(contract.ended_live());
+
+        // None of the counting walks may perturb the machine.
+        prop_assert_eq!(p.fingerprint(), fp_before);
+    }
+}

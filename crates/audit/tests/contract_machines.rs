@@ -1,0 +1,69 @@
+//! Acceptance: the runtime contract battery must hold around full
+//! `Pipeline` and `Cpu` walks at the default configuration.
+
+use restore_arch::Cpu;
+use restore_audit::check_contract;
+use restore_uarch::{Pipeline, UarchConfig};
+use restore_workloads::{Scale, WorkloadId};
+
+fn program() -> restore_isa::Program {
+    WorkloadId::Vortexx.build(Scale { size: 32, seed: 7 })
+}
+
+#[test]
+fn default_pipeline_satisfies_the_visitor_contract() {
+    let p = program();
+    let mut pipe = Pipeline::new(UarchConfig::default(), &p);
+    for _ in 0..1_000 {
+        pipe.cycle();
+    }
+    let report = check_contract(&mut pipe, 48);
+    assert!(
+        report.is_ok(),
+        "pipeline contract violations:\n{}",
+        report.violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n"),
+    );
+    assert_eq!(report.total_bits, pipe.catalog().total_bits);
+    assert!(report.regions > 4);
+    assert!(report.flips_checked >= 32);
+}
+
+#[test]
+fn fresh_pipeline_also_satisfies_the_contract() {
+    // An un-warmed machine exercises the all-slots-empty occupancy path.
+    let p = program();
+    let mut pipe = Pipeline::new(UarchConfig::default(), &p);
+    let report = check_contract(&mut pipe, 16);
+    assert!(report.is_ok(), "{:#?}", report.violations);
+}
+
+#[test]
+fn arch_cpu_satisfies_the_visitor_contract() {
+    let p = program();
+    let mut cpu = Cpu::new(&p);
+    for _ in 0..500 {
+        if cpu.is_halted() || cpu.step().is_err() {
+            break;
+        }
+    }
+    let report = check_contract(&mut cpu, 48);
+    assert!(
+        report.is_ok(),
+        "cpu contract violations:\n{}",
+        report.violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n"),
+    );
+    // 31 visitable registers plus the PC.
+    assert_eq!(report.total_bits, 31 * 64 + 64);
+    assert_eq!(report.regions, 2);
+}
+
+#[test]
+fn contract_bit_count_matches_catalog_and_counter() {
+    let p = program();
+    let mut pipe = Pipeline::new(UarchConfig::default(), &p);
+    let mut counter = restore_uarch::state::BitCounter::default();
+    restore_uarch::state::FaultState::visit_state(&mut pipe, &mut counter);
+    let report = check_contract(&mut pipe, 0);
+    assert_eq!(report.total_bits, counter.bits);
+    assert_eq!(report.total_bits, pipe.catalog().total_bits);
+}

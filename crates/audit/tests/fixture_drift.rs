@@ -1,0 +1,67 @@
+//! The drift fixture must keep failing — it is the scanner's canary.
+//! If these assertions break, either the fixture was "fixed" (undo
+//! that) or the scanner lost the ability to see the defect class.
+
+use std::path::PathBuf;
+
+use restore_audit::analyze_dirs;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/drift/src")
+}
+
+#[test]
+fn unvisited_field_names_struct_field_and_location() {
+    let analysis = analyze_dirs(&[fixture_root()]).expect("fixture dir readable");
+    let f = analysis
+        .errors()
+        .find(|f| f.kind == "unvisited-field")
+        .expect("fixture must trip the unvisited-field check");
+    assert_eq!(f.type_name, "DriftWidget");
+    assert_eq!(f.field, "dropped_tag");
+    assert!(
+        f.file.ends_with("fixtures/drift/src/lib.rs"),
+        "diagnostic must carry the file: {}",
+        f.file.display()
+    );
+    assert!(f.line > 0, "diagnostic must carry a line");
+    // The rendered diagnostic reads like a compiler error: struct, field,
+    // and file:line all present.
+    let rendered = f.to_string();
+    assert!(rendered.contains("DriftWidget.dropped_tag"), "{rendered}");
+    assert!(rendered.contains(&format!("lib.rs:{}", f.line)), "{rendered}");
+}
+
+#[test]
+fn exempted_field_is_not_reported() {
+    let analysis = analyze_dirs(&[fixture_root()]).expect("fixture dir readable");
+    assert!(
+        !analysis.errors().any(|f| f.field == "scratch"),
+        "the exempted scratch field must not be a finding",
+    );
+}
+
+#[test]
+fn width_overflow_is_reported() {
+    let analysis = analyze_dirs(&[fixture_root()]).expect("fixture dir readable");
+    let f = analysis
+        .errors()
+        .find(|f| f.kind == "width-unsound")
+        .expect("fixture must trip the width check");
+    assert_eq!(f.type_name, "WidthBuster");
+    assert_eq!(f.field, "tag");
+    assert!(f.detail.contains('9'), "{}", f.detail);
+}
+
+#[test]
+fn fixture_defect_count_is_exact() {
+    // Drift in either direction is a failure: a new accidental defect in
+    // the fixture or a scanner that stopped seeing one.
+    let analysis = analyze_dirs(&[fixture_root()]).expect("fixture dir readable");
+    let kinds: Vec<&str> = analysis.errors().map(|f| f.kind).collect();
+    assert_eq!(kinds.iter().filter(|k| **k == "unvisited-field").count(), 1, "{kinds:?}");
+    // Width 9 on a `word8` breaks two rules at once: the method's 8-bit
+    // cap and the u8 field's capacity.
+    assert_eq!(kinds.iter().filter(|k| **k == "width-unsound").count(), 2, "{kinds:?}");
+    assert_eq!(kinds.len(), 3, "{kinds:?}");
+}

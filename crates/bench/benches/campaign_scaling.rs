@@ -41,7 +41,7 @@ fn bench_uarch_scaling(c: &mut Criterion) {
     for threads in THREAD_COUNTS {
         let cfg = uarch_cfg(threads);
         g.bench_function(format!("threads-{threads}"), |b| {
-            b.iter(|| run_uarch_campaign_with_stats(&cfg).0)
+            b.iter(|| run_uarch_campaign_with_stats(&cfg).0);
         });
     }
     g.finish();
@@ -63,7 +63,7 @@ fn bench_arch_scaling(c: &mut Criterion) {
     for threads in THREAD_COUNTS {
         let cfg = ArchCampaignConfig { threads, ..base.clone() };
         g.bench_function(format!("threads-{threads}"), |b| {
-            b.iter(|| run_arch_campaign_with_stats(&cfg).0)
+            b.iter(|| run_arch_campaign_with_stats(&cfg).0);
         });
     }
     g.finish();

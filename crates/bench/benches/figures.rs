@@ -36,7 +36,7 @@ fn bench_fig2(c: &mut Criterion) {
             };
             let trials = run_arch_campaign(&cfg);
             trials.iter().filter(|t| t.classify(100).label() == "exception").count()
-        })
+        });
     });
     g.finish();
 }
@@ -48,14 +48,14 @@ fn bench_fig4_5_6(c: &mut Criterion) {
         b.iter(|| {
             let trials = run_uarch_campaign(&small_uarch_cfg(2));
             trials.iter().filter(|t| t.classify(100, CfvMode::Perfect, false).is_covered()).count()
-        })
+        });
     });
     g.bench_function("fig4-latches-only", |b| {
         b.iter(|| {
             let cfg =
                 UarchCampaignConfig { target: InjectionTarget::LatchesOnly, ..small_uarch_cfg(3) };
             run_uarch_campaign(&cfg).len()
-        })
+        });
     });
     g.bench_function("fig5-fig6-classification", |b| {
         let trials = run_uarch_campaign(&small_uarch_cfg(4));
@@ -69,7 +69,7 @@ fn bench_fig4_5_6(c: &mut Criterion) {
                 }
             }
             covered
-        })
+        });
     });
     g.finish();
 }
@@ -87,7 +87,7 @@ fn bench_fig7(c: &mut Criterion) {
             );
             let m = PerfModel::default();
             FIGURE7_INTERVALS.iter().map(|&i| m.speedup(&p, i, Policy::Immediate)).sum::<f64>()
-        })
+        });
     });
     g.finish();
 }
@@ -95,7 +95,7 @@ fn bench_fig7(c: &mut Criterion) {
 fn bench_fig8(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
     g.bench_function("fig8-fit-series", |b| {
-        b.iter(|| FitScaling::paper().series(&figure8_sizes()))
+        b.iter(|| FitScaling::paper().series(&figure8_sizes()));
     });
     g.finish();
 }

@@ -19,7 +19,7 @@ fn bench_arch_simulator(c: &mut Criterion) {
                 cpu
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }
@@ -45,11 +45,11 @@ fn bench_pipeline(c: &mut Criterion) {
                 p
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("clone", |b| b.iter(|| warm.clone()));
     g.bench_function("state-hash", |b| {
-        b.iter_batched(|| warm.clone(), |mut p| p.state_hash(), BatchSize::SmallInput)
+        b.iter_batched(|| warm.clone(), |mut p| p.state_hash(), BatchSize::SmallInput);
     });
     g.bench_function("flip-bit", |b| {
         b.iter_batched(
@@ -59,7 +59,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 p
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }
@@ -78,7 +78,7 @@ fn bench_decode(c: &mut Criterion) {
                 }
             }
             ok
-        })
+        });
     });
     g.finish();
 }
@@ -99,7 +99,7 @@ fn bench_checkpointing(c: &mut Criterion) {
                 s
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     let program = WorkloadId::Mcfx.build(Scale::campaign());
     let mut warm = Pipeline::new(UarchConfig::default(), &program);
@@ -116,7 +116,7 @@ fn bench_checkpointing(c: &mut Criterion) {
                 p
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }
@@ -138,7 +138,7 @@ fn bench_restore_controller(c: &mut Criterion) {
                 c
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }
@@ -159,7 +159,7 @@ fn bench_campaign_trial(c: &mut Criterion) {
                 ..UarchCampaignConfig::default()
             };
             run_uarch_workload(&cfg, WorkloadId::Mcfx)
-        })
+        });
     });
     g.finish();
 }

@@ -54,7 +54,7 @@ fn bench_trial_cutoff(c: &mut Criterion) {
             stats.summary()
         );
         g.bench_function(format!("stride-{stride}"), |b| {
-            b.iter(|| run_uarch_campaign_with_stats(&cfg).0)
+            b.iter(|| run_uarch_campaign_with_stats(&cfg).0);
         });
     }
     g.finish();

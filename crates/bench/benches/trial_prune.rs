@@ -56,7 +56,7 @@ fn bench_trial_prune(c: &mut Criterion) {
             100.0 * stats.trials_pruned as f64 / stats.trials.max(1) as f64,
         );
         g.bench_function(format!("prune-{label}"), |b| {
-            b.iter(|| run_uarch_campaign_with_stats(&cfg).0)
+            b.iter(|| run_uarch_campaign_with_stats(&cfg).0);
         });
     }
     g.finish();

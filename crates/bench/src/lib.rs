@@ -24,6 +24,7 @@
 //! or off. This library holds the shared flag parsing ([`cli`]),
 //! aggregation and table rendering.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

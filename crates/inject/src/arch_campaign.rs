@@ -269,16 +269,11 @@ fn run_trial(
             break;
         }
         executed += 1;
-        let g = match golden.step() {
-            Ok(g) => g,
-            Err(_) => break, // golden hit end-of-window conditions; stop
-        };
-        let i = match injected.step() {
-            Ok(i) => i,
-            Err(_) => {
-                trial.symptoms.exception.get_or_insert(n);
-                break;
-            }
+        // golden hitting an exception means end-of-window conditions; stop
+        let Ok(g) = golden.step() else { break };
+        let Ok(i) = injected.step() else {
+            trial.symptoms.exception.get_or_insert(n);
+            break;
         };
         if i.pc != g.pc || i.next_pc != g.next_pc {
             trial.symptoms.cfv.get_or_insert(n);

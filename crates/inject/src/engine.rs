@@ -37,7 +37,7 @@ pub fn effective_threads(requested: usize) -> usize {
     {
         return n;
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1)
 }
 
 /// Throughput instrumentation for one campaign run.

@@ -35,6 +35,7 @@
 //! println!("{failures} failures, {covered} covered at a 100-instruction interval");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -624,7 +624,7 @@ mod tests {
                     }
                 }
                 Inst::Op { op: AluOp::Sll, rb: Operand::Lit(s), .. } => {
-                    acc = ((acc as u64) << s) as i64
+                    acc = ((acc as u64) << s) as i64;
                 }
                 other => panic!("unexpected {other:?}"),
             }

@@ -136,7 +136,7 @@ mod tests {
             Inst::Load { width: MemWidth::Quad, ra: Reg::T0, rb: Reg::SP, disp: 0 },
             Inst::Store { width: MemWidth::Quad, ra: Reg::T0, rb: Reg::SP, disp: 0 },
         ];
-        let words: std::collections::HashSet<u32> = insts.iter().map(|i| i.encode()).collect();
+        let words: std::collections::HashSet<u32> = insts.iter().map(Inst::encode).collect();
         assert_eq!(words.len(), insts.len());
     }
 }

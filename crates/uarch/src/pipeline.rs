@@ -81,13 +81,47 @@ struct DecSlot {
     e: FqEntry,
 }
 
+impl DecSlot {
+    /// Visits the decode latch: the valid flag is always live, the
+    /// payload of an empty slot is dead (rename tests `valid` before
+    /// reading anything else, and a refill rewrites every field).
+    fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+        v.flag(&mut self.valid);
+        v.occupancy(self.valid);
+        self.e.visit(v);
+        v.occupancy(true);
+    }
+}
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct BobEntry {
     rat: Vec<u8>,
+    // audit: skip -- free-list head checkpoint: recovery metadata folded
+    // into the reconvergence fingerprint, not a modelled latch array
     fl_head: u64,
+    // audit: skip -- GHR snapshot feeds only predictor recovery, which
+    // the paper excludes from injection ("corrupt predictor table
+    // entries cannot lead to failure")
     ghr: u64,
+    // audit: skip -- RAS top snapshot: predictor recovery metadata,
+    // excluded like the predictor state it restores
     ras_top: u32,
+    // audit: skip -- allocation age is a simulation artifact, covered by
+    // the fingerprint's digest of checkpoint bookkeeping
     seq: u64,
+}
+
+impl BobEntry {
+    /// Visits the checkpoint's RAT shadow copy — the SRAM the hardware
+    /// would dedicate to per-branch alias-table snapshots. The recovery
+    /// metadata (free-list head, GHR, RAS snapshots, age) follows the
+    /// paper's predictor-state exclusion and is digested by
+    /// [`Pipeline::fingerprint`] instead.
+    fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+        for t in self.rat.iter_mut() {
+            v.word8(t, 7, FieldClass::Control);
+        }
+    }
 }
 
 impl Default for BobEntry {
@@ -120,28 +154,47 @@ const EXEC_SLOTS: usize = 16;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Pipeline {
+    // audit: skip -- static configuration, not machine state
     cfg: UarchConfig,
+    // audit: skip -- memory is DRAM behind the caches, outside the
+    // paper's "~46,000 bits of interesting state"; it is digested
+    // separately by `fingerprint` via `Memory::fingerprint`
     mem: Memory,
 
     // --- front end ---
     pc: u64,
     fetch_parked: bool,
+    // audit: skip -- fetch redirect latency countdown: timing model
+    // artifact with no latch-level equivalent, fingerprint-digested
     frontend_delay: u32,
+    // audit: skip -- icache/iTLB miss latency countdown: timing model
+    // artifact, fingerprint-digested
     fetch_stall: u32,
     fq: CircQ<FqEntry>,
     dec: Vec<DecSlot>,
 
     // --- predictors (excluded from injection) ---
+    // audit: skip -- predictor tables: "corrupt predictor table entries
+    // cannot lead to failure" (paper §4.2)
     bpred: BranchPredictor,
+    // audit: skip -- predictor state, excluded per paper §4.2
     btb: Btb,
+    // audit: skip -- predictor state, excluded per paper §4.2
     ras: Ras,
+    // audit: skip -- confidence estimator state, excluded per paper §4.2
     jrs: JrsConfidence,
+    // audit: skip -- memory-dependence predictor, excluded per paper §4.2
     memdep: MemDepPredictor,
 
     // --- caches/TLBs (excluded from injection) ---
+    // audit: skip -- "caches are easily protected by ECC or parity"
+    // (paper §4.2); digested by `fingerprint`
     icache: Cache,
+    // audit: skip -- cache array, excluded per paper §4.2
     dcache: Cache,
+    // audit: skip -- TLB array, excluded per paper §4.2
     itlb: Tlb,
+    // audit: skip -- TLB array, excluded per paper §4.2
     dtlb: Tlb,
 
     // --- out-of-order core ---
@@ -157,16 +210,26 @@ pub struct Pipeline {
     phys_regs: Vec<u64>,
     phys_ready: Vec<bool>,
 
-    // --- bookkeeping (simulation artifacts) ---
+    // --- bookkeeping (simulation artifacts, fingerprint-digested) ---
+    // audit: skip -- cycle counter is simulation bookkeeping
     cycle: u64,
+    // audit: skip -- global age source is simulation bookkeeping
     seq_counter: u64,
+    // audit: skip -- retirement counter is simulation bookkeeping
     retired_total: u64,
+    // audit: skip -- watchdog bookkeeping, not a modelled latch
     last_retire_cycle: u64,
+    // audit: skip -- stop reason is an output of the model, not state
     status: Stop,
+    // audit: skip -- output log: write-only observable, never read back
     output: Vec<u64>,
+    // audit: skip -- replay statistics counter, observability only
     replay_count: u64,
+    // audit: skip -- lockstep-comparison bookkeeping, fingerprint-digested
     last_retired_next_pc: u64,
+    // audit: skip -- exception-drain control: simulation sequencing flag
     fetch_enabled: bool,
+    // audit: skip -- JRS training gate: experiment-mode switch, not state
     confidence_training: bool,
 }
 
@@ -1294,18 +1357,10 @@ impl Pipeline {
                 break;
             }
             let pc = self.pc;
-            let word = match self.mem.fetch(pc) {
-                Ok(w) => w,
-                Err(_) => {
-                    self.fq.push(FqEntry {
-                        pc,
-                        word: 0,
-                        fetch_fault: true,
-                        pred: PredInfo::default(),
-                    });
-                    self.fetch_parked = true;
-                    return;
-                }
+            let Ok(word) = self.mem.fetch(pc) else {
+                self.fq.push(FqEntry { pc, word: 0, fetch_fault: true, pred: PredInfo::default() });
+                self.fetch_parked = true;
+                return;
             };
             let mut pred = PredInfo { next_pc: pc.wrapping_add(4), ..PredInfo::default() };
             let mut redirect = false;
@@ -1430,14 +1485,11 @@ impl crate::state::FaultState for Pipeline {
         v.flag(&mut self.fetch_parked);
 
         v.region("fetch-queue", Ram);
-        self.fq.visit_with(v, |e, v| e.visit(v));
+        self.fq.visit_with(v, FqEntry::visit);
 
         v.region("decode-latch", Latch);
         for d in self.dec.iter_mut() {
-            v.flag(&mut d.valid);
-            v.occupancy(d.valid);
-            d.e.visit(v);
-            v.occupancy(true);
+            d.visit(v);
         }
 
         v.region("scheduler", Latch);
@@ -1451,20 +1503,16 @@ impl crate::state::FaultState for Pipeline {
         }
 
         v.region("reorder-buffer", Ram);
-        self.rob.visit_with(v, |e, v| e.visit(v));
+        self.rob.visit_with(v, RobEntry::visit);
 
         v.region("load-queue", Latch);
-        self.ldq.visit_with(v, |e, v| e.visit(v));
+        self.ldq.visit_with(v, LdqEntry::visit);
 
         v.region("store-queue", Latch);
-        self.stq.visit_with(v, |e, v| e.visit(v));
+        self.stq.visit_with(v, StqEntry::visit);
 
         v.region("branch-order-buffer", Ram);
-        self.bob.visit_with(v, |b, v| {
-            for t in b.rat.iter_mut() {
-                v.word8(t, 7, FieldClass::Control);
-            }
-        });
+        self.bob.visit_with(v, BobEntry::visit);
 
         v.region("spec-rat", Ram);
         for t in self.spec_rat.iter_mut() {

@@ -114,10 +114,16 @@ pub struct PredInfo {
     /// Predicted next PC (target if taken, fall-through otherwise).
     pub next_pc: u64,
     /// Global history used for the prediction (excluded from injection).
+    // audit: skip -- GHR snapshot feeds only predictor training/recovery,
+    // excluded per paper §4.2; covered by digest_artifacts
     pub used_ghr: u64,
     /// JRS high-confidence flag at prediction time (excluded).
+    // audit: skip -- confidence snapshot feeds only retire-time JRS
+    // training, excluded like the estimator it updates
     pub high_conf: bool,
     /// RAS top-of-stack after fetch of this instruction (excluded).
+    // audit: skip -- RAS snapshot is predictor recovery metadata,
+    // excluded per paper §4.2
     pub ras_top: u32,
 }
 
@@ -204,6 +210,8 @@ pub struct SchedEntry {
     /// Load/store queue slot for memory uops.
     pub mem_idx: u8,
     /// Age for oldest-first select (simulation artifact, not visited).
+    // audit: skip -- sequence numbers are simulation artifacts with no
+    // latch-level equivalent; covered by digest_artifacts
     pub seq: u64,
 }
 
@@ -278,6 +286,8 @@ pub struct RobEntry {
     /// PC of the next instruction (resolved).
     pub next_pc: u64,
     /// Age (simulation artifact, not visited).
+    // audit: skip -- sequence numbers are simulation artifacts with no
+    // latch-level equivalent; covered by digest_artifacts
     pub seq: u64,
 }
 
@@ -334,10 +344,16 @@ pub struct LdqEntry {
     /// Load has produced its value.
     pub completed: bool,
     /// Age (artifact).
+    // audit: skip -- sequence numbers are simulation artifacts; covered
+    // by digest_artifacts
     pub seq: u64,
     /// Cycle at which the cache/TLB latency expires (artifact).
+    // audit: skip -- latency timestamp is a timing-model artifact;
+    // covered by digest_artifacts
     pub ready_at: u64,
     /// Memory access issued, awaiting latency (artifact).
+    // audit: skip -- issue bookkeeping for the latency model; covered by
+    // digest_artifacts
     pub mem_issued: bool,
     /// Value was obtained speculatively, bypassing older stores with
     /// unresolved addresses (memory dependence speculation).
@@ -383,6 +399,8 @@ pub struct StqEntry {
     /// ROB index to complete.
     pub rob_idx: u8,
     /// Age (artifact).
+    // audit: skip -- sequence numbers are simulation artifacts; covered
+    // by digest_artifacts
     pub seq: u64,
 }
 
@@ -430,8 +448,12 @@ pub struct ExecLatch {
     /// Load/store queue slot for memory uops.
     pub mem_idx: u8,
     /// Age (artifact).
+    // audit: skip -- sequence numbers are simulation artifacts; covered
+    // by digest_artifacts
     pub seq: u64,
     /// Writeback cycle (artifact).
+    // audit: skip -- writeback timestamp is a timing-model artifact;
+    // covered by digest_artifacts
     pub finish_at: u64,
 }
 

@@ -29,7 +29,7 @@ fn wild_load_raises_precise_access_violation() {
     let stop = run_until_stop(&mut pipe, 10_000);
     match stop {
         Stop::Exception(Exception::AccessViolation { addr, .. }) => {
-            assert_eq!(addr, 0x4000_0000)
+            assert_eq!(addr, 0x4000_0000);
         }
         other => panic!("expected access violation, got {other:?}"),
     }

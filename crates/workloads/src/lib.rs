@@ -32,6 +32,7 @@
 //! assert!(cpu.is_halted());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

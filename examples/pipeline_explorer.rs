@@ -16,7 +16,7 @@ fn main() {
     let Some(id) = WorkloadId::ALL.iter().copied().find(|w| w.name() == name) else {
         eprintln!(
             "unknown workload {name}; pick one of: {}",
-            WorkloadId::ALL.map(|w| w.name()).join(" ")
+            WorkloadId::ALL.map(WorkloadId::name).join(" ")
         );
         std::process::exit(1);
     };

@@ -2,4 +2,5 @@
 //! resolvable. No crate uses `bytes` yet; grow this into the needed API
 //! subset (or vendor upstream) before depending on it.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]

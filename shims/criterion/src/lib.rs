@@ -8,6 +8,7 @@
 //! file as one JSON object per line (used to record campaign baselines
 //! in `BENCH_campaign.json`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::io::Write as _;
@@ -161,7 +162,7 @@ impl BenchmarkGroup<'_> {
         );
         if let Ok(path) = std::env::var("CRITERION_JSON") {
             let elements = match self.throughput {
-                Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => n,
+                Some(Throughput::Elements(n) | Throughput::Bytes(n)) => n,
                 None => 0,
             };
             let line = format!(
@@ -249,7 +250,7 @@ mod tests {
         g.sample_size(2);
         let mut total = 0u64;
         g.bench_function("batched", |b| {
-            b.iter_batched(|| 21u64, |x| total += x, BatchSize::SmallInput)
+            b.iter_batched(|| 21u64, |x| total += x, BatchSize::SmallInput);
         });
         g.finish();
         assert_eq!(total, 63, "warm-up + 2 samples, each adding 21");

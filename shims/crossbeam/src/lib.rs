@@ -4,6 +4,7 @@
 //! is plenty for work units that each carry a full pipeline snapshot
 //! (channel traffic is thousands/sec, not millions/sec).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel {

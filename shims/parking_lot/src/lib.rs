@@ -2,6 +2,7 @@
 //! uses: `Mutex` and `RwLock` whose lock methods return guards directly
 //! (no poisoning), wrapping the `std` primitives.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
@@ -22,7 +23,7 @@ impl<T> Mutex<T> {
 
     /// Consumes the lock, returning the value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -30,12 +31,12 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, ignoring poison (a panicked holder aborts the
     /// campaign anyway).
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Mutable access without locking.
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -59,19 +60,19 @@ impl<T> RwLock<T> {
 
     /// Consumes the lock, returning the value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read guard.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+        self.inner.read().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Acquires the exclusive write guard.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+        self.inner.write().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 

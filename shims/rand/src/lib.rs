@@ -11,6 +11,7 @@
 //! quality, never on the exact upstream stream (campaign seeds are
 //! documented as implementation-defined; see DESIGN.md).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};

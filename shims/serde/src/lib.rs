@@ -4,6 +4,7 @@
 //! empty and the derives (re-exported from the shim `serde_derive`)
 //! expand to nothing. See `shims/README.md`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use serde_derive::{Deserialize, Serialize};

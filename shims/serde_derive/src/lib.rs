@@ -3,6 +3,8 @@
 //! derives expand to nothing. When a real serialization backend lands,
 //! these must be replaced by a vendored upstream `serde_derive`.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op `#[derive(Serialize)]`.

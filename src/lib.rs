@@ -1,4 +1,6 @@
 //! Facade crate: re-exports the ReStore reproduction workspace.
+
+#![forbid(unsafe_code)]
 pub use restore_arch as arch;
 pub use restore_core as core;
 pub use restore_inject as inject;
