@@ -411,6 +411,19 @@ impl Memory {
         self.pages.iter().map(|(&b, s)| (b, &s.page.data[..]))
     }
 
+    /// Number of pages whose bodies are physically shared (same `Arc`
+    /// allocation) between this image and `other` — the copy-on-write
+    /// savings a clone currently enjoys. Pages mapped at the same base
+    /// but already un-shared by a store count zero.
+    pub fn shared_page_count(&self, other: &Memory) -> usize {
+        self.pages
+            .iter()
+            .filter(|(base, slot)| {
+                other.pages.get(base).is_some_and(|o| Arc::ptr_eq(&slot.page, &o.page))
+            })
+            .count()
+    }
+
     /// FNV-1a digest of the full memory image — bases, permissions and
     /// page contents in address order. Equal images hash equal, so a
     /// campaign can compare an end state against a golden reference
@@ -577,6 +590,24 @@ mod tests {
         assert!(Arc::ptr_eq(&a.pages[&0x2000].page, &b.pages[&0x2000].page));
         assert_eq!(a.load_u64(0x1000).unwrap(), 7, "original must not see the clone's store");
         assert_eq!(b.load_u64(0x1000).unwrap(), 8);
+    }
+
+    #[test]
+    fn shared_page_count_tracks_cow_divergence() {
+        let mut a = Memory::new();
+        a.map(0x1000, 3 * PAGE_SIZE, Perm::RW);
+        let mut b = a.clone();
+        assert_eq!(a.shared_page_count(&b), 3);
+        assert_eq!(b.shared_page_count(&a), 3);
+        b.store_u64(0x1000, 1).unwrap();
+        assert_eq!(a.shared_page_count(&b), 2, "store un-shares exactly one page");
+        // A page mapped in only one image never counts as shared.
+        b.map(0x9000, PAGE_SIZE, Perm::RW);
+        assert_eq!(b.shared_page_count(&a), 2);
+        // Unrelated images share nothing even when contents are equal.
+        let mut c = Memory::new();
+        c.map(0x1000, 3 * PAGE_SIZE, Perm::RW);
+        assert_eq!(a.shared_page_count(&c), 0);
     }
 
     #[test]

@@ -26,6 +26,27 @@ impl FaultState for DriftWidget {
     }
 }
 
+/// A snapshot-metadata record whose walk forgot the capture
+/// fingerprint — the exact defect that would let a corrupted checkpoint
+/// restore pass verification silently.
+pub struct StaleMeta {
+    /// Covered.
+    pub coord: u64,
+    /// NOT covered by the walk below and NOT exempted: the scanner must
+    /// report `unvisited-field` for `StaleMeta.capture_fingerprint`.
+    pub capture_fingerprint: u64,
+    /// Exempted usage counter (mirrors the live `SnapshotMeta.serves`).
+    // audit: skip -- serve counter, not captured machine state
+    pub serves: u64,
+}
+
+impl StaleMeta {
+    pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+        v.region("stale-meta", StateKind::Ram);
+        v.word(&mut self.coord, 64, FieldClass::Data);
+    }
+}
+
 /// A widget that over-declares a width.
 pub struct WidthBuster {
     /// Visited via `word8` with width 9 — the scanner must report

@@ -5,7 +5,8 @@
 //! ```
 //!
 //! * `--check` (default): run the static field-coverage scanner over
-//!   `crates/uarch/src` and `crates/arch/src`; exit 1 on any finding.
+//!   `crates/uarch/src`, `crates/arch/src` and `crates/snapshot/src`;
+//!   exit 1 on any finding.
 //! * `--contract`: run the runtime invariant battery against a warmed
 //!   default-config pipeline and the architectural CPU; exit 1 on any
 //!   violation.
@@ -67,7 +68,11 @@ fn parse_args() -> Options {
 }
 
 fn run_check(opts: &Options) -> bool {
-    let roots = [opts.root.join("crates/uarch/src"), opts.root.join("crates/arch/src")];
+    let roots = [
+        opts.root.join("crates/uarch/src"),
+        opts.root.join("crates/arch/src"),
+        opts.root.join("crates/snapshot/src"),
+    ];
     let analysis = match analyze_dirs(&roots) {
         Ok(a) => a,
         Err(e) => {

@@ -15,9 +15,8 @@ fn unvisited_field_names_struct_field_and_location() {
     let analysis = analyze_dirs(&[fixture_root()]).expect("fixture dir readable");
     let f = analysis
         .errors()
-        .find(|f| f.kind == "unvisited-field")
+        .find(|f| f.kind == "unvisited-field" && f.type_name == "DriftWidget")
         .expect("fixture must trip the unvisited-field check");
-    assert_eq!(f.type_name, "DriftWidget");
     assert_eq!(f.field, "dropped_tag");
     assert!(
         f.file.ends_with("fixtures/drift/src/lib.rs"),
@@ -33,11 +32,27 @@ fn unvisited_field_names_struct_field_and_location() {
 }
 
 #[test]
+fn unvisited_snapshot_fingerprint_is_reported() {
+    // The snapshot-shaped canary: a `fn visit` walk (not `visit_state`)
+    // that drops the capture fingerprint must be caught the same way.
+    let analysis = analyze_dirs(&[fixture_root()]).expect("fixture dir readable");
+    let f = analysis
+        .errors()
+        .find(|f| f.kind == "unvisited-field" && f.type_name == "StaleMeta")
+        .expect("fixture must trip the unvisited-field check on StaleMeta");
+    assert_eq!(f.field, "capture_fingerprint");
+}
+
+#[test]
 fn exempted_field_is_not_reported() {
     let analysis = analyze_dirs(&[fixture_root()]).expect("fixture dir readable");
     assert!(
         !analysis.errors().any(|f| f.field == "scratch"),
         "the exempted scratch field must not be a finding",
+    );
+    assert!(
+        !analysis.errors().any(|f| f.field == "serves"),
+        "the exempted serve counter must not be a finding",
     );
 }
 
@@ -59,9 +74,10 @@ fn fixture_defect_count_is_exact() {
     // the fixture or a scanner that stopped seeing one.
     let analysis = analyze_dirs(&[fixture_root()]).expect("fixture dir readable");
     let kinds: Vec<&str> = analysis.errors().map(|f| f.kind).collect();
-    assert_eq!(kinds.iter().filter(|k| **k == "unvisited-field").count(), 1, "{kinds:?}");
+    // DriftWidget.dropped_tag and StaleMeta.capture_fingerprint.
+    assert_eq!(kinds.iter().filter(|k| **k == "unvisited-field").count(), 2, "{kinds:?}");
     // Width 9 on a `word8` breaks two rules at once: the method's 8-bit
     // cap and the u8 field's capacity.
     assert_eq!(kinds.iter().filter(|k| **k == "width-unsound").count(), 2, "{kinds:?}");
-    assert_eq!(kinds.len(), 3, "{kinds:?}");
+    assert_eq!(kinds.len(), 4, "{kinds:?}");
 }

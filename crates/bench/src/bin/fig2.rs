@@ -1,14 +1,15 @@
 //! Figure 2 — virtual machine fault injection: propagation of a single
 //! bit flip in an instruction result to symptoms, by latency.
 //!
-//! Usage: `fig2 [--trials N] [--seed S] [--low32] [--size N] [--threads N] [--cutoff K]`
+//! Usage: `fig2 [--trials N] [--seed S] [--low32] [--size N] [--threads N] [--cutoff K] [--ckpt-stride K]`
 
 use restore_bench::{arch_table, cli, FIG2_LATENCIES};
 use restore_inject::{
     run_arch_campaign_with_stats, worst_case_ci95, ArchCampaignConfig, ArchCategory,
 };
 
-const USAGE: &str = "fig2 [--trials N] [--seed S] [--low32] [--size N] [--threads N] [--cutoff K]";
+const USAGE: &str = "fig2 [--trials N] [--seed S] [--low32] [--size N] [--threads N] [--cutoff K] \
+                     [--ckpt-stride K]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -16,7 +17,7 @@ fn main() {
     cli::or_exit(
         cli::reject_unknown(
             &args,
-            &["--trials", "--seed", "--low32", "--size", "--threads", "--cutoff"],
+            &["--trials", "--seed", "--low32", "--size", "--threads", "--cutoff", "--ckpt-stride"],
         ),
         USAGE,
     );

@@ -12,7 +12,7 @@ use restore_inject::{
 };
 
 const USAGE: &str = "fig4 [--points N] [--trials N] [--seed S] [--latches-only] \
-                     [--threads N] [--cutoff K] [--prune off|on|audit]";
+                     [--threads N] [--cutoff K] [--prune off|on|audit] [--ckpt-stride K]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -8,8 +8,8 @@
 use restore_bench::{cli, coverage_summary, uarch_table, FIG46_INTERVALS};
 use restore_inject::{run_uarch_campaign_with_stats, CfvMode, UarchCampaignConfig, UarchCategory};
 
-const USAGE: &str =
-    "fig5 [--points N] [--trials N] [--seed S] [--threads N] [--cutoff K] [--prune off|on|audit]";
+const USAGE: &str = "fig5 [--points N] [--trials N] [--seed S] [--threads N] [--cutoff K] \
+                     [--prune off|on|audit] [--ckpt-stride K]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

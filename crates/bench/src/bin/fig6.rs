@@ -11,8 +11,8 @@ use restore_inject::{run_uarch_campaign_with_stats, CfvMode, UarchCampaignConfig
 use restore_uarch::{Pipeline, UarchConfig};
 use restore_workloads::WorkloadId;
 
-const USAGE: &str =
-    "fig6 [--points N] [--trials N] [--seed S] [--threads N] [--cutoff K] [--prune off|on|audit]";
+const USAGE: &str = "fig6 [--points N] [--trials N] [--seed S] [--threads N] [--cutoff K] \
+                     [--prune off|on|audit] [--ckpt-stride K]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -14,7 +14,7 @@ use restore_core::fit::{figure8_sizes, FitScaling, MTBF_GOAL_FIT};
 use restore_inject::{run_uarch_campaign, CfvMode, UarchCampaignConfig};
 
 const USAGE: &str = "fig8 [--paper] [--points N] [--trials N] [--seed S] [--threads N] \
-                     [--cutoff K] [--prune off|on|audit]";
+                     [--cutoff K] [--prune off|on|audit] [--ckpt-stride K]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -16,7 +16,7 @@ use restore_perf::{profile_all, PerfModel, Policy, FIGURE7_INTERVALS};
 use restore_uarch::UarchConfig;
 
 const USAGE: &str = "figs_all [--points N] [--trials N] [--arch-trials N] [--seed S] \
-                     [--threads N] [--cutoff K] [--prune off|on|audit]";
+                     [--threads N] [--cutoff K] [--prune off|on|audit] [--ckpt-stride K]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

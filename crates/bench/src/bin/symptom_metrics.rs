@@ -36,7 +36,7 @@ fn median(v: &mut [u64]) -> Option<u64> {
 }
 
 const USAGE: &str = "symptom_metrics [--points N] [--trials N] [--seed S] [--threads N] \
-                     [--cutoff K] [--prune off|on|audit]";
+                     [--cutoff K] [--prune off|on|audit] [--ckpt-stride K]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

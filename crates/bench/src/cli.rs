@@ -104,8 +104,8 @@ pub fn reject_unknown(args: &[String], known: &[&str]) -> Result<(), CliError> {
 }
 
 /// The knobs every µarch campaign binary shares.
-pub const UARCH_FLAGS: [&str; 6] =
-    ["--points", "--trials", "--seed", "--threads", "--cutoff", "--prune"];
+pub const UARCH_FLAGS: [&str; 7] =
+    ["--points", "--trials", "--seed", "--threads", "--cutoff", "--prune", "--ckpt-stride"];
 
 /// [`UARCH_FLAGS`] plus a binary's own extras, for [`reject_unknown`].
 pub fn uarch_flags_plus(extra: &[&'static str]) -> Vec<&'static str> {
@@ -116,7 +116,8 @@ pub fn uarch_flags_plus(extra: &[&'static str]) -> Vec<&'static str> {
 
 /// Applies the shared µarch campaign knobs to `cfg`:
 /// `--points N` / `--trials N` (nonzero), `--seed S`, `--threads N`
-/// (0 = auto), `--cutoff K` (0 = off), `--prune off|on|audit`.
+/// (0 = auto), `--cutoff K` (0 = off), `--prune off|on|audit`,
+/// `--ckpt-stride K` (0 = serial producer, no checkpoint library).
 pub fn apply_uarch_flags(cfg: &mut UarchCampaignConfig, args: &[String]) -> Result<(), CliError> {
     if let Some(p) = nonzero_u64(args, "--points")? {
         cfg.points_per_workload = p as usize;
@@ -136,14 +137,17 @@ pub fn apply_uarch_flags(cfg: &mut UarchCampaignConfig, args: &[String]) -> Resu
     if let Some(m) = prune_mode(args)? {
         cfg.prune = m;
     }
+    if let Some(k) = parsed_u64(args, "--ckpt-stride")? {
+        cfg.ckpt_stride = k;
+    }
     Ok(())
 }
 
 /// Applies the architectural (Figure 2) campaign knobs to `cfg`:
 /// `--trials N` / `--size N` (nonzero), `--seed S`, `--threads N`
-/// (0 = auto), `--cutoff K` (0 = off), `--low32`. Pass `trials_flag` so
-/// `figs_all` can route its `--arch-trials` here without colliding with
-/// the µarch knob.
+/// (0 = auto), `--cutoff K` (0 = off), `--ckpt-stride K` (0 = serial
+/// producer), `--low32`. Pass `trials_flag` so `figs_all` can route its
+/// `--arch-trials` here without colliding with the µarch knob.
 pub fn apply_arch_flags(
     cfg: &mut ArchCampaignConfig,
     args: &[String],
@@ -163,6 +167,9 @@ pub fn apply_arch_flags(
     }
     if let Some(k) = parsed_u64(args, "--cutoff")? {
         cfg.cutoff_stride = k;
+    }
+    if let Some(k) = parsed_u64(args, "--ckpt-stride")? {
+        cfg.ckpt_stride = k;
     }
     cfg.low32 = flag(args, "--low32");
     Ok(())
@@ -197,10 +204,18 @@ mod tests {
         let mut cfg = UarchCampaignConfig::default();
         assert!(apply_uarch_flags(&mut cfg, &args(&["--points", "0"])).is_err());
         assert!(apply_uarch_flags(&mut cfg, &args(&["--trials", "0"])).is_err());
-        // Zero means something for these two.
-        apply_uarch_flags(&mut cfg, &args(&["--threads", "0", "--cutoff", "0"])).unwrap();
+        // Zero means something for these three.
+        apply_uarch_flags(
+            &mut cfg,
+            &args(&["--threads", "0", "--cutoff", "0", "--ckpt-stride", "0"]),
+        )
+        .unwrap();
         assert_eq!(cfg.threads, 0);
         assert_eq!(cfg.cutoff_stride, 0);
+        assert_eq!(cfg.ckpt_stride, 0, "--ckpt-stride 0 must disable the library");
+        // But a malformed stride is still an error, not a silent default.
+        assert!(apply_uarch_flags(&mut cfg, &args(&["--ckpt-stride", "x"])).is_err());
+        assert!(apply_uarch_flags(&mut cfg, &args(&["--ckpt-stride"])).is_err());
     }
 
     #[test]
@@ -219,6 +234,8 @@ mod tests {
             "100",
             "--prune",
             "audit",
+            "--ckpt-stride",
+            "1500",
         ]);
         apply_uarch_flags(&mut cfg, &a).unwrap();
         assert_eq!(cfg.points_per_workload, 3);
@@ -227,20 +244,35 @@ mod tests {
         assert_eq!(cfg.threads, 2);
         assert_eq!(cfg.cutoff_stride, 100);
         assert_eq!(cfg.prune, PruneMode::Audit);
+        assert_eq!(cfg.ckpt_stride, 1_500);
         assert!(apply_uarch_flags(&mut cfg, &args(&["--prune", "maybe"])).is_err());
     }
 
     #[test]
     fn arch_flags_apply() {
         let mut cfg = ArchCampaignConfig::default();
-        let a = args(&["--trials", "5", "--size", "64", "--low32", "--seed", "1", "--cutoff", "0"]);
+        let a = args(&[
+            "--trials",
+            "5",
+            "--size",
+            "64",
+            "--low32",
+            "--seed",
+            "1",
+            "--cutoff",
+            "0",
+            "--ckpt-stride",
+            "0",
+        ]);
         apply_arch_flags(&mut cfg, &a, "--trials").unwrap();
         assert_eq!(cfg.trials_per_workload, 5);
         assert_eq!(cfg.scale.size, 64);
         assert_eq!(cfg.seed, 1);
         assert_eq!(cfg.cutoff_stride, 0, "--cutoff 0 must disable the arch cutoff");
+        assert_eq!(cfg.ckpt_stride, 0, "--ckpt-stride 0 must disable the arch library");
         assert!(cfg.low32);
         assert!(apply_arch_flags(&mut cfg, &args(&["--size", "0"]), "--trials").is_err());
+        assert!(apply_arch_flags(&mut cfg, &args(&["--ckpt-stride", "-3"]), "--trials").is_err());
     }
 
     #[test]

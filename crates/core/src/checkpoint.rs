@@ -12,7 +12,7 @@
 //! back to the *older* one, supporting a rollback distance of at least one
 //! full interval (average 1.5× the interval).
 
-use restore_arch::Memory;
+use restore_arch::{Cpu, Memory};
 
 /// One architectural checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +23,15 @@ pub struct Checkpoint {
     pub pc: u64,
     /// Global retired-instruction count at capture time.
     pub retired: u64,
+}
+
+impl Checkpoint {
+    /// Captures the architectural-register portion of a live CPU's
+    /// state — what the paper's checkpoint hardware snapshots directly
+    /// (memory goes through the undo log instead).
+    pub fn of_cpu(cpu: &Cpu) -> Checkpoint {
+        Checkpoint { regs: *cpu.regs.as_array(), pc: cpu.pc, retired: cpu.retired() }
+    }
 }
 
 /// A store undo record: `(address, length, previous value)`.

@@ -23,6 +23,8 @@
 //!   executions (§3.2.3), enabling positive error detection and the
 //!   dynamic false-positive throttle;
 //! * [`RestoreController`] — the rollback/re-execution orchestrator;
+//! * [`measure_rollbacks`] — Figure 7 rollback replay on real restored
+//!   state from the golden checkpoint library (§5.2.3);
 //! * [`fit`] — FIT/MTBF scaling model of §5.3 (Figure 8).
 //!
 //! # Examples
@@ -51,10 +53,12 @@ mod checkpoint;
 mod controller;
 mod event_log;
 pub mod fit;
+mod replay;
 mod symptom;
 
 pub use checkpoint::{Checkpoint, CheckpointStore, UndoRecord};
 pub use controller::{RestoreConfig, RestoreController, RestoreOutcome, RestoreStats};
 pub use event_log::{BranchOutcome, EventLog, LogCheck};
 pub use fit::{FitModel, FitScaling};
+pub use replay::{measure_rollbacks, ReplayMeasurement, RollbackPolicy, DOMAIN_REPLAY};
 pub use symptom::{Symptom, SymptomConfig};

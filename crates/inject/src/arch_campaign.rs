@@ -23,11 +23,12 @@
 
 use crate::campaign::{self, FaultModel, TrialCost};
 use crate::classify::{ArchCategory, Symptom, SymptomLatencies};
-use crate::engine::CampaignStats;
+use crate::engine::{effective_ckpt_stride, CampaignStats};
 use crate::seeding::DOMAIN_ARCH;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use restore_arch::Cpu;
+use restore_snapshot::{config_digest, SnapshotMachine};
 use restore_workloads::{run_length, Scale, WorkloadId};
 
 /// Configuration of a Figure 2 campaign.
@@ -57,6 +58,14 @@ pub struct ArchCampaignConfig {
     /// the cutoff. Results are bit-identical either way — only
     /// throughput changes.
     pub cutoff_stride: u64,
+    /// Retired instructions between golden checkpoint captures
+    /// ([`restore_snapshot::GoldenCheckpointLibrary`]): injection
+    /// points materialize from the nearest checkpoint at-or-before
+    /// their instruction instead of a serial forward walk, and the
+    /// library is shared process-wide so repeated campaigns start warm.
+    /// `0` disables the library (serial producer). Results are
+    /// bit-identical either way — only producer cost changes.
+    pub ckpt_stride: u64,
 }
 
 impl Default for ArchCampaignConfig {
@@ -75,6 +84,11 @@ impl Default for ArchCampaignConfig {
             // instructions of a run that would otherwise continue to
             // program completion.
             cutoff_stride: 250,
+            // The CoW memory makes an arch snapshot O(dirty pages);
+            // 5 000-instruction checkpoints over million-instruction
+            // runs keep the library small while bounding each unit's
+            // residual sweep to one stride.
+            ckpt_stride: effective_ckpt_stride(5_000),
         }
     }
 }
@@ -127,6 +141,22 @@ struct ArchMachine {
     run_len: u64,
 }
 
+/// Delegates to the CPU: `run_len` is a per-workload constant (not
+/// machine state), so clone-sharing it is exact.
+impl SnapshotMachine for ArchMachine {
+    fn coord(&self) -> u64 {
+        self.cpu.coord()
+    }
+
+    fn step_to(&mut self, coord: u64) -> bool {
+        self.cpu.step_to(coord)
+    }
+
+    fn fingerprint(&mut self) -> u64 {
+        self.cpu.fingerprint()
+    }
+}
+
 /// Per-point bookkeeping: the lockstep iterations the exhaustive loop
 /// would execute from this fork (it stops when the golden side halts or
 /// the window expires; the victim instruction retires before the loop).
@@ -151,6 +181,14 @@ impl FaultModel for ArchModel<'_> {
     fn trials_per_point(&self) -> usize {
         1
     }
+    fn ckpt_stride(&self) -> u64 {
+        self.cfg.ckpt_stride
+    }
+    fn config_digest(&self) -> u64 {
+        // The golden run is a function of the program alone at this
+        // level; the scale pins the program.
+        config_digest(&format!("{:?}", self.cfg.scale))
+    }
 
     fn spawn(&self, id: WorkloadId) -> ArchMachine {
         let program = id.build(self.cfg.scale);
@@ -170,13 +208,6 @@ impl FaultModel for ArchModel<'_> {
             .collect();
         points.sort_unstable();
         points
-    }
-
-    fn sweep_to(&self, walker: &mut ArchMachine, k: u64) -> bool {
-        while walker.cpu.retired() < k && !walker.cpu.is_halted() {
-            walker.cpu.step().expect("golden never faults");
-        }
-        !walker.cpu.is_halted()
     }
 
     fn golden(&self, fork: &mut ArchMachine) -> ArchGolden {

@@ -31,6 +31,7 @@ use crate::engine::{effective_threads, run_ordered, CampaignStats, UnitOutput};
 use crate::seeding::Seeder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use restore_snapshot::{with_library, GoldenCheckpointLibrary, LibraryKey, SnapshotMachine};
 use restore_workloads::WorkloadId;
 use std::time::Instant;
 
@@ -69,8 +70,9 @@ impl<R> UnitOutput<R> {
 /// golden observation, or one trial at a time.
 pub(crate) trait FaultModel: Sync {
     /// A machine snapshot: cloned at each injection point, walked
-    /// forward by the sweeper in between.
-    type Machine: Send + Clone;
+    /// forward (by the serial sweeper, or by workers finishing the
+    /// residual from a checkpoint) in between.
+    type Machine: Send + SnapshotMachine + 'static;
     /// Per-point golden observation shared by the point's trials
     /// (mutable so lazy per-point work — e.g. a liveness oracle's
     /// shadow run — can live inside it).
@@ -87,6 +89,15 @@ pub(crate) trait FaultModel: Sync {
     fn threads(&self) -> usize;
     /// Trials per injection point.
     fn trials_per_point(&self) -> usize;
+    /// Golden checkpoint capture stride, in the model's sweep unit.
+    /// `0` disables the library: the producer falls back to the
+    /// historical serial forward walk.
+    fn ckpt_stride(&self) -> u64;
+    /// Digest of everything that shapes the golden run's evolution
+    /// (program scale, machine configuration — *not* campaign seeds,
+    /// point counts or thread counts). Keys the process-wide checkpoint
+    /// library ([`restore_snapshot::LibraryKey`]).
+    fn config_digest(&self) -> u64;
 
     /// Builds the workload's walker, positioned before the first
     /// injection coordinate.
@@ -95,10 +106,6 @@ pub(crate) trait FaultModel: Sync {
     /// `point_seed` (the per-workload stream — never from shared state,
     /// so plans are independent of execution order).
     fn plan(&self, walker: &Self::Machine, point_seed: u64) -> Vec<u64>;
-    /// Advances `walker` to `coord`; `false` when the workload stopped
-    /// first (the sweep abandons the remaining points, matching the
-    /// historical drivers).
-    fn sweep_to(&self, walker: &mut Self::Machine, coord: u64) -> bool;
     /// The golden observation at a fork (runs once per point, on the
     /// worker).
     fn golden(&self, fork: &mut Self::Machine) -> Self::Golden;
@@ -116,8 +123,8 @@ pub(crate) trait FaultModel: Sync {
     ) -> (Option<Self::Trial>, TrialCost);
 }
 
-/// One engine work unit: a machine snapshot at an injection point, with
-/// the plan coordinates that seed its trials.
+/// One engine work unit: a machine snapshot at (or checkpoint-near) an
+/// injection point, with the plan coordinates that seed its trials.
 struct PointUnit<M> {
     /// Workload index in [`WorkloadId::ALL`] (a seeding coordinate).
     wl: usize,
@@ -125,7 +132,16 @@ struct PointUnit<M> {
     /// Point index within the workload's sorted plan (a seeding
     /// coordinate).
     point: usize,
+    /// The injection coordinate. The worker finishes the residual
+    /// `machine.step_to(coord)` — a no-op for the serial producer, at
+    /// most one stride for the checkpoint producer.
+    coord: u64,
     machine: M,
+    /// `Some(hit)` when the machine came from the checkpoint library:
+    /// `true` if its serving snapshot predated this campaign.
+    ckpt_hit: Option<bool>,
+    /// Warm-up cycles the library skipped for this unit (hits only).
+    warmup_saved: u64,
 }
 
 /// Index of `id` in [`WorkloadId::ALL`] — the stable workload seeding
@@ -149,37 +165,54 @@ pub(crate) fn run_single<F: FaultModel>(
     run_campaign(model, &[(workload_index(id), id)])
 }
 
-/// The one campaign loop. A serial sweeper (the [`run_ordered`]
-/// producer) walks each workload to its planned points and forks a
-/// [`PointUnit`] at each; workers run the point's golden observation
-/// and its coordinate-seeded trials, and results reassemble in plan
-/// order `(workload, point, trial)`.
+/// The one campaign loop. The [`run_ordered`] producer materializes
+/// each workload's planned points — from the golden checkpoint library
+/// when the model's stride is non-zero (O(1) per point, warm across
+/// campaigns), by the historical serial forward walk when it is 0 —
+/// and forks a [`PointUnit`] at each; workers finish the residual
+/// sweep to the injection coordinate, run the point's golden
+/// observation and its coordinate-seeded trials, and results
+/// reassemble in plan order `(workload, point, trial)`.
+///
+/// Equivalence of the two producers (proved bit-exact by
+/// `tests/ckpt_equivalence.rs`): a unit is emitted iff the golden run
+/// is live *at* its coordinate — the serial walk observes that
+/// directly via `step_to`, the library via its recorded stop
+/// coordinate — and the machine a worker ends up with at the
+/// coordinate is identical either way because the simulators are
+/// deterministic and restore is fingerprint-verified.
 fn run_campaign<F: FaultModel>(
     model: &F,
     workloads: &[(usize, WorkloadId)],
 ) -> (Vec<F::Trial>, CampaignStats) {
     let seeder = Seeder::new(model.seed(), model.domain());
+    let stride = model.ckpt_stride();
     run_ordered(
         effective_threads(model.threads()),
         |emit| {
             for &(wl, id) in workloads {
-                let mut walker = model.spawn(id);
-                let plan = model.plan(&walker, seeder.points(wl));
-                for (point, coord) in plan.into_iter().enumerate() {
-                    if !model.sweep_to(&mut walker, coord) {
-                        break;
-                    }
-                    emit(PointUnit { wl, id, point, machine: walker.clone() });
+                if stride == 0 {
+                    serial_produce(model, wl, id, &seeder, emit);
+                } else {
+                    library_produce(model, wl, id, stride, &seeder, emit);
                 }
             }
         },
         |mut unit: PointUnit<F::Machine>| {
+            let s0 = Instant::now();
+            let live = unit.machine.step_to(unit.coord);
+            let sweep_secs = s0.elapsed().as_secs_f64();
+            assert!(live, "emitted units are live at their injection coordinate");
+
             let g0 = Instant::now();
             let mut golden = model.golden(&mut unit.machine);
             let golden_secs = g0.elapsed().as_secs_f64();
 
             let t0 = Instant::now();
-            let mut out = UnitOutput { golden_secs, ..UnitOutput::default() };
+            let mut out = UnitOutput { sweep_secs, golden_secs, ..UnitOutput::default() };
+            out.checkpoint_hits = u64::from(unit.ckpt_hit == Some(true));
+            out.checkpoint_misses = u64::from(unit.ckpt_hit == Some(false));
+            out.warmup_cycles_saved = unit.warmup_saved;
             out.results.reserve(model.trials_per_point());
             for t in 0..model.trials_per_point() {
                 let rng = StdRng::seed_from_u64(seeder.trial(unit.wl, unit.point, t));
@@ -191,4 +224,79 @@ fn run_campaign<F: FaultModel>(
             out
         },
     )
+}
+
+/// The historical producer: one walker swept serially forward through
+/// the workload's sorted plan, forked at each reachable point.
+fn serial_produce<F: FaultModel>(
+    model: &F,
+    wl: usize,
+    id: WorkloadId,
+    seeder: &Seeder,
+    emit: &mut dyn FnMut(PointUnit<F::Machine>),
+) {
+    let mut walker = model.spawn(id);
+    let plan = model.plan(&walker, seeder.points(wl));
+    for (point, coord) in plan.into_iter().enumerate() {
+        if !walker.step_to(coord) {
+            break;
+        }
+        emit(PointUnit {
+            wl,
+            id,
+            point,
+            coord,
+            machine: walker.clone(),
+            ckpt_hit: None,
+            warmup_saved: 0,
+        });
+    }
+}
+
+/// The checkpoint producer: points materialize from the process-wide
+/// golden library for `(domain, workload, config, stride)`, each unit
+/// carrying the nearest snapshot at-or-before its coordinate. The
+/// workload's golden prefix is simulated at most once per process, and
+/// emission stops at exactly the first unreachable coordinate — the
+/// same abandonment point as the serial walk.
+fn library_produce<F: FaultModel>(
+    model: &F,
+    wl: usize,
+    id: WorkloadId,
+    stride: u64,
+    seeder: &Seeder,
+    emit: &mut dyn FnMut(PointUnit<F::Machine>),
+) {
+    let key = LibraryKey {
+        domain: model.domain(),
+        workload: wl as u64,
+        config: model.config_digest(),
+        stride,
+    };
+    with_library(
+        key,
+        || GoldenCheckpointLibrary::new(model.spawn(id), stride),
+        |lib, created| {
+            // A snapshot is "warm" only if it predates this campaign
+            // entirely; a just-created library's origin snapshot is as
+            // cold as the captures that follow it.
+            let warm_snaps = if created { 0 } else { lib.len() };
+            let plan = model.plan(lib.origin(), seeder.points(wl));
+            for (point, coord) in plan.into_iter().enumerate() {
+                let Some(m) = lib.materialize(coord) else {
+                    break;
+                };
+                let hit = m.snap_index < warm_snaps;
+                emit(PointUnit {
+                    wl,
+                    id,
+                    point,
+                    coord,
+                    machine: m.machine,
+                    ckpt_hit: Some(hit),
+                    warmup_saved: if hit { m.base_coord - lib.origin_coord() } else { 0 },
+                });
+            }
+        },
+    );
 }

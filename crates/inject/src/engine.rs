@@ -40,6 +40,17 @@ pub fn effective_threads(requested: usize) -> usize {
     std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1)
 }
 
+/// Resolves a campaign's checkpoint stride: an explicit non-default
+/// request would be set on the config directly, so this only arbitrates
+/// between the `RESTORE_CKPT_STRIDE` environment variable and the
+/// model's default. `0` disables the golden checkpoint library (the
+/// producer falls back to the historical serial sweep) and is a valid
+/// explicit setting, so — unlike [`effective_threads`] — zero from the
+/// environment is honoured, not treated as "unset".
+pub fn effective_ckpt_stride(default: u64) -> u64 {
+    std::env::var("RESTORE_CKPT_STRIDE").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(default)
+}
+
 /// Throughput instrumentation for one campaign run.
 ///
 /// Stage seconds are *summed across workers*, so on `t` threads
@@ -58,10 +69,25 @@ pub struct CampaignStats {
     pub wall_secs: f64,
     /// Sweeper (producer) wall seconds, including channel backpressure.
     pub produce_secs: f64,
+    /// Worker seconds spent sweeping materialized machines from their
+    /// checkpoint to the injection coordinate (the residual O(stride)
+    /// walk), summed across workers. Zero when the checkpoint library is
+    /// off — the serial producer pays the whole sweep in `produce_secs`.
+    pub sweep_secs: f64,
     /// Worker seconds spent on golden runs, summed across workers.
     pub golden_secs: f64,
     /// Worker seconds spent on injected trials, summed across workers.
     pub trial_secs: f64,
+    /// Units served from a checkpoint captured before this campaign
+    /// started (warm library reuse across campaigns in one process).
+    pub checkpoint_hits: u64,
+    /// Units whose serving checkpoint was captured by this campaign's
+    /// own frontier extension (cold capture).
+    pub checkpoint_misses: u64,
+    /// Golden warm-up cycles the library's warm checkpoints skipped:
+    /// the sum over hit units of their serving checkpoint's coordinate.
+    /// A serial sweep (or a cold library) re-simulates these.
+    pub warmup_cycles_saved: u64,
     /// Observation-window cycles actually simulated by trials (golden
     /// runs excluded — they run once per unit regardless of the cutoff).
     pub cycles_simulated: u64,
@@ -114,7 +140,7 @@ impl fmt::Display for CampaignStats {
         write!(
             f,
             "{} trials over {} units on {} thread{} in {:.2}s ({:.0} trials/s; \
-             sweep {:.2}s, golden {:.2}s, trials {:.2}s worker-time)",
+             produce {:.2}s; sweep {:.2}s, golden {:.2}s, trials {:.2}s worker-time)",
             self.trials,
             self.units,
             self.threads,
@@ -122,9 +148,21 @@ impl fmt::Display for CampaignStats {
             self.wall_secs,
             self.trials_per_sec(),
             self.produce_secs,
+            self.sweep_secs,
             self.golden_secs,
             self.trial_secs,
         )?;
+        if self.checkpoint_hits + self.checkpoint_misses > 0 {
+            write!(
+                f,
+                "; checkpoints served {} units ({} warm / {} cold), \
+                 skipping {} warm-up cycles",
+                self.checkpoint_hits + self.checkpoint_misses,
+                self.checkpoint_hits,
+                self.checkpoint_misses,
+                self.warmup_cycles_saved,
+            )?;
+        }
         if self.trials_cut > 0 {
             write!(
                 f,
@@ -165,10 +203,21 @@ impl fmt::Display for CampaignStats {
 pub(crate) struct UnitOutput<R> {
     /// The unit's results, in the unit's own deterministic order.
     pub results: Vec<R>,
+    /// Seconds spent sweeping from the unit's checkpoint to its
+    /// injection coordinate.
+    pub sweep_secs: f64,
     /// Seconds spent establishing the golden reference.
     pub golden_secs: f64,
     /// Seconds spent running injected trials.
     pub trial_secs: f64,
+    /// 1 when this unit was served from a pre-campaign (warm)
+    /// checkpoint, 0 for a cold capture or the serial producer.
+    pub checkpoint_hits: u64,
+    /// 1 when this unit's checkpoint was captured cold by this
+    /// campaign, 0 otherwise.
+    pub checkpoint_misses: u64,
+    /// Warm-up cycles the unit's warm checkpoint skipped.
+    pub warmup_cycles_saved: u64,
     /// Trial window cycles simulated in this unit.
     pub cycles_simulated: u64,
     /// Trial window cycles skipped by the reconvergence cutoff.
@@ -187,8 +236,12 @@ impl<R> Default for UnitOutput<R> {
     fn default() -> Self {
         UnitOutput {
             results: Vec::new(),
+            sweep_secs: 0.0,
             golden_secs: 0.0,
             trial_secs: 0.0,
+            checkpoint_hits: 0,
+            checkpoint_misses: 0,
+            warmup_cycles_saved: 0,
             cycles_simulated: 0,
             cycles_saved: 0,
             trials_cut: 0,
@@ -221,8 +274,8 @@ where
     // stays O(threads).
     let (tx, rx) = channel::bounded::<(usize, U)>(threads * 2);
     let collected: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
-    let stage_secs: Mutex<(f64, f64)> = Mutex::new((0.0, 0.0));
-    let cycle_counts: Mutex<[u64; 5]> = Mutex::new([0; 5]);
+    let stage_secs: Mutex<(f64, f64, f64)> = Mutex::new((0.0, 0.0, 0.0));
+    let cycle_counts: Mutex<[u64; 8]> = Mutex::new([0; 8]);
 
     let wall0 = Instant::now();
     let mut produce_secs = 0.0;
@@ -240,8 +293,9 @@ where
                     let out = work(unit);
                     {
                         let mut st = stage_secs.lock();
-                        st.0 += out.golden_secs;
-                        st.1 += out.trial_secs;
+                        st.0 += out.sweep_secs;
+                        st.1 += out.golden_secs;
+                        st.2 += out.trial_secs;
                     }
                     {
                         let mut cc = cycle_counts.lock();
@@ -250,6 +304,9 @@ where
                         cc[2] += out.trials_cut;
                         cc[3] += out.trials_pruned;
                         cc[4] += out.cycles_pruned;
+                        cc[5] += out.checkpoint_hits;
+                        cc[6] += out.checkpoint_misses;
+                        cc[7] += out.warmup_cycles_saved;
                     }
                     collected.lock().push((index, out.results));
                 }
@@ -276,8 +333,8 @@ where
     collected.sort_unstable_by_key(|&(index, _)| index);
     debug_assert!(collected.iter().enumerate().all(|(i, (idx, _))| i == *idx));
 
-    let (golden_secs, trial_secs) = stage_secs.into_inner();
-    let [cycles_simulated, cycles_saved, trials_cut, trials_pruned, cycles_pruned] =
+    let (sweep_secs, golden_secs, trial_secs) = stage_secs.into_inner();
+    let [cycles_simulated, cycles_saved, trials_cut, trials_pruned, cycles_pruned, checkpoint_hits, checkpoint_misses, warmup_cycles_saved] =
         cycle_counts.into_inner();
     let results: Vec<R> = collected.into_iter().flat_map(|(_, r)| r).collect();
     let stats = CampaignStats {
@@ -286,6 +343,7 @@ where
         trials: results.len() as u64,
         wall_secs: wall0.elapsed().as_secs_f64(),
         produce_secs,
+        sweep_secs,
         golden_secs,
         trial_secs,
         cycles_simulated,
@@ -293,6 +351,9 @@ where
         trials_cut,
         trials_pruned,
         cycles_pruned,
+        checkpoint_hits,
+        checkpoint_misses,
+        warmup_cycles_saved,
     };
     (results, stats)
 }
@@ -304,8 +365,12 @@ mod tests {
     fn double_unit(u: u32) -> UnitOutput<u32> {
         UnitOutput {
             results: vec![u * 2, u * 2 + 1],
+            sweep_secs: 0.005,
             golden_secs: 0.01,
             trial_secs: 0.02,
+            checkpoint_hits: u64::from(u.is_multiple_of(2)),
+            checkpoint_misses: u64::from(!u.is_multiple_of(2)),
+            warmup_cycles_saved: 10,
             cycles_simulated: 100,
             cycles_saved: 50,
             trials_cut: 1,
@@ -333,18 +398,24 @@ mod tests {
             assert_eq!(stats.units, 57);
             assert_eq!(stats.trials, 114);
             assert_eq!(stats.threads, threads);
-            assert!(stats.golden_secs > 0.0 && stats.trial_secs > 0.0);
+            assert!(stats.sweep_secs > 0.0 && stats.golden_secs > 0.0 && stats.trial_secs > 0.0);
             assert_eq!(stats.cycles_simulated, 57 * 100);
             assert_eq!(stats.cycles_saved, 57 * 50);
             assert_eq!(stats.trials_cut, 57);
             assert_eq!(stats.trials_pruned, 57);
             assert_eq!(stats.cycles_pruned, 57 * 25);
+            assert_eq!(stats.checkpoint_hits, 29, "even unit indices 0..57");
+            assert_eq!(stats.checkpoint_misses, 28);
+            assert_eq!(stats.checkpoint_hits + stats.checkpoint_misses, stats.units);
+            assert_eq!(stats.warmup_cycles_saved, 57 * 10);
             assert!((stats.cycles_saved_fraction() - 1.0 / 3.0).abs() < 1e-12);
             let line = stats.to_string();
             assert_eq!(line, stats.summary());
             assert!(line.contains("cutoff ended 57/114 trials early"), "{line}");
             assert!(line.contains("pruned 57/114 trials"), "{line}");
             assert!(line.contains("trial mix: 0% simulated / 50% cut / 50% pruned"), "{line}");
+            assert!(line.contains("checkpoints served 57 units (29 warm / 28 cold)"), "{line}");
+            assert!(line.contains("skipping 570 warm-up cycles"), "{line}");
         }
     }
 
@@ -360,5 +431,17 @@ mod tests {
     fn effective_threads_resolution_order() {
         assert_eq!(effective_threads(3), 3, "explicit request wins");
         assert!(effective_threads(0) >= 1, "auto resolves to something");
+    }
+
+    #[test]
+    fn effective_ckpt_stride_defaults_without_env() {
+        // Setting the variable here would race every concurrently
+        // running test whose config `Default` reads it, so only the
+        // unset path is asserted in-process; the CLI tests cover
+        // explicit values, including zero (= library off).
+        if std::env::var_os("RESTORE_CKPT_STRIDE").is_none() {
+            assert_eq!(effective_ckpt_stride(2_000), 2_000);
+            assert_eq!(effective_ckpt_stride(0), 0);
+        }
     }
 }

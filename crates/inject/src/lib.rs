@@ -54,7 +54,7 @@ pub use arch_campaign::{
     run_arch_campaign, run_arch_campaign_with_stats, ArchCampaignConfig, ArchTrial,
 };
 pub use classify::{ArchCategory, Symptom, SymptomLatencies, UarchCategory};
-pub use engine::{effective_threads, CampaignStats};
+pub use engine::{effective_ckpt_stride, effective_threads, CampaignStats};
 pub use stats::{worst_case_ci95, Proportion};
 pub use uarch_campaign::run_workload as run_uarch_workload;
 pub use uarch_campaign::{

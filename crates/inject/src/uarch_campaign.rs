@@ -24,13 +24,14 @@
 //!   the prediction was exact.
 
 use crate::campaign::{self, FaultModel, TrialCost};
-use crate::engine::CampaignStats;
+use crate::engine::{effective_ckpt_stride, CampaignStats};
 use crate::liveness::PointOracle;
 use crate::seeding::DOMAIN_UARCH;
 use crate::uarch_trial::{draw_bit, golden_run, run_trial, GoldenRun, UarchTrial};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use restore_uarch::{Pipeline, StateCatalog, Stop, UarchConfig};
+use restore_snapshot::{config_digest, SnapshotMachine};
+use restore_uarch::{Pipeline, StateCatalog, UarchConfig};
 use restore_workloads::{Scale, WorkloadId};
 use std::sync::Arc;
 
@@ -112,6 +113,14 @@ pub struct UarchCampaignConfig {
     /// bit-identical to [`PruneMode::Off`]; [`PruneMode::Audit`]
     /// verifies that claim trial-by-trial at full simulation cost.
     pub prune: PruneMode,
+    /// Cycles between golden checkpoint captures
+    /// ([`restore_snapshot::GoldenCheckpointLibrary`]): injection
+    /// points materialize from the nearest checkpoint at-or-before
+    /// their cycle instead of a serial forward walk, and the library is
+    /// shared process-wide so repeated campaigns start warm. `0`
+    /// disables the library (serial producer). Results are
+    /// bit-identical either way — only producer cost changes.
+    pub ckpt_stride: u64,
 }
 
 impl Default for UarchCampaignConfig {
@@ -133,6 +142,11 @@ impl Default for UarchCampaignConfig {
             // cycles after a masked flip) early in the 10k window.
             cutoff_stride: 250,
             prune: PruneMode::Off,
+            // A campaign-scale pipeline is ~100KB, so 2 000-cycle
+            // checkpoints over the ~20k-cycle sampling span cost a few
+            // MB per (workload, config) while bounding each unit's
+            // residual sweep to one stride.
+            ckpt_stride: effective_ckpt_stride(2_000),
         }
     }
 }
@@ -175,6 +189,22 @@ struct UarchMachine {
     catalog: Arc<StateCatalog>,
 }
 
+/// Delegates to the pipeline: the catalog is a function of the
+/// configuration alone, so it contributes no state beyond the `Arc`.
+impl SnapshotMachine for UarchMachine {
+    fn coord(&self) -> u64 {
+        self.pipe.coord()
+    }
+
+    fn step_to(&mut self, coord: u64) -> bool {
+        self.pipe.step_to(coord)
+    }
+
+    fn fingerprint(&mut self) -> u64 {
+        self.pipe.fingerprint()
+    }
+}
+
 /// Per-point golden observation plus the lazily-built liveness oracle.
 struct UarchGolden {
     run: GoldenRun,
@@ -198,6 +228,15 @@ impl FaultModel for UarchModel<'_> {
     fn trials_per_point(&self) -> usize {
         self.cfg.trials_per_point
     }
+    fn ckpt_stride(&self) -> u64 {
+        self.cfg.ckpt_stride
+    }
+    fn config_digest(&self) -> u64 {
+        // Only what shapes the golden run: the program (scale) and the
+        // machine (uarch config). Seeds, point counts, windows and
+        // thread counts never touch it.
+        config_digest(&format!("{:?}|{:?}", self.cfg.scale, self.cfg.uarch))
+    }
 
     fn spawn(&self, id: WorkloadId) -> UarchMachine {
         let program = id.build(self.cfg.scale);
@@ -208,13 +247,6 @@ impl FaultModel for UarchModel<'_> {
 
     fn plan(&self, _walker: &UarchMachine, point_seed: u64) -> Vec<u64> {
         plan_points(self.cfg, point_seed)
-    }
-
-    fn sweep_to(&self, walker: &mut UarchMachine, cycle: u64) -> bool {
-        while walker.pipe.cycles() < cycle && walker.pipe.status() == Stop::Running {
-            walker.pipe.cycle();
-        }
-        walker.pipe.status() == Stop::Running
     }
 
     fn golden(&self, fork: &mut UarchMachine) -> UarchGolden {

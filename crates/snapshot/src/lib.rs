@@ -1,0 +1,514 @@
+//! # restore-snapshot
+//!
+//! Golden checkpoint library: full machine snapshots of a fault-free run
+//! captured at stride boundaries, with fingerprint-verified restore.
+//!
+//! ReStore's own detection mechanism is checkpoint/rollback (§2.1), and
+//! the reproduction's campaigns have the mirror-image need: every
+//! injection point wants the golden machine *at* its sweep coordinate,
+//! and walking one machine serially through all points makes point
+//! production the Amdahl bottleneck. This crate records clones of the
+//! golden machine every `stride` coordinates — cheap, because the
+//! architectural [`restore_arch::Memory`] is copy-on-write, so a
+//! snapshot costs one page table plus `Arc` bumps, not an image copy —
+//! and materializes the machine nearest at-or-before any requested
+//! coordinate. A consumer finishes the residual sweep (< `stride`
+//! coordinates), so per-point setup cost is O(stride), independent of
+//! how deep into the run the point lies.
+//!
+//! Restore is *proved*, not assumed: every snapshot records the
+//! machine's full-state fingerprint at capture, every materialization
+//! `debug_assert`s that the clone reproduces it bit-for-bit, and the
+//! campaign equivalence tests (`crates/inject/tests/ckpt_equivalence.rs`)
+//! show trial vectors bit-identical with the library on or off.
+//!
+//! Libraries are memoized process-wide by [`LibraryKey`] — (seeding
+//! domain, workload, config digest, stride) — so repeated campaigns
+//! over the same workload start from warm checkpoints instead of
+//! re-simulating the golden prefix.
+//!
+//! # Examples
+//!
+//! ```
+//! use restore_arch::Cpu;
+//! use restore_snapshot::{GoldenCheckpointLibrary, SnapshotMachine};
+//! use restore_workloads::{Scale, WorkloadId};
+//!
+//! let program = WorkloadId::Mcfx.build(Scale::smoke());
+//! let mut lib = GoldenCheckpointLibrary::new(Cpu::new(&program), 500);
+//! let m = lib.materialize(1_234).expect("mcfx runs past 1234 instructions");
+//! assert!(m.base_coord <= 1_234 && 1_234 - m.base_coord < 500);
+//! let mut cpu = m.machine;
+//! assert!(cpu.step_to(1_234));
+//! assert_eq!(cpu.retired(), 1_234);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use parking_lot::Mutex;
+use restore_arch::state::{FieldClass, StateHasher, StateKind, StateVisitor};
+use restore_arch::Cpu;
+use restore_uarch::{Pipeline, Stop};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// A machine whose golden run can be checkpointed: it advances along a
+/// monotone sweep coordinate (pipeline cycles, retired instructions),
+/// clones into an independent replica, and digests its complete state
+/// into a fingerprint.
+///
+/// The library's correctness argument leans on two contracts:
+///
+/// * **determinism** — two clones at the same coordinate evolve
+///   identically, so a materialized machine is indistinguishable from a
+///   serially swept one;
+/// * **fingerprint completeness** — equal fingerprints mean equal full
+///   machine state (the same property the campaigns' reconvergence
+///   cutoff relies on).
+pub trait SnapshotMachine: Clone {
+    /// Current sweep coordinate (monotone non-decreasing under
+    /// [`SnapshotMachine::step_to`]).
+    fn coord(&self) -> u64;
+
+    /// Advances to `coord`, stopping early if the machine halts.
+    /// Returns `true` iff the machine is still live *at* `coord` —
+    /// exactly the historical campaign sweepers' emission condition.
+    fn step_to(&mut self, coord: u64) -> bool;
+
+    /// Full-machine state digest (`&mut` only to refresh internal
+    /// digest caches; the architectural state is untouched).
+    fn fingerprint(&mut self) -> u64;
+}
+
+impl SnapshotMachine for Cpu {
+    fn coord(&self) -> u64 {
+        self.retired()
+    }
+
+    fn step_to(&mut self, coord: u64) -> bool {
+        while self.retired() < coord && !self.is_halted() {
+            self.step().expect("golden machines never fault");
+        }
+        !self.is_halted()
+    }
+
+    fn fingerprint(&mut self) -> u64 {
+        Cpu::fingerprint(self)
+    }
+}
+
+impl SnapshotMachine for Pipeline {
+    fn coord(&self) -> u64 {
+        self.cycles()
+    }
+
+    fn step_to(&mut self, coord: u64) -> bool {
+        while self.cycles() < coord && self.status() == Stop::Running {
+            self.cycle();
+        }
+        self.status() == Stop::Running
+    }
+
+    fn fingerprint(&mut self) -> u64 {
+        Pipeline::fingerprint(self)
+    }
+}
+
+/// Bookkeeping carried by one captured snapshot. The capture/restore
+/// proof obligation lives here: `fingerprint` is recorded at capture
+/// and every materialization must reproduce it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Sweep coordinate the snapshot was captured at.
+    pub coord: u64,
+    /// Full-machine fingerprint recorded at capture.
+    pub fingerprint: u64,
+    /// Materializations served from this snapshot so far.
+    // audit: skip -- usage counter for stats reporting, not captured
+    // machine state; restoring it would claim another run's history
+    pub serves: u64,
+}
+
+impl SnapshotMeta {
+    /// Walks the capture-proof fields through a [`StateVisitor`], so
+    /// [`GoldenCheckpointLibrary::digest`] can fold a whole library into
+    /// one value (shards of a resumable campaign cross-check that they
+    /// materialize from identical libraries).
+    pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+        v.region("snapshot-meta", StateKind::Ram);
+        v.word(&mut self.coord, 64, FieldClass::Data);
+        v.word(&mut self.fingerprint, 64, FieldClass::Data);
+    }
+}
+
+/// One captured snapshot: the machine clone plus its proof metadata.
+#[derive(Debug, Clone)]
+struct Snapshot<M> {
+    meta: SnapshotMeta,
+    machine: M,
+}
+
+/// A machine materialized from the library, positioned at the nearest
+/// snapshot at-or-before the requested coordinate. The consumer owes
+/// the residual `step_to(requested)` — at most one stride of work.
+#[derive(Debug)]
+pub struct Materialized<M> {
+    /// The restored machine, at `base_coord`.
+    pub machine: M,
+    /// Coordinate of the snapshot the machine was cloned from.
+    pub base_coord: u64,
+    /// Fingerprint recorded when that snapshot was captured, for
+    /// release-mode restore verification by callers that want it.
+    pub base_fingerprint: u64,
+    /// Index of the serving snapshot in capture order; comparing against
+    /// [`GoldenCheckpointLibrary::len`] taken earlier distinguishes warm
+    /// (pre-existing) from cold (freshly captured) serves.
+    pub snap_index: usize,
+}
+
+/// Strided full-machine snapshots of one golden run.
+///
+/// The library owns a *frontier* machine that sweeps forward on demand,
+/// capturing a snapshot (clone + fingerprint) at every multiple of
+/// `stride` it crosses. [`GoldenCheckpointLibrary::materialize`] then
+/// serves any coordinate the golden run reaches alive, from the nearest
+/// snapshot at-or-before it. Requests may arrive in any order; the
+/// frontier only ever moves forward, so a full campaign costs one
+/// golden sweep to its furthest point — once per process per
+/// [`LibraryKey`], not once per campaign.
+#[derive(Debug)]
+pub struct GoldenCheckpointLibrary<M> {
+    stride: u64,
+    origin_coord: u64,
+    snaps: Vec<Snapshot<M>>,
+    frontier: M,
+    /// Coordinate where the golden run stopped being live, once known.
+    /// Coordinates at or past it are unreachable (`materialize` returns
+    /// `None`, matching the serial sweepers' abandonment semantics).
+    stop: Option<u64>,
+}
+
+impl<M: SnapshotMachine> GoldenCheckpointLibrary<M> {
+    /// Builds a library over `origin` (the machine at its spawn state),
+    /// capturing future snapshots every `stride` coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero — a zero stride means "no library";
+    /// callers gate on it before constructing one.
+    pub fn new(mut origin: M, stride: u64) -> GoldenCheckpointLibrary<M> {
+        assert!(stride > 0, "checkpoint stride must be positive");
+        let origin_coord = origin.coord();
+        let meta =
+            SnapshotMeta { coord: origin_coord, fingerprint: origin.fingerprint(), serves: 0 };
+        let snaps = vec![Snapshot { meta, machine: origin.clone() }];
+        GoldenCheckpointLibrary { stride, origin_coord, snaps, frontier: origin, stop: None }
+    }
+
+    /// The capture stride.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// The origin machine's coordinate (usually 0).
+    pub fn origin_coord(&self) -> u64 {
+        self.origin_coord
+    }
+
+    /// The origin machine — the spawn-state snapshot. Campaign planners
+    /// read run metadata from here instead of spawning a fresh machine.
+    pub fn origin(&self) -> &M {
+        &self.snaps[0].machine
+    }
+
+    /// Snapshots captured so far (the origin counts).
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// Never true: the origin snapshot always exists.
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+
+    /// Where the golden run stopped, if the frontier has discovered it.
+    pub fn stop_coord(&self) -> Option<u64> {
+        self.stop
+    }
+
+    /// Per-snapshot metadata in capture order (coordinates ascending).
+    pub fn metas(&self) -> impl Iterator<Item = &SnapshotMeta> {
+        self.snaps.iter().map(|s| &s.meta)
+    }
+
+    /// Order-sensitive digest of every snapshot's (coordinate,
+    /// fingerprint) pair: two libraries digest equal iff they captured
+    /// the same golden states at the same coordinates.
+    pub fn digest(&mut self) -> u64 {
+        let mut h = StateHasher::new();
+        for s in &mut self.snaps {
+            s.meta.visit(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Advances the frontier to `coord`, capturing a snapshot at every
+    /// stride boundary crossed, and records the stop coordinate if the
+    /// machine halts on the way.
+    fn ensure(&mut self, coord: u64) {
+        while self.stop.is_none() && self.frontier.coord() < coord {
+            let boundary = (self.frontier.coord() / self.stride + 1) * self.stride;
+            let target = boundary.min(coord);
+            if !self.frontier.step_to(target) {
+                self.stop = Some(self.frontier.coord());
+                return;
+            }
+            if self.frontier.coord() == boundary {
+                let meta = SnapshotMeta {
+                    coord: boundary,
+                    fingerprint: self.frontier.fingerprint(),
+                    serves: 0,
+                };
+                self.snaps.push(Snapshot { meta, machine: self.frontier.clone() });
+            }
+        }
+    }
+
+    /// Clones the machine nearest at-or-before `coord`, extending the
+    /// frontier first if needed. `None` iff the golden run is not live
+    /// at `coord` — the exact condition under which the historical
+    /// serial sweepers stopped emitting points.
+    ///
+    /// Every materialization re-verifies the restore in debug builds:
+    /// the clone's fingerprint must equal the one recorded at capture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` precedes the origin coordinate — such a point
+    /// was never reachable by sweeping and indicates a planner bug.
+    pub fn materialize(&mut self, coord: u64) -> Option<Materialized<M>> {
+        assert!(coord >= self.origin_coord, "coordinate precedes the library origin");
+        self.ensure(coord);
+        if self.stop.is_some_and(|s| coord >= s) {
+            return None;
+        }
+        let idx = self.snaps.partition_point(|s| s.meta.coord <= coord) - 1;
+        let snap = &mut self.snaps[idx];
+        snap.meta.serves += 1;
+        let machine = snap.machine.clone();
+        if cfg!(debug_assertions) {
+            let mut probe = machine.clone();
+            assert_eq!(
+                probe.fingerprint(),
+                snap.meta.fingerprint,
+                "restored snapshot at coord {} does not reproduce its capture fingerprint",
+                snap.meta.coord
+            );
+        }
+        Some(Materialized {
+            machine,
+            base_coord: snap.meta.coord,
+            base_fingerprint: snap.meta.fingerprint,
+            snap_index: idx,
+        })
+    }
+}
+
+/// Process-wide identity of one golden run's library: seeding domain,
+/// workload index, a digest of everything that shapes the machine's
+/// evolution (program scale, machine configuration — *not* campaign
+/// seeds or thread counts, which never touch the golden run), and the
+/// capture stride.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LibraryKey {
+    /// Campaign seeding domain (decorrelates the µarch and arch suites).
+    pub domain: u64,
+    /// Workload index within the suite.
+    pub workload: u64,
+    /// Digest of the machine-shaping configuration ([`config_digest`]).
+    pub config: u64,
+    /// Capture stride; different strides are different libraries.
+    pub stride: u64,
+}
+
+/// FNV-1a digest of a configuration's debug rendering — the stable
+/// within-process way to fold "everything that shapes the golden run"
+/// into a [`LibraryKey::config`] without imposing `Hash` on config
+/// types that carry floats.
+pub fn config_digest(rendering: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in rendering.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+type CacheMap = HashMap<LibraryKey, Arc<dyn Any + Send + Sync>>;
+
+fn cache() -> &'static Mutex<CacheMap> {
+    static CACHE: OnceLock<Mutex<CacheMap>> = OnceLock::new();
+    CACHE.get_or_init(Mutex::default)
+}
+
+/// Runs `f` with exclusive access to the library for `key`, creating it
+/// via `init` on first use. Libraries persist for the life of the
+/// process, so later campaigns with the same key find warm snapshots.
+/// `f`'s second argument is `true` when this call created the library —
+/// callers distinguishing warm reuse from cold capture must treat
+/// everything in a just-created library (the origin snapshot included)
+/// as cold.
+///
+/// The per-library lock is held for the whole of `f`: a campaign
+/// producer materializes all its points under one hold, so two
+/// campaigns over the same key serialize their production (their
+/// workers still overlap). Campaigns with different keys are
+/// independent.
+///
+/// # Panics
+///
+/// Panics if `key` was previously used with a different machine type —
+/// keys embed the seeding domain precisely so that cannot happen.
+pub fn with_library<M, R>(
+    key: LibraryKey,
+    init: impl FnOnce() -> GoldenCheckpointLibrary<M>,
+    f: impl FnOnce(&mut GoldenCheckpointLibrary<M>, bool) -> R,
+) -> R
+where
+    M: SnapshotMachine + Send + 'static,
+{
+    let (slot, created): (Arc<Mutex<GoldenCheckpointLibrary<M>>>, bool) = {
+        let mut map = cache().lock();
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => (
+                Arc::clone(e.get())
+                    .downcast::<Mutex<GoldenCheckpointLibrary<M>>>()
+                    .expect("one machine type per library key"),
+                false,
+            ),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let fresh = Arc::new(Mutex::new(init()));
+                v.insert(fresh.clone());
+                (fresh, true)
+            }
+        }
+    };
+    let mut lib = slot.lock();
+    f(&mut lib, created)
+}
+
+/// Number of libraries currently memoized (all machine types).
+pub fn cached_libraries() -> usize {
+    cache().lock().len()
+}
+
+/// Drops every memoized library, forcing the next campaign to rebuild
+/// cold. Benchmarks use this to measure cold-vs-warm producer cost;
+/// in-flight campaigns keep their own `Arc` and are unaffected.
+pub fn clear_library_cache() {
+    cache().lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_workloads::{Scale, WorkloadId};
+
+    fn smoke_cpu() -> Cpu {
+        Cpu::new(&WorkloadId::Gzipx.build(Scale::smoke()))
+    }
+
+    #[test]
+    fn snapshots_land_on_stride_boundaries() {
+        let mut lib = GoldenCheckpointLibrary::new(smoke_cpu(), 300);
+        let m = lib.materialize(1_000).unwrap();
+        assert_eq!(m.base_coord, 900);
+        assert_eq!(m.machine.retired(), 900);
+        let coords: Vec<u64> = lib.metas().map(|m| m.coord).collect();
+        assert_eq!(coords, vec![0, 300, 600, 900]);
+    }
+
+    #[test]
+    fn materialized_machine_matches_a_serial_sweep() {
+        let mut lib = GoldenCheckpointLibrary::new(smoke_cpu(), 250);
+        let m = lib.materialize(777).unwrap();
+        let mut restored = m.machine;
+        assert!(restored.step_to(777));
+
+        let mut swept = smoke_cpu();
+        assert!(swept.step_to(777));
+        assert_eq!(restored.fingerprint(), swept.fingerprint());
+    }
+
+    #[test]
+    fn out_of_order_requests_reuse_the_frontier() {
+        let mut lib = GoldenCheckpointLibrary::new(smoke_cpu(), 100);
+        let far = lib.materialize(950).unwrap();
+        assert_eq!(far.base_coord, 900);
+        let captured = lib.len();
+        // An earlier coordinate must be served without new captures.
+        let near = lib.materialize(150).unwrap();
+        assert_eq!(near.base_coord, 100);
+        assert_eq!(lib.len(), captured);
+        assert!(near.snap_index < far.snap_index);
+    }
+
+    #[test]
+    fn coordinates_past_the_halt_are_unreachable() {
+        let len = restore_workloads::run_length(WorkloadId::Gzipx, Scale::smoke());
+        let mut lib = GoldenCheckpointLibrary::new(smoke_cpu(), 1_000);
+        assert!(lib.materialize(len + 5).is_none());
+        assert_eq!(lib.stop_coord(), Some(len));
+        // Coordinates strictly before the halt stay live.
+        assert!(lib.materialize(len - 1).is_some());
+    }
+
+    #[test]
+    fn digest_tracks_captured_state() {
+        let mut a = GoldenCheckpointLibrary::new(smoke_cpu(), 400);
+        let mut b = GoldenCheckpointLibrary::new(smoke_cpu(), 400);
+        a.materialize(1_500).unwrap();
+        assert_ne!(a.digest(), b.digest(), "frontier extension must change the digest");
+        b.materialize(1_500).unwrap();
+        assert_eq!(a.digest(), b.digest(), "identical golden runs must digest identically");
+    }
+
+    #[test]
+    fn library_cache_is_keyed_and_warm() {
+        let key = LibraryKey {
+            domain: 0xD0_0D,
+            workload: 0,
+            config: config_digest("unit-test-config"),
+            stride: 350,
+        };
+        let before = cached_libraries();
+        let first = with_library(
+            key,
+            || GoldenCheckpointLibrary::new(smoke_cpu(), 350),
+            |lib, created| {
+                assert!(created, "first use must initialize the library");
+                lib.materialize(700).map(|m| m.snap_index)
+            },
+        );
+        assert!(cached_libraries() > before);
+        let warm_len = with_library::<Cpu, _>(
+            key,
+            || panic!("second use must not re-initialize"),
+            |lib, created| {
+                assert!(!created, "second use must find the cached library");
+                lib.len()
+            },
+        );
+        assert_eq!(first, Some(2));
+        assert_eq!(warm_len, 3, "origin plus two strided snapshots");
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_is_rejected() {
+        let _ = GoldenCheckpointLibrary::new(smoke_cpu(), 0);
+    }
+}
