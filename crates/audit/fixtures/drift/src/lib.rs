@@ -47,6 +47,30 @@ impl StaleMeta {
     }
 }
 
+/// A trial-store content address whose walk forgot the campaign-config
+/// digest — the exact defect that would let records from different
+/// campaigns collide under one key and replay the wrong outcome.
+pub struct DriftKey {
+    /// NOT covered by the walk below and NOT exempted: the scanner must
+    /// report `unvisited-field` for `DriftKey.config`.
+    pub config: u64,
+    /// Covered.
+    pub workload: u64,
+    /// Covered.
+    pub point: u64,
+    /// Covered.
+    pub seed: u64,
+}
+
+impl DriftKey {
+    pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+        v.region("drift-key", StateKind::Ram);
+        v.word(&mut self.workload, 64, FieldClass::Data);
+        v.word(&mut self.point, 64, FieldClass::Data);
+        v.word(&mut self.seed, 64, FieldClass::Data);
+    }
+}
+
 /// A widget that over-declares a width.
 pub struct WidthBuster {
     /// Visited via `word8` with width 9 — the scanner must report

@@ -5,8 +5,8 @@
 //! ```
 //!
 //! * `--check` (default): run the static field-coverage scanner over
-//!   `crates/uarch/src`, `crates/arch/src` and `crates/snapshot/src`;
-//!   exit 1 on any finding.
+//!   `crates/uarch/src`, `crates/arch/src`, `crates/snapshot/src` and
+//!   `crates/store/src`; exit 1 on any finding.
 //! * `--contract`: run the runtime invariant battery against a warmed
 //!   default-config pipeline and the architectural CPU; exit 1 on any
 //!   violation.
@@ -72,6 +72,7 @@ fn run_check(opts: &Options) -> bool {
         opts.root.join("crates/uarch/src"),
         opts.root.join("crates/arch/src"),
         opts.root.join("crates/snapshot/src"),
+        opts.root.join("crates/store/src"),
     ];
     let analysis = match analyze_dirs(&roots) {
         Ok(a) => a,

@@ -44,6 +44,19 @@ fn unvisited_snapshot_fingerprint_is_reported() {
 }
 
 #[test]
+fn unvisited_trial_key_config_digest_is_reported() {
+    // The store-shaped canary: a trial key whose walk drops the
+    // campaign-config digest would let records from different campaigns
+    // collide; the scanner must see the hole.
+    let analysis = analyze_dirs(&[fixture_root()]).expect("fixture dir readable");
+    let f = analysis
+        .errors()
+        .find(|f| f.kind == "unvisited-field" && f.type_name == "DriftKey")
+        .expect("fixture must trip the unvisited-field check on DriftKey");
+    assert_eq!(f.field, "config");
+}
+
+#[test]
 fn exempted_field_is_not_reported() {
     let analysis = analyze_dirs(&[fixture_root()]).expect("fixture dir readable");
     assert!(
@@ -74,10 +87,11 @@ fn fixture_defect_count_is_exact() {
     // the fixture or a scanner that stopped seeing one.
     let analysis = analyze_dirs(&[fixture_root()]).expect("fixture dir readable");
     let kinds: Vec<&str> = analysis.errors().map(|f| f.kind).collect();
-    // DriftWidget.dropped_tag and StaleMeta.capture_fingerprint.
-    assert_eq!(kinds.iter().filter(|k| **k == "unvisited-field").count(), 2, "{kinds:?}");
+    // DriftWidget.dropped_tag, StaleMeta.capture_fingerprint and
+    // DriftKey.config.
+    assert_eq!(kinds.iter().filter(|k| **k == "unvisited-field").count(), 3, "{kinds:?}");
     // Width 9 on a `word8` breaks two rules at once: the method's 8-bit
     // cap and the u8 field's capacity.
     assert_eq!(kinds.iter().filter(|k| **k == "width-unsound").count(), 2, "{kinds:?}");
-    assert_eq!(kinds.len(), 4, "{kinds:?}");
+    assert_eq!(kinds.len(), 5, "{kinds:?}");
 }

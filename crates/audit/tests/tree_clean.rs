@@ -9,11 +9,12 @@ fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
-fn scan_roots() -> [PathBuf; 3] {
+fn scan_roots() -> [PathBuf; 4] {
     [
         repo_root().join("crates/uarch/src"),
         repo_root().join("crates/arch/src"),
         repo_root().join("crates/snapshot/src"),
+        repo_root().join("crates/store/src"),
     ]
 }
 
@@ -25,7 +26,17 @@ fn simulator_sources_scan_clean() {
     // Sanity: the scanner actually saw the machines, not an empty dir.
     assert!(analysis.files_scanned >= 6, "only {} files scanned", analysis.files_scanned);
     let walked: Vec<&str> = analysis.walks.iter().map(|w| w.type_name.as_str()).collect();
-    for expected in ["Pipeline", "Cpu", "CircQ", "RobEntry", "RegFile", "SnapshotMeta"] {
+    let expected = [
+        "Pipeline",
+        "Cpu",
+        "CircQ",
+        "RobEntry",
+        "RegFile",
+        "SnapshotMeta",
+        "TrialKey",
+        "TrialCost",
+    ];
+    for expected in expected {
         assert!(walked.contains(&expected), "no walk found for {expected}: {walked:?}");
     }
 }

@@ -5,11 +5,11 @@
 
 use restore_bench::{arch_table, cli, FIG2_LATENCIES};
 use restore_inject::{
-    run_arch_campaign_with_stats, worst_case_ci95, ArchCampaignConfig, ArchCategory,
+    run_arch_campaign_io, worst_case_ci95, ArchCampaignConfig, ArchCategory, Shard,
 };
 
 const USAGE: &str = "fig2 [--trials N] [--seed S] [--low32] [--size N] [--threads N] [--cutoff K] \
-                     [--ckpt-stride K]";
+                     [--ckpt-stride K] [--store DIR]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -17,7 +17,16 @@ fn main() {
     cli::or_exit(
         cli::reject_unknown(
             &args,
-            &["--trials", "--seed", "--low32", "--size", "--threads", "--cutoff", "--ckpt-stride"],
+            &[
+                "--trials",
+                "--seed",
+                "--low32",
+                "--size",
+                "--threads",
+                "--cutoff",
+                "--ckpt-stride",
+                "--store",
+            ],
         ),
         USAGE,
     );
@@ -28,7 +37,8 @@ fn main() {
         cfg.trials_per_workload,
         if cfg.low32 { " (low 32 bits only)" } else { "" }
     );
-    let (trials, stats) = run_arch_campaign_with_stats(&cfg);
+    let store = cli::or_exit(cli::open_arch_store(&cfg, &args), USAGE);
+    let (trials, stats) = run_arch_campaign_io(&cfg, store.as_ref(), Shard::ALL);
     eprintln!("fig2: {stats}");
 
     println!("# Figure 2 — virtual machine fault injection");

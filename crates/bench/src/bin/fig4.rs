@@ -7,12 +7,11 @@
 //! [--cutoff K] [--prune off|on|audit]`
 
 use restore_bench::{cli, coverage_summary, uarch_table, FIG46_INTERVALS};
-use restore_inject::{
-    run_uarch_campaign_with_stats, CfvMode, InjectionTarget, UarchCampaignConfig,
-};
+use restore_inject::{run_uarch_campaign_io, CfvMode, InjectionTarget, Shard, UarchCampaignConfig};
 
 const USAGE: &str = "fig4 [--points N] [--trials N] [--seed S] [--latches-only] \
-                     [--threads N] [--cutoff K] [--prune off|on|audit] [--ckpt-stride K]";
+                     [--threads N] [--cutoff K] [--prune off|on|audit] [--ckpt-stride K] \
+                     [--store DIR]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -30,7 +29,8 @@ fn main() {
         cfg.trials_per_point,
         if latches { "latches only" } else { "all state" }
     );
-    let (trials, stats) = run_uarch_campaign_with_stats(&cfg);
+    let store = cli::or_exit(cli::open_uarch_store(&cfg, &args), USAGE);
+    let (trials, stats) = run_uarch_campaign_io(&cfg, store.as_ref(), Shard::ALL);
     eprintln!("fig4: {stats}");
 
     println!(

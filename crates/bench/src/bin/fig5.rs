@@ -6,10 +6,10 @@
 //! [--prune off|on|audit]`
 
 use restore_bench::{cli, coverage_summary, uarch_table, FIG46_INTERVALS};
-use restore_inject::{run_uarch_campaign_with_stats, CfvMode, UarchCampaignConfig, UarchCategory};
+use restore_inject::{run_uarch_campaign_io, CfvMode, Shard, UarchCampaignConfig, UarchCategory};
 
 const USAGE: &str = "fig5 [--points N] [--trials N] [--seed S] [--threads N] [--cutoff K] \
-                     [--prune off|on|audit] [--ckpt-stride K]";
+                     [--prune off|on|audit] [--ckpt-stride K] [--store DIR]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -21,7 +21,8 @@ fn main() {
         "fig5: {} points x {} trials x 7 workloads ...",
         cfg.points_per_workload, cfg.trials_per_point
     );
-    let (trials, stats) = run_uarch_campaign_with_stats(&cfg);
+    let store = cli::or_exit(cli::open_uarch_store(&cfg, &args), USAGE);
+    let (trials, stats) = run_uarch_campaign_io(&cfg, store.as_ref(), Shard::ALL);
     eprintln!("fig5: {stats}");
 
     println!("# Figure 5 — ReStore coverage (JRS high-confidence cfv detection)");

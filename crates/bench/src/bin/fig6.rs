@@ -7,12 +7,12 @@
 //! [--prune off|on|audit]`
 
 use restore_bench::{cli, coverage_summary, uarch_table, FIG46_INTERVALS};
-use restore_inject::{run_uarch_campaign_with_stats, CfvMode, UarchCampaignConfig};
+use restore_inject::{run_uarch_campaign_io, CfvMode, Shard, UarchCampaignConfig};
 use restore_uarch::{Pipeline, UarchConfig};
 use restore_workloads::WorkloadId;
 
 const USAGE: &str = "fig6 [--points N] [--trials N] [--seed S] [--threads N] [--cutoff K] \
-                     [--prune off|on|audit] [--ckpt-stride K]";
+                     [--prune off|on|audit] [--ckpt-stride K] [--store DIR]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -32,7 +32,8 @@ fn main() {
         100.0 * catalog.lhf_overhead()
     );
 
-    let (trials, stats) = run_uarch_campaign_with_stats(&cfg);
+    let store = cli::or_exit(cli::open_uarch_store(&cfg, &args), USAGE);
+    let (trials, stats) = run_uarch_campaign_io(&cfg, store.as_ref(), Shard::ALL);
     eprintln!("fig6: {stats}");
 
     println!("# Figure 6 — hardened (parity/ECC) pipeline + ReStore");

@@ -11,10 +11,10 @@
 
 use restore_bench::{cli, coverage_summary};
 use restore_core::fit::{figure8_sizes, FitScaling, MTBF_GOAL_FIT};
-use restore_inject::{run_uarch_campaign, CfvMode, UarchCampaignConfig};
+use restore_inject::{run_uarch_campaign_io, CfvMode, Shard, UarchCampaignConfig};
 
 const USAGE: &str = "fig8 [--paper] [--points N] [--trials N] [--seed S] [--threads N] \
-                     [--cutoff K] [--prune off|on|audit] [--ckpt-stride K]";
+                     [--cutoff K] [--prune off|on|audit] [--ckpt-stride K] [--store DIR]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -29,7 +29,8 @@ fn main() {
             "fig8: measuring failure fractions ({} points x {} trials x 7 workloads) ...",
             cfg.points_per_workload, cfg.trials_per_point
         );
-        let trials = run_uarch_campaign(&cfg);
+        let store = cli::or_exit(cli::open_uarch_store(&cfg, &args), USAGE);
+        let (trials, _) = run_uarch_campaign_io(&cfg, store.as_ref(), Shard::ALL);
         let base = coverage_summary(&trials, 100, CfvMode::HighConfidence, false);
         let hard = coverage_summary(&trials, 100, CfvMode::HighConfidence, true);
         eprintln!(

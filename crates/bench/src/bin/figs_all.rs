@@ -9,14 +9,15 @@
 use restore_bench::*;
 use restore_core::fit::{figure8_sizes, FitScaling, MTBF_GOAL_FIT};
 use restore_inject::{
-    run_arch_campaign_with_stats, run_uarch_campaign_with_stats, ArchCampaignConfig, CfvMode,
-    InjectionTarget, UarchCampaignConfig,
+    run_arch_campaign_io, run_uarch_campaign_io, ArchCampaignConfig, CfvMode, InjectionTarget,
+    Shard, UarchCampaignConfig,
 };
 use restore_perf::{profile_all, PerfModel, Policy, FIGURE7_INTERVALS};
 use restore_uarch::UarchConfig;
 
 const USAGE: &str = "figs_all [--points N] [--trials N] [--arch-trials N] [--seed S] \
-                     [--threads N] [--cutoff K] [--prune off|on|audit] [--ckpt-stride K]";
+                     [--threads N] [--cutoff K] [--prune off|on|audit] [--ckpt-stride K] \
+                     [--store DIR]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -31,13 +32,21 @@ fn main() {
         t0.elapsed().as_secs_f64(),
         acfg.trials_per_workload
     );
-    let (arch_trials, astats) = run_arch_campaign_with_stats(&acfg);
+    // One `--store` directory serves all four campaigns below: each
+    // opens it under its own campaign digest, so records never cross.
+    let (arch_trials, astats) = {
+        let store = cli::or_exit(cli::open_arch_store(&acfg, &args), USAGE);
+        run_arch_campaign_io(&acfg, store.as_ref(), Shard::ALL)
+    };
     eprintln!("[{:6.1}s] figure 2: {astats}", t0.elapsed().as_secs_f64());
     println!("==== Figure 2 — virtual machine fault injection ({} trials) ====", arch_trials.len());
     println!("{}", arch_table(&arch_trials, &FIG2_LATENCIES));
 
     let low32 = ArchCampaignConfig { low32: true, ..acfg.clone() };
-    let (low32_trials, _) = run_arch_campaign_with_stats(&low32);
+    let (low32_trials, _) = {
+        let store = cli::or_exit(cli::open_arch_store(&low32, &args), USAGE);
+        run_arch_campaign_io(&low32, store.as_ref(), Shard::ALL)
+    };
     println!("==== Figure 2 variant — low-32-bit flips (§3.1) ====");
     println!("{}", arch_table(&low32_trials, &FIG2_LATENCIES));
 
@@ -50,7 +59,10 @@ fn main() {
         ucfg.points_per_workload,
         ucfg.trials_per_point
     );
-    let (trials, ustats) = run_uarch_campaign_with_stats(&ucfg);
+    let (trials, ustats) = {
+        let store = cli::or_exit(cli::open_uarch_store(&ucfg, &args), USAGE);
+        run_uarch_campaign_io(&ucfg, store.as_ref(), Shard::ALL)
+    };
     eprintln!("[{:6.1}s] µarch campaign: {ustats}", t0.elapsed().as_secs_f64());
 
     println!(
@@ -60,7 +72,10 @@ fn main() {
     println!("{}", uarch_table(&trials, &FIG46_INTERVALS, CfvMode::Perfect, false));
 
     let latch_cfg = UarchCampaignConfig { target: InjectionTarget::LatchesOnly, ..ucfg.clone() };
-    let (latch_trials, _) = run_uarch_campaign_with_stats(&latch_cfg);
+    let (latch_trials, _) = {
+        let store = cli::or_exit(cli::open_uarch_store(&latch_cfg, &args), USAGE);
+        run_uarch_campaign_io(&latch_cfg, store.as_ref(), Shard::ALL)
+    };
     println!("==== §5.1.2 — latches only, perfect cfv ({} trials) ====", latch_trials.len());
     println!("{}", uarch_table(&latch_trials, &FIG46_INTERVALS, CfvMode::Perfect, false));
     let l = coverage_summary(&latch_trials, 100, CfvMode::Perfect, false);

@@ -14,7 +14,7 @@
 //! [--prune off|on|audit]`
 
 use restore_bench::cli;
-use restore_inject::{run_uarch_campaign_with_stats, UarchCampaignConfig, UarchTrial};
+use restore_inject::{run_uarch_campaign_io, Shard, UarchCampaignConfig, UarchTrial};
 use restore_uarch::{Pipeline, Stop, UarchConfig};
 use restore_workloads::{Scale, WorkloadId};
 
@@ -36,7 +36,7 @@ fn median(v: &mut [u64]) -> Option<u64> {
 }
 
 const USAGE: &str = "symptom_metrics [--points N] [--trials N] [--seed S] [--threads N] \
-                     [--cutoff K] [--prune off|on|audit] [--ckpt-stride K]";
+                     [--cutoff K] [--prune off|on|audit] [--ckpt-stride K] [--store DIR]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -78,7 +78,8 @@ fn main() {
         "running campaign ({} points x {} trials x 7 workloads) ...",
         cfg.points_per_workload, cfg.trials_per_point
     );
-    let (trials, stats) = run_uarch_campaign_with_stats(&cfg);
+    let store = cli::or_exit(cli::open_uarch_store(&cfg, &args), USAGE);
+    let (trials, stats) = run_uarch_campaign_io(&cfg, store.as_ref(), Shard::ALL);
     let failures: Vec<&UarchTrial> = trials.iter().filter(|t| t.is_failure()).collect();
     eprintln!("{stats} ({} failures)", failures.len());
 

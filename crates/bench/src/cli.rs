@@ -18,9 +18,13 @@
 //! Errors print the binary's usage line and exit with status 2 via
 //! [`or_exit`].
 
-use restore_inject::{ArchCampaignConfig, PruneMode, UarchCampaignConfig};
+use restore_inject::{
+    arch_campaign_digest, uarch_campaign_digest, ArchCampaignConfig, ArchTrial, PruneMode,
+    TrialCache, UarchCampaignConfig, UarchTrial,
+};
 use restore_workloads::Scale;
 use std::fmt;
+use std::path::PathBuf;
 
 /// A CLI parse failure (the message names the offending flag).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,9 +107,52 @@ pub fn reject_unknown(args: &[String], known: &[&str]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses `--store PATH` — the content-addressed trial store directory.
+pub fn store_path(args: &[String]) -> Result<Option<PathBuf>, CliError> {
+    Ok(value(args, "--store")?.map(PathBuf::from))
+}
+
+/// Opens the `--store` trial store (if requested) under the µarch
+/// campaign digest of `cfg`. Must run *after* every campaign flag has
+/// been applied — the digest is a function of the final configuration.
+pub fn open_uarch_store(
+    cfg: &UarchCampaignConfig,
+    args: &[String],
+) -> Result<Option<TrialCache<UarchTrial>>, CliError> {
+    store_path(args)?
+        .map(|dir| {
+            TrialCache::open(&dir, "all", uarch_campaign_digest(cfg))
+                .map_err(|e| CliError(format!("--store {}: {e}", dir.display())))
+        })
+        .transpose()
+}
+
+/// Opens the `--store` trial store (if requested) under the arch
+/// campaign digest of `cfg`. Must run *after* every campaign flag has
+/// been applied — the digest is a function of the final configuration.
+pub fn open_arch_store(
+    cfg: &ArchCampaignConfig,
+    args: &[String],
+) -> Result<Option<TrialCache<ArchTrial>>, CliError> {
+    store_path(args)?
+        .map(|dir| {
+            TrialCache::open(&dir, "all", arch_campaign_digest(cfg))
+                .map_err(|e| CliError(format!("--store {}: {e}", dir.display())))
+        })
+        .transpose()
+}
+
 /// The knobs every µarch campaign binary shares.
-pub const UARCH_FLAGS: [&str; 7] =
-    ["--points", "--trials", "--seed", "--threads", "--cutoff", "--prune", "--ckpt-stride"];
+pub const UARCH_FLAGS: [&str; 8] = [
+    "--points",
+    "--trials",
+    "--seed",
+    "--threads",
+    "--cutoff",
+    "--prune",
+    "--ckpt-stride",
+    "--store",
+];
 
 /// [`UARCH_FLAGS`] plus a binary's own extras, for [`reject_unknown`].
 pub fn uarch_flags_plus(extra: &[&'static str]) -> Vec<&'static str> {
@@ -273,6 +320,16 @@ mod tests {
         assert!(cfg.low32);
         assert!(apply_arch_flags(&mut cfg, &args(&["--size", "0"]), "--trials").is_err());
         assert!(apply_arch_flags(&mut cfg, &args(&["--ckpt-stride", "-3"]), "--trials").is_err());
+    }
+
+    #[test]
+    fn store_flag_parses_and_is_strict() {
+        let a = args(&["--store", "/tmp/trials"]);
+        assert_eq!(store_path(&a).unwrap(), Some(PathBuf::from("/tmp/trials")));
+        assert_eq!(store_path(&args(&["--points", "3"])).unwrap(), None);
+        assert!(store_path(&args(&["--store"])).is_err(), "--store needs a path");
+        assert!(store_path(&args(&["--store", "--resume"])).is_err(), "a flag is not a path");
+        assert!(UARCH_FLAGS.contains(&"--store"), "every campaign binary takes --store");
     }
 
     #[test]

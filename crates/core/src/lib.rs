@@ -51,6 +51,7 @@
 
 mod checkpoint;
 mod controller;
+mod digest;
 mod event_log;
 pub mod fit;
 mod replay;
@@ -58,6 +59,7 @@ mod symptom;
 
 pub use checkpoint::{Checkpoint, CheckpointStore, UndoRecord};
 pub use controller::{RestoreConfig, RestoreController, RestoreOutcome, RestoreStats};
+pub use digest::{config_digest, ConfigDigest};
 pub use event_log::{BranchOutcome, EventLog, LogCheck};
 pub use fit::{FitModel, FitScaling};
 pub use replay::{measure_rollbacks, ReplayMeasurement, RollbackPolicy, DOMAIN_REPLAY};

@@ -19,11 +19,9 @@
 //! registers the paper's hardware would snapshot are round-tripped
 //! through [`crate::Checkpoint::of_cpu`].
 
-use crate::Checkpoint;
+use crate::{config_digest, Checkpoint};
 use restore_arch::Cpu;
-use restore_snapshot::{
-    config_digest, with_library, GoldenCheckpointLibrary, LibraryKey, SnapshotMachine,
-};
+use restore_snapshot::{with_library, GoldenCheckpointLibrary, LibraryKey, SnapshotMachine};
 use restore_workloads::{Scale, WorkloadId};
 
 /// Library-key seeding domain for replay measurements (decorrelated

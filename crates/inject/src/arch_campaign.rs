@@ -21,14 +21,17 @@
 //! the simulators' determinism guarantees no further symptom and a
 //! masked verdict. Results are bit-identical with the cutoff on or off.
 
-use crate::campaign::{self, FaultModel, TrialCost};
+use crate::cache::TrialCache;
+use crate::campaign::{self, CampaignIo, FaultModel, TrialCost};
 use crate::classify::{ArchCategory, Symptom, SymptomLatencies};
 use crate::engine::{effective_ckpt_stride, CampaignStats};
 use crate::seeding::DOMAIN_ARCH;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use restore_arch::Cpu;
-use restore_snapshot::{config_digest, SnapshotMachine};
+use restore_core::{config_digest, ConfigDigest};
+use restore_snapshot::SnapshotMachine;
+use restore_store::Shard;
 use restore_workloads::{run_length, Scale, WorkloadId};
 
 /// Configuration of a Figure 2 campaign.
@@ -189,6 +192,9 @@ impl FaultModel for ArchModel<'_> {
         // level; the scale pins the program.
         config_digest(&format!("{:?}", self.cfg.scale))
     }
+    fn campaign_digest(&self) -> u64 {
+        arch_campaign_digest(self.cfg)
+    }
 
     fn spawn(&self, id: WorkloadId) -> ArchMachine {
         let program = id.build(self.cfg.scale);
@@ -231,6 +237,22 @@ impl FaultModel for ArchModel<'_> {
     }
 }
 
+/// Digest of everything that shapes an arch *trial record* given its
+/// key: the program (scale), the symptom observation window and the
+/// low-32 bit restriction. Deliberately excluded — the seed and trial
+/// count (coordinates in the [`restore_store::TrialKey`]), and thread
+/// counts, checkpoint strides and the cutoff stride (result-neutral,
+/// proved by the equivalence suites). Records written under a different
+/// digest are inert misses, never corruption.
+pub fn arch_campaign_digest(cfg: &ArchCampaignConfig) -> u64 {
+    ConfigDigest::new()
+        .text("arch-campaign")
+        .debug(&cfg.scale)
+        .word(cfg.window)
+        .word(u64::from(cfg.low32))
+        .finish()
+}
+
 /// Runs the campaign over all seven workloads.
 ///
 /// # Panics
@@ -239,6 +261,19 @@ impl FaultModel for ArchModel<'_> {
 /// workloads are exception-free by construction).
 pub fn run_arch_campaign(cfg: &ArchCampaignConfig) -> Vec<ArchTrial> {
     run_arch_campaign_with_stats(cfg).0
+}
+
+/// [`run_arch_campaign_with_stats`] against a trial store and a shard
+/// of the plan: cached trials replay from `cache` with zero simulated
+/// window instructions, fresh trials are recorded into it, and only
+/// plan positions owned by `shard` run at all. `cache` must have been
+/// opened under [`arch_campaign_digest`] of this `cfg`.
+pub fn run_arch_campaign_io(
+    cfg: &ArchCampaignConfig,
+    cache: Option<&TrialCache<ArchTrial>>,
+    shard: Shard,
+) -> (Vec<ArchTrial>, CampaignStats) {
+    campaign::run_all_io(&ArchModel { cfg }, &CampaignIo { cache, shard })
 }
 
 /// Runs the campaign and also reports throughput instrumentation.
@@ -381,6 +416,33 @@ mod tests {
             window: 150_000,
             seed: 7,
             ..ArchCampaignConfig::default()
+        }
+    }
+
+    /// The campaign digest keys the on-disk trial store: every
+    /// result-shaping field must change it, and every result-neutral
+    /// field must leave it alone — neutral-field churn would orphan
+    /// every record a store holds.
+    #[test]
+    fn campaign_digest_tracks_result_shaping_fields_only() {
+        let base = quick_cfg();
+        let d0 = arch_campaign_digest(&base);
+        assert_eq!(d0, arch_campaign_digest(&base.clone()), "digest is deterministic");
+        for shaped in [
+            ArchCampaignConfig { scale: Scale::campaign(), ..base.clone() },
+            ArchCampaignConfig { window: base.window + 1, ..base.clone() },
+            ArchCampaignConfig { low32: !base.low32, ..base.clone() },
+        ] {
+            assert_ne!(d0, arch_campaign_digest(&shaped), "result-shaping field must rekey");
+        }
+        for neutral in [
+            ArchCampaignConfig { seed: base.seed + 1, ..base.clone() },
+            ArchCampaignConfig { trials_per_workload: 999, ..base.clone() },
+            ArchCampaignConfig { threads: 3, ..base.clone() },
+            ArchCampaignConfig { cutoff_stride: 0, ..base.clone() },
+            ArchCampaignConfig { ckpt_stride: 0, ..base.clone() },
+        ] {
+            assert_eq!(d0, arch_campaign_digest(&neutral), "neutral field must not rekey");
         }
     }
 

@@ -27,30 +27,23 @@
 //! `(workload, point, trial)` coordinates ([`crate::seeding`]), and the
 //! engine reassembles unit results in emission (= plan) order.
 
+use crate::cache::TrialCache;
 use crate::engine::{effective_threads, run_ordered, CampaignStats, UnitOutput};
 use crate::seeding::Seeder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use restore_snapshot::{with_library, GoldenCheckpointLibrary, LibraryKey, SnapshotMachine};
+use restore_store::{Payload, Shard, Stored, TrialKey};
 use restore_workloads::WorkloadId;
 use std::time::Instant;
 
-/// Window-cycle accounting for one trial, shared by every fault model
-/// ("cycles" are the model's window unit: pipeline cycles at the µarch
-/// level, retired instructions at the arch level).
-#[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct TrialCost {
-    /// Window cycles actually simulated.
-    pub simulated: u64,
-    /// Window cycles skipped by the reconvergence cutoff.
-    pub saved: u64,
-    /// The trial ended at a fingerprint match.
-    pub cut: bool,
-    /// The trial was classified by a liveness oracle.
-    pub pruned: bool,
-    /// Window cycles the pruned trial would have needed.
-    pub pruned_cycles: u64,
-}
+/// Window-cycle accounting for one trial ("cycles" are the model's
+/// window unit: pipeline cycles at the µarch level, retired
+/// instructions at the arch level). The definition lives in
+/// `restore-store` — it is persisted in every trial record so cached
+/// hits replay exact accounting — and is re-exported here so the fault
+/// models keep their historical path.
+pub(crate) use restore_store::TrialCost;
 
 impl<R> UnitOutput<R> {
     /// Folds one trial's cost into the unit's accounting.
@@ -98,6 +91,14 @@ pub(crate) trait FaultModel: Sync {
     /// point counts or thread counts). Keys the process-wide checkpoint
     /// library ([`restore_snapshot::LibraryKey`]).
     fn config_digest(&self) -> u64;
+    /// Digest of everything that shapes a *trial record* — the machine
+    /// configuration plus the observation-window parameters — and
+    /// nothing that doesn't: seeds and coordinates live in the
+    /// [`TrialKey`] itself, and thread counts, checkpoint strides and
+    /// cutoff/prune settings are result-neutral (proved by the
+    /// equivalence suites). Keys the on-disk trial store: records
+    /// written under a different campaign digest are inert misses.
+    fn campaign_digest(&self) -> u64;
 
     /// Builds the workload's walker, positioned before the first
     /// injection coordinate.
@@ -144,6 +145,37 @@ struct PointUnit<M> {
     warmup_saved: u64,
 }
 
+/// One engine work unit: either a live machine fork to simulate, or a
+/// point whose every trial is already in the trial store.
+enum Unit<M, T> {
+    /// Simulate: sweep, golden, trials (each trial may still be an
+    /// individual store hit).
+    Live(PointUnit<M>),
+    /// Replay: the point's records, in trial order. No machine, no
+    /// golden run, zero simulated cycles.
+    Cached(Vec<Stored<T>>),
+}
+
+/// Campaign I/O context: an optional content-addressed trial cache to
+/// consult before simulating (and record into after), plus the shard
+/// of plan positions this run owns. [`CampaignIo::none`] is the
+/// historical in-memory campaign.
+pub(crate) struct CampaignIo<'a, T> {
+    /// Trial store handle, keyed by the model's campaign digest.
+    pub cache: Option<&'a TrialCache<T>>,
+    /// The slice of plan positions this run executes. Sharding is
+    /// positional over the campaign plan, which every shard enumerates
+    /// identically — so shards partition the plan exactly.
+    pub shard: Shard,
+}
+
+impl<'a, T> CampaignIo<'a, T> {
+    /// No store, whole plan.
+    pub(crate) fn none() -> CampaignIo<'a, T> {
+        CampaignIo { cache: None, shard: Shard::ALL }
+    }
+}
+
 /// Index of `id` in [`WorkloadId::ALL`] — the stable workload seeding
 /// coordinate.
 fn workload_index(id: WorkloadId) -> usize {
@@ -151,18 +183,47 @@ fn workload_index(id: WorkloadId) -> usize {
 }
 
 /// Runs a model's campaign over all seven workloads.
-pub(crate) fn run_all<F: FaultModel>(model: &F) -> (Vec<F::Trial>, CampaignStats) {
-    run_campaign(model, &WorkloadId::ALL.map(|id| (workload_index(id), id)))
+pub(crate) fn run_all<F: FaultModel>(model: &F) -> (Vec<F::Trial>, CampaignStats)
+where
+    F::Trial: Payload,
+{
+    run_all_io(model, &CampaignIo::none())
+}
+
+/// [`run_all`] with a trial store and shard selection.
+pub(crate) fn run_all_io<F: FaultModel>(
+    model: &F,
+    io: &CampaignIo<'_, F::Trial>,
+) -> (Vec<F::Trial>, CampaignStats)
+where
+    F::Trial: Payload,
+{
+    run_campaign(model, &WorkloadId::ALL.map(|id| (workload_index(id), id)), io)
 }
 
 /// Runs a model's campaign over a single workload. Seeding coordinates
 /// are absolute, so the result is exactly the workload's slice of the
 /// full campaign with the same seed.
-pub(crate) fn run_single<F: FaultModel>(
+pub(crate) fn run_single<F: FaultModel>(model: &F, id: WorkloadId) -> (Vec<F::Trial>, CampaignStats)
+where
+    F::Trial: Payload,
+{
+    run_single_io(model, id, &CampaignIo::none())
+}
+
+/// [`run_single`] with a trial store and shard selection. Plan
+/// positions stay workload-local slices of the full campaign's
+/// numbering only when the workload set matches, so shard selections
+/// are comparable across runs of the *same* workload set.
+pub(crate) fn run_single_io<F: FaultModel>(
     model: &F,
     id: WorkloadId,
-) -> (Vec<F::Trial>, CampaignStats) {
-    run_campaign(model, &[(workload_index(id), id)])
+    io: &CampaignIo<'_, F::Trial>,
+) -> (Vec<F::Trial>, CampaignStats)
+where
+    F::Trial: Payload,
+{
+    run_campaign(model, &[(workload_index(id), id)], io)
 }
 
 /// The one campaign loop. The [`run_ordered`] producer materializes
@@ -184,21 +245,48 @@ pub(crate) fn run_single<F: FaultModel>(
 fn run_campaign<F: FaultModel>(
     model: &F,
     workloads: &[(usize, WorkloadId)],
-) -> (Vec<F::Trial>, CampaignStats) {
+    io: &CampaignIo<'_, F::Trial>,
+) -> (Vec<F::Trial>, CampaignStats)
+where
+    F::Trial: Payload,
+{
     let seeder = Seeder::new(model.seed(), model.domain());
     let stride = model.ckpt_stride();
+    let config = model.campaign_digest();
+    if let Some(cache) = io.cache {
+        assert_eq!(
+            cache.config(),
+            config,
+            "trial cache was opened under a different campaign digest"
+        );
+    }
     run_ordered(
         effective_threads(model.threads()),
         |emit| {
+            // Plan position across every workload, in plan order — the
+            // shard coordinate. Advanced by full plan lengths (never by
+            // what actually ran), so every shard numbers every point
+            // identically.
+            let mut pos = 0u64;
             for &(wl, id) in workloads {
                 if stride == 0 {
-                    serial_produce(model, wl, id, &seeder, emit);
+                    serial_produce(model, wl, id, &seeder, io, &mut pos, emit);
                 } else {
-                    library_produce(model, wl, id, stride, &seeder, emit);
+                    library_produce(model, wl, id, stride, &seeder, io, &mut pos, emit);
                 }
             }
         },
-        |mut unit: PointUnit<F::Machine>| {
+        |unit: Unit<F::Machine, F::Trial>| {
+            let mut unit = match unit {
+                Unit::Cached(recs) => {
+                    let mut out = UnitOutput::default();
+                    for rec in recs {
+                        absorb_cached(&mut out, rec);
+                    }
+                    return out;
+                }
+                Unit::Live(unit) => unit,
+            };
             let s0 = Instant::now();
             let live = unit.machine.step_to(unit.coord);
             let sweep_secs = s0.elapsed().as_secs_f64();
@@ -215,8 +303,17 @@ fn run_campaign<F: FaultModel>(
             out.warmup_cycles_saved = unit.warmup_saved;
             out.results.reserve(model.trials_per_point());
             for t in 0..model.trials_per_point() {
-                let rng = StdRng::seed_from_u64(seeder.trial(unit.wl, unit.point, t));
+                let seed = seeder.trial(unit.wl, unit.point, t);
+                let key = TrialKey { config, workload: unit.wl as u64, point: unit.coord, seed };
+                if let Some(rec) = io.cache.and_then(|c| c.lookup(&key)) {
+                    absorb_cached(&mut out, rec);
+                    continue;
+                }
+                let rng = StdRng::seed_from_u64(seed);
                 let (trial, cost) = model.run_trial(&unit.machine, &mut golden, unit.id, rng);
+                if let Some(cache) = io.cache {
+                    cache.record(Stored { key, cost, trial: trial.clone() });
+                }
                 out.absorb(cost);
                 out.results.extend(trial);
             }
@@ -226,22 +323,79 @@ fn run_campaign<F: FaultModel>(
     )
 }
 
+/// Replays one stored record into a unit's output: the record's full
+/// planned window lands in the cached counters (zero cycles simulated
+/// this run), its outcome — if the trial produced one — in the results.
+fn absorb_cached<R>(out: &mut UnitOutput<R>, rec: Stored<R>) {
+    out.trials_cached += 1;
+    out.cycles_cached += rec.cost.planned();
+    out.results.extend(rec.trial);
+}
+
+/// The point's full trial record set, when *every* trial is in the
+/// store (partial coverage — e.g. a rerun with more trials per point —
+/// falls back to the live path, which still serves the covered trials
+/// individually). Presence of records implies the golden run was live
+/// at the coordinate when they were recorded, which by determinism
+/// means it still is — so a fully-cached point needs no machine at all.
+fn cached_point<F: FaultModel>(
+    model: &F,
+    cache: Option<&TrialCache<F::Trial>>,
+    seeder: &Seeder,
+    wl: usize,
+    point: usize,
+    coord: u64,
+) -> Option<Vec<Stored<F::Trial>>>
+where
+    F::Trial: Payload,
+{
+    let cache = cache?;
+    let mut recs = Vec::with_capacity(model.trials_per_point());
+    for t in 0..model.trials_per_point() {
+        let key = TrialKey {
+            config: cache.config(),
+            workload: wl as u64,
+            point: coord,
+            seed: seeder.trial(wl, point, t),
+        };
+        recs.push(cache.lookup(&key)?);
+    }
+    Some(recs)
+}
+
 /// The historical producer: one walker swept serially forward through
-/// the workload's sorted plan, forked at each reachable point.
+/// the workload's sorted plan, forked at each reachable point. Points
+/// outside the shard — and fully-cached points — are skipped without
+/// stepping: `step_to` is absolute, so the walker jumps straight to
+/// the next coordinate this run actually simulates.
+#[allow(clippy::too_many_arguments)]
 fn serial_produce<F: FaultModel>(
     model: &F,
     wl: usize,
     id: WorkloadId,
     seeder: &Seeder,
-    emit: &mut dyn FnMut(PointUnit<F::Machine>),
-) {
+    io: &CampaignIo<'_, F::Trial>,
+    pos: &mut u64,
+    emit: &mut dyn FnMut(Unit<F::Machine, F::Trial>),
+) where
+    F::Trial: Payload,
+{
     let mut walker = model.spawn(id);
     let plan = model.plan(&walker, seeder.points(wl));
+    let base = *pos;
+    *pos += plan.len() as u64;
     for (point, coord) in plan.into_iter().enumerate() {
+        if !io.shard.owns(base + point as u64) {
+            continue;
+        }
+        if let Some(recs) = cached_point(model, io.cache, seeder, wl, point, coord) {
+            emit(Unit::Cached(recs));
+            continue;
+        }
         if !walker.step_to(coord) {
             break;
         }
-        emit(PointUnit {
+        emit(Unit::Live(PointUnit {
             wl,
             id,
             point,
@@ -249,7 +403,7 @@ fn serial_produce<F: FaultModel>(
             machine: walker.clone(),
             ckpt_hit: None,
             warmup_saved: 0,
-        });
+        }));
     }
 }
 
@@ -259,14 +413,19 @@ fn serial_produce<F: FaultModel>(
 /// workload's golden prefix is simulated at most once per process, and
 /// emission stops at exactly the first unreachable coordinate — the
 /// same abandonment point as the serial walk.
+#[allow(clippy::too_many_arguments)]
 fn library_produce<F: FaultModel>(
     model: &F,
     wl: usize,
     id: WorkloadId,
     stride: u64,
     seeder: &Seeder,
-    emit: &mut dyn FnMut(PointUnit<F::Machine>),
-) {
+    io: &CampaignIo<'_, F::Trial>,
+    pos: &mut u64,
+    emit: &mut dyn FnMut(Unit<F::Machine, F::Trial>),
+) where
+    F::Trial: Payload,
+{
     let key = LibraryKey {
         domain: model.domain(),
         workload: wl as u64,
@@ -282,12 +441,21 @@ fn library_produce<F: FaultModel>(
             // cold as the captures that follow it.
             let warm_snaps = if created { 0 } else { lib.len() };
             let plan = model.plan(lib.origin(), seeder.points(wl));
+            let base = *pos;
+            *pos += plan.len() as u64;
             for (point, coord) in plan.into_iter().enumerate() {
+                if !io.shard.owns(base + point as u64) {
+                    continue;
+                }
+                if let Some(recs) = cached_point(model, io.cache, seeder, wl, point, coord) {
+                    emit(Unit::Cached(recs));
+                    continue;
+                }
                 let Some(m) = lib.materialize(coord) else {
                     break;
                 };
                 let hit = m.snap_index < warm_snaps;
-                emit(PointUnit {
+                emit(Unit::Live(PointUnit {
                     wl,
                     id,
                     point,
@@ -295,7 +463,7 @@ fn library_produce<F: FaultModel>(
                     machine: m.machine,
                     ckpt_hit: Some(hit),
                     warmup_saved: if hit { m.base_coord - lib.origin_coord() } else { 0 },
-                });
+                }));
             }
         },
     );

@@ -101,6 +101,14 @@ pub struct CampaignStats {
     pub trials_pruned: u64,
     /// Window cycles those pruned trials would have needed.
     pub cycles_pruned: u64,
+    /// Trials served from the on-disk trial store without simulating
+    /// anything (content-addressed cache hits).
+    pub trials_cached: u64,
+    /// Planned window cycles those cached trials replayed from their
+    /// records (the recording run's `simulated + saved + pruned`), so
+    /// the invariant `simulated + saved + pruned + cached = planned`
+    /// holds across any cold/warm mix.
+    pub cycles_cached: u64,
 }
 
 impl CampaignStats {
@@ -129,6 +137,35 @@ impl CampaignStats {
     /// [`fmt::Display`] impl).
     pub fn summary(&self) -> String {
         self.to_string()
+    }
+
+    /// Folds another run's stats into this one — the shard-merge
+    /// operation. Counters sum exactly; stage seconds sum (so a merged
+    /// `wall_secs` is the *sequential-equivalent* wall time of the
+    /// shards, not the elapsed time of a concurrent fleet); `threads`
+    /// takes the maximum, matching what a single run at that width
+    /// would report. Merging the per-shard stats of a sharded campaign
+    /// reproduces the single cold run's counters exactly — proved by
+    /// `tests/store_equivalence.rs`.
+    pub fn merge(&mut self, other: &CampaignStats) {
+        self.threads = self.threads.max(other.threads);
+        self.units += other.units;
+        self.trials += other.trials;
+        self.wall_secs += other.wall_secs;
+        self.produce_secs += other.produce_secs;
+        self.sweep_secs += other.sweep_secs;
+        self.golden_secs += other.golden_secs;
+        self.trial_secs += other.trial_secs;
+        self.checkpoint_hits += other.checkpoint_hits;
+        self.checkpoint_misses += other.checkpoint_misses;
+        self.warmup_cycles_saved += other.warmup_cycles_saved;
+        self.cycles_simulated += other.cycles_simulated;
+        self.cycles_saved += other.cycles_saved;
+        self.trials_cut += other.trials_cut;
+        self.trials_pruned += other.trials_pruned;
+        self.cycles_pruned += other.cycles_pruned;
+        self.trials_cached += other.trials_cached;
+        self.cycles_cached += other.cycles_cached;
     }
 }
 
@@ -181,6 +218,13 @@ impl fmt::Display for CampaignStats {
                 self.trials_pruned, self.trials, self.cycles_pruned,
             )?;
         }
+        if self.trials_cached > 0 {
+            write!(
+                f,
+                "; trial store served {} trials, replaying {} window cycles",
+                self.trials_cached, self.cycles_cached,
+            )?;
+        }
         if self.trials > 0 && (self.trials_cut > 0 || self.trials_pruned > 0) {
             let pct = |n: u64| 100.0 * n as f64 / self.trials as f64;
             // In audit mode a pruned trial is also simulated (and may be
@@ -228,6 +272,10 @@ pub(crate) struct UnitOutput<R> {
     pub trials_pruned: u64,
     /// Trial window cycles the pruned trials would have needed.
     pub cycles_pruned: u64,
+    /// Trials this unit served from the trial store.
+    pub trials_cached: u64,
+    /// Planned window cycles those cached trials replayed.
+    pub cycles_cached: u64,
 }
 
 /// An empty unit: no results, zero time, zero cycle accounting. (Not
@@ -247,6 +295,8 @@ impl<R> Default for UnitOutput<R> {
             trials_cut: 0,
             trials_pruned: 0,
             cycles_pruned: 0,
+            trials_cached: 0,
+            cycles_cached: 0,
         }
     }
 }
@@ -275,7 +325,7 @@ where
     let (tx, rx) = channel::bounded::<(usize, U)>(threads * 2);
     let collected: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
     let stage_secs: Mutex<(f64, f64, f64)> = Mutex::new((0.0, 0.0, 0.0));
-    let cycle_counts: Mutex<[u64; 8]> = Mutex::new([0; 8]);
+    let cycle_counts: Mutex<[u64; 10]> = Mutex::new([0; 10]);
 
     let wall0 = Instant::now();
     let mut produce_secs = 0.0;
@@ -307,6 +357,8 @@ where
                         cc[5] += out.checkpoint_hits;
                         cc[6] += out.checkpoint_misses;
                         cc[7] += out.warmup_cycles_saved;
+                        cc[8] += out.trials_cached;
+                        cc[9] += out.cycles_cached;
                     }
                     collected.lock().push((index, out.results));
                 }
@@ -334,7 +386,7 @@ where
     debug_assert!(collected.iter().enumerate().all(|(i, (idx, _))| i == *idx));
 
     let (sweep_secs, golden_secs, trial_secs) = stage_secs.into_inner();
-    let [cycles_simulated, cycles_saved, trials_cut, trials_pruned, cycles_pruned, checkpoint_hits, checkpoint_misses, warmup_cycles_saved] =
+    let [cycles_simulated, cycles_saved, trials_cut, trials_pruned, cycles_pruned, checkpoint_hits, checkpoint_misses, warmup_cycles_saved, trials_cached, cycles_cached] =
         cycle_counts.into_inner();
     let results: Vec<R> = collected.into_iter().flat_map(|(_, r)| r).collect();
     let stats = CampaignStats {
@@ -354,6 +406,8 @@ where
         checkpoint_hits,
         checkpoint_misses,
         warmup_cycles_saved,
+        trials_cached,
+        cycles_cached,
     };
     (results, stats)
 }
@@ -376,6 +430,8 @@ mod tests {
             trials_cut: 1,
             trials_pruned: 1,
             cycles_pruned: 25,
+            trials_cached: 1,
+            cycles_cached: 40,
         }
     }
 
@@ -408,6 +464,8 @@ mod tests {
             assert_eq!(stats.checkpoint_misses, 28);
             assert_eq!(stats.checkpoint_hits + stats.checkpoint_misses, stats.units);
             assert_eq!(stats.warmup_cycles_saved, 57 * 10);
+            assert_eq!(stats.trials_cached, 57);
+            assert_eq!(stats.cycles_cached, 57 * 40);
             assert!((stats.cycles_saved_fraction() - 1.0 / 3.0).abs() < 1e-12);
             let line = stats.to_string();
             assert_eq!(line, stats.summary());
@@ -416,7 +474,75 @@ mod tests {
             assert!(line.contains("trial mix: 0% simulated / 50% cut / 50% pruned"), "{line}");
             assert!(line.contains("checkpoints served 57 units (29 warm / 28 cold)"), "{line}");
             assert!(line.contains("skipping 570 warm-up cycles"), "{line}");
+            assert!(line.contains("trial store served 57 trials, replaying 2280"), "{line}");
         }
+    }
+
+    /// Merging per-shard stats reproduces the single-run stats exactly:
+    /// the seconds here split without rounding (dyadic fractions), so
+    /// even the float fields — and therefore the `Display` line — must
+    /// come back bit-identical.
+    #[test]
+    fn merging_shard_stats_reproduces_the_single_run() {
+        let single = CampaignStats {
+            threads: 4,
+            units: 57,
+            trials: 114,
+            wall_secs: 3.75,
+            produce_secs: 1.5,
+            sweep_secs: 0.5,
+            golden_secs: 2.25,
+            trial_secs: 6.0,
+            checkpoint_hits: 29,
+            checkpoint_misses: 28,
+            warmup_cycles_saved: 570,
+            cycles_simulated: 5_700,
+            cycles_saved: 2_850,
+            trials_cut: 57,
+            trials_pruned: 57,
+            cycles_pruned: 1_425,
+            trials_cached: 57,
+            cycles_cached: 2_280,
+        };
+        // Three shards: counters split 19/19/19 (and 1.25s/0.5s/… for
+        // the times); every field of `single` is divisible that way.
+        let shard = |units, hits, wall, produce, sweep, golden, trial| CampaignStats {
+            threads: 4,
+            units,
+            trials: units * 2,
+            wall_secs: wall,
+            produce_secs: produce,
+            sweep_secs: sweep,
+            golden_secs: golden,
+            trial_secs: trial,
+            checkpoint_hits: hits,
+            checkpoint_misses: units - hits,
+            warmup_cycles_saved: units * 10,
+            cycles_simulated: units * 100,
+            cycles_saved: units * 50,
+            trials_cut: units,
+            trials_pruned: units,
+            cycles_pruned: units * 25,
+            trials_cached: units,
+            cycles_cached: units * 40,
+        };
+        let shards = [
+            shard(19, 10, 1.25, 0.5, 0.25, 0.75, 2.0),
+            shard(19, 10, 1.25, 0.5, 0.125, 0.75, 2.0),
+            shard(19, 9, 1.25, 0.5, 0.125, 0.75, 2.0),
+        ];
+        let mut merged = CampaignStats::default();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged, single, "shard merge must be exact, floats included");
+        assert_eq!(merged.to_string(), single.to_string());
+        // Merge order cannot matter.
+        let mut reversed = CampaignStats::default();
+        for s in shards.iter().rev() {
+            reversed.merge(s);
+        }
+        assert_eq!(reversed, single);
     }
 
     #[test]

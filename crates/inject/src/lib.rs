@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 mod arch_campaign;
+mod cache;
 mod campaign;
 mod classify;
 mod engine;
@@ -51,14 +52,17 @@ mod uarch_trial;
 
 pub use arch_campaign::run_workload as run_arch_workload;
 pub use arch_campaign::{
-    run_arch_campaign, run_arch_campaign_with_stats, ArchCampaignConfig, ArchTrial,
+    arch_campaign_digest, run_arch_campaign, run_arch_campaign_io, run_arch_campaign_with_stats,
+    ArchCampaignConfig, ArchTrial,
 };
+pub use cache::TrialCache;
 pub use classify::{ArchCategory, Symptom, SymptomLatencies, UarchCategory};
 pub use engine::{effective_ckpt_stride, effective_threads, CampaignStats};
+pub use restore_store::{Payload, Shard, Stored, TrialCost, TrialKey};
 pub use stats::{worst_case_ci95, Proportion};
 pub use uarch_campaign::run_workload as run_uarch_workload;
 pub use uarch_campaign::{
-    run_uarch_campaign, run_uarch_campaign_with_stats, CfvMode, InjectionTarget, PruneMode,
-    UarchCampaignConfig,
+    run_uarch_campaign, run_uarch_campaign_io, run_uarch_campaign_with_stats,
+    uarch_campaign_digest, CfvMode, InjectionTarget, PruneMode, UarchCampaignConfig,
 };
 pub use uarch_trial::{EndState, UarchTrial};

@@ -23,14 +23,17 @@
 //!   `PruneMode::Audit` simulates every pruned trial anyway and asserts
 //!   the prediction was exact.
 
-use crate::campaign::{self, FaultModel, TrialCost};
+use crate::cache::TrialCache;
+use crate::campaign::{self, CampaignIo, FaultModel, TrialCost};
 use crate::engine::{effective_ckpt_stride, CampaignStats};
 use crate::liveness::PointOracle;
 use crate::seeding::DOMAIN_UARCH;
 use crate::uarch_trial::{draw_bit, golden_run, run_trial, GoldenRun, UarchTrial};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use restore_snapshot::{config_digest, SnapshotMachine};
+use restore_core::{config_digest, ConfigDigest};
+use restore_snapshot::SnapshotMachine;
+use restore_store::Shard;
 use restore_uarch::{Pipeline, StateCatalog, UarchConfig};
 use restore_workloads::{Scale, WorkloadId};
 use std::sync::Arc;
@@ -237,6 +240,9 @@ impl FaultModel for UarchModel<'_> {
         // thread counts never touch it.
         config_digest(&format!("{:?}|{:?}", self.cfg.scale, self.cfg.uarch))
     }
+    fn campaign_digest(&self) -> u64 {
+        uarch_campaign_digest(self.cfg)
+    }
 
     fn spawn(&self, id: WorkloadId) -> UarchMachine {
         let program = id.build(self.cfg.scale);
@@ -282,9 +288,47 @@ impl FaultModel for UarchModel<'_> {
     }
 }
 
+/// Digest of everything that shapes a µarch *trial record* given its
+/// key: the program (scale), the machine (uarch config), the
+/// observation window, the drain allowance and the injection target.
+/// Deliberately excluded — seeds, point/trial counts and warm-up (they
+/// live in the [`restore_store::TrialKey`] as coordinates), and thread
+/// counts, checkpoint strides, the reconvergence cutoff and prune
+/// settings (result-neutral, proved by the equivalence suites). Records
+/// written under a different digest are inert misses, never corruption.
+pub fn uarch_campaign_digest(cfg: &UarchCampaignConfig) -> u64 {
+    ConfigDigest::new()
+        .text("uarch-campaign")
+        .debug(&cfg.scale)
+        .debug(&cfg.uarch)
+        .word(cfg.window_cycles)
+        .word(cfg.drain_cycles)
+        .debug(&cfg.target)
+        .finish()
+}
+
 /// Runs the campaign over all seven workloads.
 pub fn run_uarch_campaign(cfg: &UarchCampaignConfig) -> Vec<UarchTrial> {
     run_uarch_campaign_with_stats(cfg).0
+}
+
+/// [`run_uarch_campaign_with_stats`] against a trial store and a shard
+/// of the plan: cached trials replay from `cache` with zero simulated
+/// window cycles, fresh trials are recorded into it, and only plan
+/// positions owned by `shard` run at all. `cache` must have been opened
+/// under [`uarch_campaign_digest`] of this `cfg`.
+///
+/// With a warm full-coverage cache the trial vector — and every
+/// non-timing counter — is bit-identical to a cold
+/// [`run_uarch_campaign_with_stats`]; merging the stats of the `N`
+/// shards of a campaign reproduces the unsharded run
+/// ([`CampaignStats::merge`]).
+pub fn run_uarch_campaign_io(
+    cfg: &UarchCampaignConfig,
+    cache: Option<&TrialCache<UarchTrial>>,
+    shard: Shard,
+) -> (Vec<UarchTrial>, CampaignStats) {
+    campaign::run_all_io(&UarchModel { cfg }, &CampaignIo { cache, shard })
 }
 
 /// Runs the campaign and also reports throughput instrumentation.
@@ -320,6 +364,37 @@ mod tests {
             seed: 3,
             ..UarchCampaignConfig::default()
         }
+    }
+
+    /// The campaign digest keys the on-disk trial store: every
+    /// result-shaping field must change it, and every result-neutral
+    /// field must leave it alone — neutral-field churn would orphan
+    /// every record a store holds.
+    #[test]
+    fn campaign_digest_tracks_result_shaping_fields_only() {
+        let base = quick();
+        let d0 = uarch_campaign_digest(&base);
+        assert_eq!(d0, uarch_campaign_digest(&base.clone()), "digest is deterministic");
+        for shaped in [
+            UarchCampaignConfig { window_cycles: base.window_cycles + 1, ..base.clone() },
+            UarchCampaignConfig { drain_cycles: base.drain_cycles + 1, ..base.clone() },
+            UarchCampaignConfig { target: InjectionTarget::LatchesOnly, ..base.clone() },
+        ] {
+            assert_ne!(d0, uarch_campaign_digest(&shaped), "result-shaping field must rekey");
+        }
+        for neutral in [
+            UarchCampaignConfig { seed: base.seed + 1, ..base.clone() },
+            UarchCampaignConfig { points_per_workload: 99, ..base.clone() },
+            UarchCampaignConfig { trials_per_point: 99, ..base.clone() },
+            UarchCampaignConfig { warmup_cycles: base.warmup_cycles + 1, ..base.clone() },
+            UarchCampaignConfig { threads: 3, ..base.clone() },
+            UarchCampaignConfig { cutoff_stride: 0, ..base.clone() },
+            UarchCampaignConfig { prune: PruneMode::On, ..base.clone() },
+            UarchCampaignConfig { ckpt_stride: 0, ..base.clone() },
+        ] {
+            assert_eq!(d0, uarch_campaign_digest(&neutral), "neutral field must not rekey");
+        }
+        assert_ne!(d0, crate::arch_campaign_digest(&crate::ArchCampaignConfig::default()));
     }
 
     #[test]

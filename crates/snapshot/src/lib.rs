@@ -328,23 +328,12 @@ pub struct LibraryKey {
     pub domain: u64,
     /// Workload index within the suite.
     pub workload: u64,
-    /// Digest of the machine-shaping configuration ([`config_digest`]).
+    /// Digest of the machine-shaping configuration
+    /// (`restore_core::config_digest` — shared with the trial store so
+    /// both caches agree on configuration identity).
     pub config: u64,
     /// Capture stride; different strides are different libraries.
     pub stride: u64,
-}
-
-/// FNV-1a digest of a configuration's debug rendering — the stable
-/// within-process way to fold "everything that shapes the golden run"
-/// into a [`LibraryKey::config`] without imposing `Hash` on config
-/// types that carry floats.
-pub fn config_digest(rendering: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in rendering.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
 }
 
 type CacheMap = HashMap<LibraryKey, Arc<dyn Any + Send + Sync>>;
@@ -481,7 +470,9 @@ mod tests {
         let key = LibraryKey {
             domain: 0xD0_0D,
             workload: 0,
-            config: config_digest("unit-test-config"),
+            // An arbitrary config identity; production keys digest the
+            // machine-shaping config via `restore_core::config_digest`.
+            config: 0x7e57_c0ff_1231_4159,
             stride: 350,
         };
         let before = cached_libraries();

@@ -6,5 +6,6 @@ pub use restore_core as core;
 pub use restore_inject as inject;
 pub use restore_isa as isa;
 pub use restore_perf as perf;
+pub use restore_store as store;
 pub use restore_uarch as uarch;
 pub use restore_workloads as workloads;
