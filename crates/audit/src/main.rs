@@ -73,6 +73,7 @@ fn run_check(opts: &Options) -> bool {
         opts.root.join("crates/arch/src"),
         opts.root.join("crates/snapshot/src"),
         opts.root.join("crates/store/src"),
+        opts.root.join("crates/maskmap/src"),
     ];
     let analysis = match analyze_dirs(&roots) {
         Ok(a) => a,

@@ -1,0 +1,78 @@
+//! Static masking-interval pruning payoff: the fig4-shaped µarch
+//! campaign with the dynamic liveness oracle (`prune on`) vs. the
+//! static map in front of it (`prune interval`).
+//!
+//! Both modes prune the same dead-bit trials; what `interval` changes
+//! is *how*. The oracle prices one shadow run (a full window + drain
+//! replay) at every injection point that draws a dead bit; the map is
+//! computed once per workload from a single instrumented golden run,
+//! memoized process-wide, and answers those draws with an interval
+//! lookup — so points whose dead draws it covers never pay a shadow
+//! run at all. The win therefore scales with points, not trials.
+//!
+//! Both modes compute the identical trial vector — the equivalence
+//! tests (`crates/inject/tests/interval_equivalence.rs`) enforce that,
+//! and this bench re-asserts it against the unpruned baseline before
+//! timing, along with the shadow-run accounting identity
+//! `shadow_runs(interval) + shadow_runs_avoided(interval) ==
+//! shadow_runs(on)`.
+//!
+//! Set `CRITERION_JSON=/path/file.json` to append machine-readable
+//! results (see `BENCH_interval.json` at the repo root for the recorded
+//! baseline; `BENCH_prune.json` holds the oracle-only numbers this
+//! improves on).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use restore_inject::{run_uarch_campaign_with_stats, PruneMode, UarchCampaignConfig};
+
+fn cfg(prune: PruneMode) -> UarchCampaignConfig {
+    // Same shape as `trial_prune.rs` so the two benches' numbers
+    // compare directly: default window/warmup/drain/cutoff, reduced
+    // plan, paper-shaped trials-per-point amortisation.
+    UarchCampaignConfig {
+        points_per_workload: 2,
+        trials_per_point: 24,
+        seed: 11,
+        threads: 1,
+        prune,
+        ..UarchCampaignConfig::default()
+    }
+}
+
+fn bench_trial_interval(c: &mut Criterion) {
+    let (baseline, off_stats) = run_uarch_campaign_with_stats(&cfg(PruneMode::Off));
+    let (_, on_stats) = run_uarch_campaign_with_stats(&cfg(PruneMode::On));
+    let mut g = c.benchmark_group("trial-interval");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(off_stats.trials));
+    for (label, mode) in [("on", PruneMode::On), ("interval", PruneMode::Interval)] {
+        let cfg = cfg(mode);
+        let (trials, stats) = run_uarch_campaign_with_stats(&cfg);
+        assert_eq!(trials, baseline, "prune-{label} changed trial results");
+        assert_eq!(
+            stats.cycles_simulated + stats.cycles_saved + stats.cycles_pruned,
+            off_stats.cycles_simulated + off_stats.cycles_saved,
+            "prune-{label}: every planned window cycle must be accounted for"
+        );
+        assert_eq!(
+            stats.shadow_runs + stats.shadow_runs_avoided,
+            on_stats.shadow_runs,
+            "prune-{label}: every dead-draw point either pays or avoids its shadow run"
+        );
+        eprintln!(
+            "prune {label:>8}: {:>5.1}% of trials pruned ({:>5.1}% by the map) | \
+             shadow runs {} (avoided {}) | {stats}",
+            100.0 * stats.trials_pruned as f64 / stats.trials.max(1) as f64,
+            100.0 * stats.trials_interval_pruned as f64 / stats.trials.max(1) as f64,
+            stats.shadow_runs,
+            stats.shadow_runs_avoided,
+        );
+        g.bench_function(format!("prune-{label}"), |b| {
+            b.iter(|| run_uarch_campaign_with_stats(&cfg).0);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trial_interval);
+criterion_main!(benches);

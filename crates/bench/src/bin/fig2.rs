@@ -1,7 +1,7 @@
 //! Figure 2 — virtual machine fault injection: propagation of a single
 //! bit flip in an instruction result to symptoms, by latency.
 //!
-//! Usage: `fig2 [--trials N] [--seed S] [--low32] [--size N] [--threads N] [--cutoff K] [--ckpt-stride K]`
+//! Usage: `fig2 [--trials N] [--seed S] [--low32] [--size N] [--threads N] [--cutoff K] [--prune off|on|interval|audit] [--ckpt-stride K]`
 
 use restore_bench::{arch_table, cli, FIG2_LATENCIES};
 use restore_inject::{
@@ -9,7 +9,7 @@ use restore_inject::{
 };
 
 const USAGE: &str = "fig2 [--trials N] [--seed S] [--low32] [--size N] [--threads N] [--cutoff K] \
-                     [--ckpt-stride K] [--store DIR]";
+                     [--prune off|on|interval|audit] [--ckpt-stride K] [--store DIR]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -24,6 +24,7 @@ fn main() {
                 "--size",
                 "--threads",
                 "--cutoff",
+                "--prune",
                 "--ckpt-stride",
                 "--store",
             ],

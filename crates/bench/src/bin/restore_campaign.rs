@@ -35,9 +35,9 @@ use restore_inject::{
 
 const USAGE: &str = "restore-campaign --domain arch|uarch --store DIR [--shard i/N] [--resume]\n\
     arch knobs:  [--trials N] [--size N] [--low32] [--seed S] [--threads N] [--cutoff K] \
-    [--ckpt-stride K]\n\
+    [--prune off|on|interval|audit] [--ckpt-stride K]\n\
     uarch knobs: [--points N] [--trials N] [--latches-only] [--seed S] [--threads N] \
-    [--cutoff K] [--prune off|on|audit] [--ckpt-stride K]";
+    [--cutoff K] [--prune off|on|interval|audit] [--ckpt-stride K]";
 
 /// Parses the flags every domain shares; returns `(store dir, shard,
 /// resume)`.
@@ -100,6 +100,7 @@ fn main() {
                         "--seed",
                         "--threads",
                         "--cutoff",
+                        "--prune",
                         "--ckpt-stride",
                     ],
                 ),

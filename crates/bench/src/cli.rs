@@ -84,14 +84,15 @@ pub fn nonzero_u64(args: &[String], name: &str) -> Result<Option<u64>, CliError>
     }
 }
 
-/// Parses `--prune off|on|audit`.
+/// Parses `--prune off|on|interval|audit`.
 pub fn prune_mode(args: &[String]) -> Result<Option<PruneMode>, CliError> {
     value(args, "--prune")?
         .map(|v| match v {
             "off" => Ok(PruneMode::Off),
             "on" => Ok(PruneMode::On),
+            "interval" => Ok(PruneMode::Interval),
             "audit" => Ok(PruneMode::Audit),
-            _ => Err(CliError(format!("--prune: `{v}` is not one of off|on|audit"))),
+            _ => Err(CliError(format!("--prune: `{v}` is not one of off|on|interval|audit"))),
         })
         .transpose()
 }
@@ -163,8 +164,10 @@ pub fn uarch_flags_plus(extra: &[&'static str]) -> Vec<&'static str> {
 
 /// Applies the shared µarch campaign knobs to `cfg`:
 /// `--points N` / `--trials N` (nonzero), `--seed S`, `--threads N`
-/// (0 = auto), `--cutoff K` (0 = off), `--prune off|on|audit`,
+/// (0 = auto), `--cutoff K` (0 = off), `--prune off|on|interval|audit`,
 /// `--ckpt-stride K` (0 = serial producer, no checkpoint library).
+/// `--store DIR` doubles as the masking-map directory, so sharded runs
+/// against a shared store build each workload's map once per shard set.
 pub fn apply_uarch_flags(cfg: &mut UarchCampaignConfig, args: &[String]) -> Result<(), CliError> {
     if let Some(p) = nonzero_u64(args, "--points")? {
         cfg.points_per_workload = p as usize;
@@ -187,14 +190,17 @@ pub fn apply_uarch_flags(cfg: &mut UarchCampaignConfig, args: &[String]) -> Resu
     if let Some(k) = parsed_u64(args, "--ckpt-stride")? {
         cfg.ckpt_stride = k;
     }
+    cfg.map_dir = store_path(args)?;
     Ok(())
 }
 
 /// Applies the architectural (Figure 2) campaign knobs to `cfg`:
 /// `--trials N` / `--size N` (nonzero), `--seed S`, `--threads N`
-/// (0 = auto), `--cutoff K` (0 = off), `--ckpt-stride K` (0 = serial
-/// producer), `--low32`. Pass `trials_flag` so `figs_all` can route its
-/// `--arch-trials` here without colliding with the µarch knob.
+/// (0 = auto), `--cutoff K` (0 = off), `--prune off|on|interval|audit`,
+/// `--ckpt-stride K` (0 = serial producer), `--low32`. `--store DIR`
+/// doubles as the masking-map directory. Pass `trials_flag` so
+/// `figs_all` can route its `--arch-trials` here without colliding with
+/// the µarch knob.
 pub fn apply_arch_flags(
     cfg: &mut ArchCampaignConfig,
     args: &[String],
@@ -215,9 +221,13 @@ pub fn apply_arch_flags(
     if let Some(k) = parsed_u64(args, "--cutoff")? {
         cfg.cutoff_stride = k;
     }
+    if let Some(m) = prune_mode(args)? {
+        cfg.prune = m;
+    }
     if let Some(k) = parsed_u64(args, "--ckpt-stride")? {
         cfg.ckpt_stride = k;
     }
+    cfg.map_dir = store_path(args)?;
     cfg.low32 = flag(args, "--low32");
     Ok(())
 }
@@ -292,7 +302,17 @@ mod tests {
         assert_eq!(cfg.cutoff_stride, 100);
         assert_eq!(cfg.prune, PruneMode::Audit);
         assert_eq!(cfg.ckpt_stride, 1_500);
+        assert_eq!(cfg.map_dir, None, "no --store means no map directory");
         assert!(apply_uarch_flags(&mut cfg, &args(&["--prune", "maybe"])).is_err());
+
+        let a = args(&["--prune", "interval", "--store", "/tmp/trials"]);
+        apply_uarch_flags(&mut cfg, &a).unwrap();
+        assert_eq!(cfg.prune, PruneMode::Interval);
+        assert_eq!(
+            cfg.map_dir,
+            Some(PathBuf::from("/tmp/trials")),
+            "--store doubles as the masking-map directory"
+        );
     }
 
     #[test]
@@ -318,8 +338,15 @@ mod tests {
         assert_eq!(cfg.cutoff_stride, 0, "--cutoff 0 must disable the arch cutoff");
         assert_eq!(cfg.ckpt_stride, 0, "--ckpt-stride 0 must disable the arch library");
         assert!(cfg.low32);
+        assert_eq!(cfg.prune, PruneMode::Off, "arch pruning defaults off");
         assert!(apply_arch_flags(&mut cfg, &args(&["--size", "0"]), "--trials").is_err());
         assert!(apply_arch_flags(&mut cfg, &args(&["--ckpt-stride", "-3"]), "--trials").is_err());
+
+        let a = args(&["--prune", "interval", "--store", "/tmp/trials"]);
+        apply_arch_flags(&mut cfg, &a, "--trials").unwrap();
+        assert_eq!(cfg.prune, PruneMode::Interval);
+        assert_eq!(cfg.map_dir, Some(PathBuf::from("/tmp/trials")));
+        assert!(apply_arch_flags(&mut cfg, &args(&["--prune", "maybe"]), "--trials").is_err());
     }
 
     #[test]

@@ -19,10 +19,13 @@
 //! minutes. Campaign binaries also take `--threads N` (default: the
 //! `RESTORE_THREADS` env var, then all available cores), `--cutoff K`
 //! (reconvergence-cutoff stride; 0 disables) and
-//! `--prune off|on|audit` (dead-state pruning); results are
-//! bit-identical at every thread count and with either optimisation on
-//! or off. This library holds the shared flag parsing ([`cli`]),
-//! aggregation and table rendering.
+//! `--prune off|on|interval|audit` (dead-state pruning; `interval`
+//! adds the static masking-interval map, `audit` re-simulates every
+//! pruned trial and asserts the prediction); results are bit-identical
+//! at every thread count and with every optimisation on or off. With
+//! `--store DIR` the masking maps persist next to the trial segments
+//! and are reused by later runs. This library holds the shared flag
+//! parsing ([`cli`]), aggregation and table rendering.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -20,19 +20,32 @@
 //! rest of the window is skipped — both machines are bit-identical, so
 //! the simulators' determinism guarantees no further symptom and a
 //! masked verdict. Results are bit-identical with the cutoff on or off.
+//!
+//! It also supports **static interval pruning**
+//! ([`ArchCampaignConfig::prune`], [`PruneMode::Interval`]): the
+//! per-workload [`restore_maskmap::ArchMaskMap`] — one golden replay
+//! recording every register read and write — classifies register-result
+//! flips whose victim register is overwritten before any read (masked)
+//! or never accessed inside the window (unmasked residue) without
+//! cloning the injected machine at all. Store victims and read-first
+//! registers fall through to the lockstep pair. Results are
+//! bit-identical to `Off`; `PruneMode::Audit` proves it trial-by-trial.
 
 use crate::cache::TrialCache;
-use crate::campaign::{self, CampaignIo, FaultModel, TrialCost};
+use crate::campaign::{self, CampaignIo, FaultModel, PointStats, TrialCost};
 use crate::classify::{ArchCategory, Symptom, SymptomLatencies};
 use crate::engine::{effective_ckpt_stride, CampaignStats};
 use crate::seeding::DOMAIN_ARCH;
+use crate::uarch_campaign::PruneMode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use restore_arch::Cpu;
 use restore_core::{config_digest, ConfigDigest};
+use restore_maskmap::ArchMaskMap;
 use restore_snapshot::SnapshotMachine;
 use restore_store::Shard;
 use restore_workloads::{run_length, Scale, WorkloadId};
+use std::sync::Arc;
 
 /// Configuration of a Figure 2 campaign.
 #[derive(Debug, Clone)]
@@ -61,6 +74,21 @@ pub struct ArchCampaignConfig {
     /// the cutoff. Results are bit-identical either way — only
     /// throughput changes.
     pub cutoff_stride: u64,
+    /// Static interval pruning: skip simulating register-result trials
+    /// the per-workload [`restore_maskmap::ArchMaskMap`] proves masked
+    /// or residue-unmasked. There is no architectural liveness oracle,
+    /// so [`PruneMode::On`] behaves exactly like [`PruneMode::Off`]
+    /// here; [`PruneMode::Interval`] consults the map and
+    /// [`PruneMode::Audit`] additionally re-simulates every
+    /// map-classified trial and asserts the prediction. Results are
+    /// bit-identical across all modes.
+    pub prune: PruneMode,
+    /// Where to persist (and load) the per-workload masking maps used
+    /// by [`PruneMode::Interval`] — campaign runners pass their
+    /// `--store` directory so sharded runs compute each map once per
+    /// shard *set*. `None` keeps maps in the process-wide registry
+    /// only. Result-neutral.
+    pub map_dir: Option<std::path::PathBuf>,
     /// Retired instructions between golden checkpoint captures
     /// ([`restore_snapshot::GoldenCheckpointLibrary`]): injection
     /// points materialize from the nearest checkpoint at-or-before
@@ -87,6 +115,8 @@ impl Default for ArchCampaignConfig {
             // instructions of a run that would otherwise continue to
             // program completion.
             cutoff_stride: 250,
+            prune: PruneMode::Off,
+            map_dir: None,
             // The CoW memory makes an arch snapshot O(dirty pages);
             // 5 000-instruction checkpoints over million-instruction
             // runs keep the library small while bounding each unit's
@@ -162,9 +192,18 @@ impl SnapshotMachine for ArchMachine {
 
 /// Per-point bookkeeping: the lockstep iterations the exhaustive loop
 /// would execute from this fork (it stops when the golden side halts or
-/// the window expires; the victim instruction retires before the loop).
+/// the window expires; the victim instruction retires before the loop),
+/// plus — in interval mode — the workload's shared masking map.
 struct ArchGolden {
     window_executed: u64,
+    /// The workload's register access map ([`PruneMode::Interval`] and
+    /// [`PruneMode::Audit`]). Not carried by [`ArchMachine`]: machines
+    /// are cached in the process-wide checkpoint library under a config
+    /// digest that excludes the prune mode, so a map there would leak
+    /// across prune settings.
+    map: Option<Arc<ArchMaskMap>>,
+    /// Trials at this point the map classified statically.
+    interval_pruned: u64,
 }
 
 impl FaultModel for ArchModel<'_> {
@@ -216,12 +255,23 @@ impl FaultModel for ArchModel<'_> {
         points
     }
 
-    fn golden(&self, fork: &mut ArchMachine) -> ArchGolden {
+    fn golden(&self, fork: &mut ArchMachine, id: WorkloadId) -> ArchGolden {
+        // The map registry memoizes per (workload, digest): the build
+        // cost is one golden replay per process (or a load from
+        // `map_dir`), so fetching per point is an `Arc` clone.
+        let map = match self.cfg.prune {
+            PruneMode::Off | PruneMode::On => None,
+            PruneMode::Interval | PruneMode::Audit => {
+                Some(restore_maskmap::arch_map(id, self.cfg.scale, self.cfg.map_dir.as_deref()))
+            }
+        };
         ArchGolden {
             window_executed: self
                 .cfg
                 .window
                 .min(fork.run_len.saturating_sub(fork.cpu.retired() + 1)),
+            map,
+            interval_pruned: 0,
         }
     }
 
@@ -233,7 +283,13 @@ impl FaultModel for ArchModel<'_> {
         mut rng: StdRng,
     ) -> (Option<ArchTrial>, TrialCost) {
         let bit = if self.cfg.low32 { rng.gen_range(0..32) } else { rng.gen_range(0..64) };
-        run_trial(&fork.cpu, id, bit, self.cfg, golden.window_executed)
+        run_trial(&fork.cpu, id, bit, self.cfg, golden)
+    }
+
+    fn point_stats(&self, golden: &ArchGolden) -> PointStats {
+        // No architectural liveness oracle exists, so there are no
+        // shadow runs to pay or avoid at this level.
+        PointStats { interval_pruned: golden.interval_pruned, ..PointStats::default() }
     }
 }
 
@@ -291,12 +347,66 @@ pub fn run_workload(cfg: &ArchCampaignConfig, id: WorkloadId) -> Vec<ArchTrial> 
     campaign::run_single(&ArchModel { cfg }, id).0
 }
 
-/// Runs one trial from a golden CPU positioned at the injection point.
-/// Returns no trial if the instruction at the point produces no result
-/// to corrupt (fences, branches without link, PAL calls).
-/// `window_executed` is the exhaustive loop's iteration count from this
-/// fork ([`ArchGolden`]), used to price a cutoff.
+/// Runs one trial from a golden CPU positioned at the injection point,
+/// consulting the masking map first when interval pruning is on.
+///
+/// The probe executes the victim instruction on a golden clone; when
+/// its result is a register write the map can classify, the whole
+/// lockstep pair is skipped — the injected machine is never cloned and
+/// the trial record follows from the verdict alone (a write-before-read
+/// victim register produces no symptom stream of its own, so every
+/// latency stays `None` and only the masked flag varies). Store
+/// victims, read-first registers and no-result instructions fall
+/// through to [`lockstep_trial`].
 fn run_trial(
+    at: &Cpu,
+    id: WorkloadId,
+    bit: u32,
+    cfg: &ArchCampaignConfig,
+    point: &mut ArchGolden,
+) -> (Option<ArchTrial>, TrialCost) {
+    let window_executed = point.window_executed;
+    if let Some(map) = &point.map {
+        let mut probe = at.clone();
+        let idx = at.retired();
+        let r = probe.step().expect("golden never faults");
+        if let Some((reg, _)) = r.reg_write {
+            if let Some(masked) = map.verdict(idx, reg, window_executed) {
+                point.interval_pruned += 1;
+                let predicted =
+                    ArchTrial { workload: id, symptoms: SymptomLatencies::default(), masked };
+                if cfg.prune == PruneMode::Audit {
+                    let (actual, mut cost) = lockstep_trial(at, id, bit, cfg, window_executed);
+                    assert_eq!(
+                        actual,
+                        Some(predicted),
+                        "interval map disagrees with simulation \
+                         (workload {id:?}, reg {reg:?}, point {idx})"
+                    );
+                    cost.pruned = true;
+                    cost.pruned_cycles = window_executed;
+                    return (actual, cost);
+                }
+                return (
+                    Some(predicted),
+                    TrialCost {
+                        pruned: true,
+                        pruned_cycles: window_executed,
+                        ..TrialCost::default()
+                    },
+                );
+            }
+        }
+    }
+    lockstep_trial(at, id, bit, cfg, window_executed)
+}
+
+/// Runs one lockstep trial from a golden CPU positioned at the
+/// injection point. Returns no trial if the instruction at the point
+/// produces no result to corrupt (fences, branches without link, PAL
+/// calls). `window_executed` is the exhaustive loop's iteration count
+/// from this fork ([`ArchGolden`]), used to price a cutoff.
+fn lockstep_trial(
     at: &Cpu,
     id: WorkloadId,
     bit: u32,
@@ -440,6 +550,8 @@ mod tests {
             ArchCampaignConfig { trials_per_workload: 999, ..base.clone() },
             ArchCampaignConfig { threads: 3, ..base.clone() },
             ArchCampaignConfig { cutoff_stride: 0, ..base.clone() },
+            ArchCampaignConfig { prune: PruneMode::Interval, ..base.clone() },
+            ArchCampaignConfig { map_dir: Some("maps".into()), ..base.clone() },
             ArchCampaignConfig { ckpt_stride: 0, ..base.clone() },
         ] {
             assert_eq!(d0, arch_campaign_digest(&neutral), "neutral field must not rekey");
@@ -490,6 +602,78 @@ mod tests {
             s_off.cycles_simulated,
             "cut trials must account for exactly the instructions the exhaustive loop runs"
         );
+    }
+
+    /// Interval pruning must never change a trial record. The
+    /// hand-written kernels read almost every result before overwriting
+    /// it, so random smoke draws rarely land on a map-provable point —
+    /// firing is proved exhaustively in
+    /// [`map_classified_points_match_lockstep_simulation`]; here the
+    /// campaigns just have to agree bit-for-bit.
+    #[test]
+    fn interval_prune_is_bit_identical() {
+        let off = quick_cfg();
+        let interval = ArchCampaignConfig { prune: PruneMode::Interval, ..quick_cfg() };
+        let (t_off, s_off) = run_arch_campaign_with_stats(&off);
+        let (t_int, s_int) = run_arch_campaign_with_stats(&interval);
+        assert_eq!(t_off, t_int, "interval pruning changed trial records");
+        assert_eq!(s_off.trials_interval_pruned, 0);
+        assert_eq!(
+            s_int.trials_pruned, s_int.trials_interval_pruned,
+            "every arch pruned trial must come from the map — there is no oracle here"
+        );
+        // No oracle at this level: shadow-run accounting stays silent.
+        assert_eq!(s_int.shadow_runs, 0);
+        assert_eq!(s_int.shadow_runs_avoided, 0);
+    }
+
+    /// Sweeps the whole Gapx golden run and, at *every* point the map
+    /// classifies, runs the trial in `Audit` mode — which simulates the
+    /// lockstep pair and asserts the predicted record matches. This is
+    /// the deterministic counterpart of the random-draw campaigns,
+    /// covering all firing points instead of hoping to sample one.
+    #[test]
+    fn map_classified_points_match_lockstep_simulation() {
+        let id = WorkloadId::Gapx;
+        let cfg = ArchCampaignConfig { prune: PruneMode::Audit, ..quick_cfg() };
+        let program = id.build(cfg.scale);
+        let map = restore_maskmap::arch_map(id, cfg.scale, None);
+        let run_len = run_length(id, cfg.scale);
+
+        // First pass: collect every point whose victim result the map
+        // can classify (points are visited in order, so the trial pass
+        // below is a single forward sweep).
+        let mut cpu = Cpu::new(&program);
+        let mut firing = Vec::new();
+        while !cpu.is_halted() {
+            let point = cpu.retired();
+            let r = cpu.step().expect("golden never faults");
+            let window_executed = cfg.window.min(run_len.saturating_sub(point + 1));
+            if let Some((reg, _)) = r.reg_write {
+                if map.verdict(point, reg, window_executed).is_some() {
+                    firing.push(point);
+                }
+            }
+        }
+        assert!(firing.len() >= 50, "only {} map-classified points in Gapx", firing.len());
+
+        // Second pass: audit each firing point (the map branch inside
+        // `run_trial` asserts predicted == simulated in `Audit` mode).
+        let mut cpu = Cpu::new(&program);
+        for &p in &firing {
+            while cpu.retired() < p {
+                cpu.step().expect("golden never faults");
+            }
+            let mut golden = ArchGolden {
+                window_executed: cfg.window.min(run_len.saturating_sub(p + 1)),
+                map: Some(Arc::clone(&map)),
+                interval_pruned: 0,
+            };
+            let (trial, cost) = run_trial(&cpu, id, 13, &cfg, &mut golden);
+            assert!(trial.is_some_and(|t| t.symptoms == SymptomLatencies::default()));
+            assert!(cost.pruned, "map-classified point {p} did not prune");
+            assert_eq!(golden.interval_pruned, 1);
+        }
     }
 
     #[test]

@@ -82,6 +82,12 @@ impl PointOracle {
         self.written.as_ref().expect("ensure_written must run before predicting")[f]
     }
 
+    /// Whether this point's shadow run actually happened — the cost the
+    /// interval map exists to avoid.
+    pub(crate) fn shadow_ran(&self) -> bool {
+        self.written.is_some()
+    }
+
     /// Runs the shadow run once per point: all dead fields flipped
     /// wholesale, window + drain replayed, and each dead field
     /// classified as rewritten or untouched. Also asserts, field by
@@ -194,4 +200,97 @@ pub(crate) fn predict_dead_trial(
         }
     };
     trial
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uarch_campaign::maskmap_horizon;
+    use crate::uarch_trial::golden_run;
+    use proptest::prelude::*;
+    use restore_maskmap::UarchMaskMap;
+    use restore_workloads::{Scale, WorkloadId};
+    use std::sync::OnceLock;
+
+    /// Long-running workload so sampled cycles stay inside the live
+    /// region, with the small cycle geometry of the equivalence suites.
+    fn cfg() -> UarchCampaignConfig {
+        UarchCampaignConfig {
+            scale: Scale::smoke(),
+            warmup_cycles: 500,
+            window_cycles: 1_500,
+            drain_cycles: 1_000,
+            // `golden_run` only records end-field values (which
+            // `ensure_written` compares against) when pruning is on.
+            prune: crate::uarch_campaign::PruneMode::Interval,
+            ..UarchCampaignConfig::default()
+        }
+    }
+
+    /// One shared map (a full horizon replay) for all proptest cases.
+    fn shared_map() -> &'static UarchMaskMap {
+        static MAP: OnceLock<UarchMaskMap> = OnceLock::new();
+        MAP.get_or_init(|| {
+            let c = cfg();
+            let program = WorkloadId::Parserx.build(c.scale);
+            UarchMaskMap::build(&c.uarch, &program, maskmap_horizon(&c), 0)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The static map may only ever *strengthen* the dynamic
+        /// oracle, never contradict it: a map prune claiming deadness
+        /// at injection must land on a field the occupancy oracle also
+        /// reports dead, and the map's written/residue verdict must
+        /// match the verdict the shadow run reaches dynamically. Each
+        /// case scans forward from a random bit at a random plan cycle
+        /// to the first bit the map actually proves, so cases exercise
+        /// real prunes.
+        #[test]
+        fn map_verdicts_never_contradict_the_oracle(
+            cycle_frac in 0.0f64..1.0,
+            bit_frac in 0.0f64..1.0,
+        ) {
+            let c = cfg();
+            let program = WorkloadId::Parserx.build(c.scale);
+            let mut pipe = Pipeline::new(c.uarch.clone(), &program);
+            let catalog = pipe.catalog();
+            let cycle = c.warmup_cycles + ((4 * c.window_cycles) as f64 * cycle_frac) as u64;
+            while pipe.cycles() < cycle {
+                assert_eq!(pipe.status(), Stop::Running, "workload died inside the plan span");
+                pipe.cycle();
+            }
+            let run = golden_run(&pipe, &c);
+            let map = shared_map();
+            let total = catalog.total_bits;
+            let start = ((total as f64 - 1.0) * bit_frac) as u64;
+            let Some((bit, proof)) = (0..total)
+                .map(|o| (start + o) % total)
+                .find_map(|b| map.proves(b, cycle, cycle + run.window_executed).map(|p| (b, p)))
+            else {
+                // No provable bit at this cycle at all — nothing to
+                // cross-check.
+                return;
+            };
+
+            let mut oracle = PointOracle::capture(&mut pipe);
+            if proof.dead_at_injection {
+                prop_assert!(
+                    oracle.dead_field(&catalog, bit).is_some(),
+                    "map claims bit {} dead at cycle {}; the oracle says live", bit, cycle
+                );
+            }
+            // When the bit is occupancy-dead, the shadow run's dynamic
+            // written/untouched verdict must match the map's.
+            if let Some(f) = oracle.dead_field(&catalog, bit) {
+                oracle.ensure_written(&pipe, &run, &catalog, &c);
+                prop_assert_eq!(
+                    oracle.written(f), proof.written,
+                    "map and shadow run disagree on bit {} at cycle {}", bit, cycle
+                );
+            }
+        }
+    }
 }

@@ -24,14 +24,15 @@
 //!   the prediction was exact.
 
 use crate::cache::TrialCache;
-use crate::campaign::{self, CampaignIo, FaultModel, TrialCost};
+use crate::campaign::{self, CampaignIo, FaultModel, PointStats, TrialCost};
 use crate::engine::{effective_ckpt_stride, CampaignStats};
-use crate::liveness::PointOracle;
+use crate::liveness::{predict_dead_trial, PointOracle};
 use crate::seeding::DOMAIN_UARCH;
 use crate::uarch_trial::{draw_bit, golden_run, run_trial, GoldenRun, UarchTrial};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use restore_core::{config_digest, ConfigDigest};
+use restore_maskmap::UarchMaskMap;
 use restore_snapshot::SnapshotMachine;
 use restore_store::Shard;
 use restore_uarch::{Pipeline, StateCatalog, UarchConfig};
@@ -73,9 +74,17 @@ pub enum PruneMode {
     /// classified from the per-point shadow run with zero simulated
     /// window cycles. Results are bit-identical to `Off`.
     On,
-    /// Like `On`, but every pruned trial is *also* simulated
-    /// exhaustively and the predicted record is asserted identical —
-    /// the oracle's equivalence check, at full cost.
+    /// `On`, plus the static masking-interval map
+    /// ([`restore_maskmap::UarchMaskMap`]) consulted first: an
+    /// injection the map proves masked is classified with zero
+    /// simulated cycles *and* zero shadow runs — the per-point oracle
+    /// survives only as the fallback for draws the map cannot decide.
+    /// Results are bit-identical to `Off`.
+    Interval,
+    /// Like `Interval`, but every statically- or oracle-pruned trial is
+    /// *also* simulated exhaustively and the predicted record is
+    /// asserted identical — both predictors' equivalence check, at full
+    /// cost.
     Audit,
 }
 
@@ -116,6 +125,13 @@ pub struct UarchCampaignConfig {
     /// bit-identical to [`PruneMode::Off`]; [`PruneMode::Audit`]
     /// verifies that claim trial-by-trial at full simulation cost.
     pub prune: PruneMode,
+    /// Where to persist (and load) the per-workload masking-interval
+    /// maps used by [`PruneMode::Interval`] — the campaign runners pass
+    /// their `--store` directory so sharded runs compute each map once
+    /// per shard *set*. `None` keeps maps in the process-wide registry
+    /// only. Result-neutral (maps are deterministic functions of the
+    /// configuration).
+    pub map_dir: Option<std::path::PathBuf>,
     /// Cycles between golden checkpoint captures
     /// ([`restore_snapshot::GoldenCheckpointLibrary`]): injection
     /// points materialize from the nearest checkpoint at-or-before
@@ -145,6 +161,7 @@ impl Default for UarchCampaignConfig {
             // cycles after a masked flip) early in the 10k window.
             cutoff_stride: 250,
             prune: PruneMode::Off,
+            map_dir: None,
             // A campaign-scale pipeline is ~100KB, so 2 000-cycle
             // checkpoints over the ~20k-cycle sampling span cost a few
             // MB per (workload, config) while bounding each unit's
@@ -178,6 +195,14 @@ fn plan_points(cfg: &UarchCampaignConfig, seed: u64) -> Vec<u64> {
     points
 }
 
+/// Cycle horizon a masking-interval map must cover for `cfg`: the plan
+/// samples points over `[warmup, warmup + 4·window)`, each trial
+/// observes at most one more window past its point, and residue proofs
+/// need the drain margin past the latest window close.
+pub(crate) fn maskmap_horizon(cfg: &UarchCampaignConfig) -> u64 {
+    cfg.warmup_cycles + 5 * cfg.window_cycles + cfg.drain_cycles
+}
+
 /// The microarchitectural campaign as a [`FaultModel`] instance.
 struct UarchModel<'a> {
     cfg: &'a UarchCampaignConfig,
@@ -208,10 +233,23 @@ impl SnapshotMachine for UarchMachine {
     }
 }
 
-/// Per-point golden observation plus the lazily-built liveness oracle.
+/// Per-point golden observation plus the lazily-built liveness oracle
+/// and (in interval mode) the workload's shared masking-interval map.
 struct UarchGolden {
     run: GoldenRun,
     oracle: Option<PointOracle>,
+    /// The workload's masking-interval map ([`PruneMode::Interval`] and
+    /// [`PruneMode::Audit`]). Deliberately *not* carried by
+    /// [`UarchMachine`]: machines are cached in the process-wide
+    /// checkpoint library under a config digest that excludes the prune
+    /// mode, so a map there would leak across prune settings.
+    map: Option<Arc<UarchMaskMap>>,
+    /// Trials at this point the map classified statically.
+    interval_pruned: u64,
+    /// Map-pruned draws whose bit was occupancy-dead at injection —
+    /// exactly the draws that would have forced the oracle's shadow
+    /// run under [`PruneMode::On`].
+    interval_dead_draws: u64,
 }
 
 impl FaultModel for UarchModel<'_> {
@@ -255,17 +293,32 @@ impl FaultModel for UarchModel<'_> {
         plan_points(self.cfg, point_seed)
     }
 
-    fn golden(&self, fork: &mut UarchMachine) -> UarchGolden {
+    fn golden(&self, fork: &mut UarchMachine, id: WorkloadId) -> UarchGolden {
         let run = golden_run(&fork.pipe, self.cfg);
         // Occupancy capture is cheap; the oracle's shadow run only
-        // happens if a trial actually draws a dead bit, and its cost
-        // lands in trial time where the work it replaces would have
-        // been.
+        // happens if a trial actually draws a dead bit the interval map
+        // cannot answer, and its cost lands in trial time where the
+        // work it replaces would have been.
         let oracle = match self.cfg.prune {
             PruneMode::Off => None,
-            PruneMode::On | PruneMode::Audit => Some(PointOracle::capture(&mut fork.pipe)),
+            PruneMode::On | PruneMode::Interval | PruneMode::Audit => {
+                Some(PointOracle::capture(&mut fork.pipe))
+            }
         };
-        UarchGolden { run, oracle }
+        // The map registry memoizes per (workload, digest): the build
+        // cost is paid once per process (or loaded from `map_dir`), so
+        // fetching per point is an `Arc` clone.
+        let map = match self.cfg.prune {
+            PruneMode::Off | PruneMode::On => None,
+            PruneMode::Interval | PruneMode::Audit => Some(restore_maskmap::uarch_map(
+                id,
+                self.cfg.scale,
+                &self.cfg.uarch,
+                maskmap_horizon(self.cfg),
+                self.cfg.map_dir.as_deref(),
+            )),
+        };
+        UarchGolden { run, oracle, map, interval_pruned: 0, interval_dead_draws: 0 }
     }
 
     fn run_trial(
@@ -275,8 +328,40 @@ impl FaultModel for UarchModel<'_> {
         id: WorkloadId,
         mut rng: StdRng,
     ) -> (Option<UarchTrial>, TrialCost) {
-        let UarchGolden { run, oracle } = golden;
+        let UarchGolden { run, oracle, map, interval_pruned, interval_dead_draws } = golden;
         let bit = draw_bit(&mut rng, &fork.catalog, self.cfg.target);
+        // Interval pruning: a statically-provable draw never touches
+        // the oracle, so the point's shadow run may never happen.
+        if let Some(map) = map {
+            let cycle = fork.pipe.cycles();
+            if let Some(p) = map.proves(bit, cycle, cycle + run.window_executed) {
+                *interval_pruned += 1;
+                *interval_dead_draws += u64::from(p.dead_at_injection);
+                // The map proves either that the bit is overwritten
+                // from a value independent of the flip before the
+                // window closes (`written`), or that the flip survives
+                // untouched and unread through the end-of-trial hash
+                // (residue) — both of the oracle's verdicts, predicted
+                // without its shadow run.
+                let predicted =
+                    predict_dead_trial(run, &fork.catalog, id, bit, fork.pipe.retired(), p.written);
+                let pruned_cycles = run.window_executed;
+                if self.cfg.prune == PruneMode::Audit {
+                    let (actual, mut cost) =
+                        run_trial(&fork.pipe, run, &fork.catalog, id, bit, self.cfg, None);
+                    assert_eq!(
+                        actual, predicted,
+                        "interval map disagrees with simulation (workload {id:?}, bit {bit}, \
+                         cycle {cycle})"
+                    );
+                    cost.pruned = true;
+                    cost.pruned_cycles = pruned_cycles;
+                    return (Some(actual), cost);
+                }
+                let cost = TrialCost { pruned: true, pruned_cycles, ..TrialCost::default() };
+                return (Some(predicted), cost);
+            }
+        }
         if let Some(o) = oracle.as_mut() {
             if o.dead_field(&fork.catalog, bit).is_some() {
                 o.ensure_written(&fork.pipe, run, &fork.catalog, self.cfg);
@@ -285,6 +370,15 @@ impl FaultModel for UarchModel<'_> {
         let (trial, cost) =
             run_trial(&fork.pipe, run, &fork.catalog, id, bit, self.cfg, oracle.as_ref());
         (Some(trial), cost)
+    }
+
+    fn point_stats(&self, golden: &UarchGolden) -> PointStats {
+        let shadow_ran = golden.oracle.as_ref().is_some_and(PointOracle::shadow_ran);
+        PointStats {
+            interval_pruned: golden.interval_pruned,
+            shadow_runs: u64::from(shadow_ran),
+            shadow_runs_avoided: u64::from(!shadow_ran && golden.interval_dead_draws > 0),
+        }
     }
 }
 
@@ -390,6 +484,8 @@ mod tests {
             UarchCampaignConfig { threads: 3, ..base.clone() },
             UarchCampaignConfig { cutoff_stride: 0, ..base.clone() },
             UarchCampaignConfig { prune: PruneMode::On, ..base.clone() },
+            UarchCampaignConfig { prune: PruneMode::Interval, ..base.clone() },
+            UarchCampaignConfig { map_dir: Some("maps".into()), ..base.clone() },
             UarchCampaignConfig { ckpt_stride: 0, ..base.clone() },
         ] {
             assert_eq!(d0, uarch_campaign_digest(&neutral), "neutral field must not rekey");

@@ -1,0 +1,196 @@
+//! `restore-maskmap` — build, inspect and cross-check masking-interval
+//! maps, and emit the per-structure AVF report.
+//!
+//! ```text
+//! restore-maskmap [--workload NAME] [--scale smoke|campaign]
+//!                 [--warmup N] [--window N] [--map-dir DIR]
+//!                 [--avf] [--census] [--json PATH]
+//! ```
+//!
+//! With no mode flag, prints a per-workload summary of each map's
+//! interval inventory. `--avf` prints the AVF table (µarch regions plus
+//! the architectural register file / PC) and, with `--json`, writes the
+//! same rows as a JSON report. `--census` cross-checks every µarch
+//! map's field table against the state catalog's bit census and exits
+//! nonzero on the first mismatch.
+
+use restore_maskmap::{arch_map, uarch_map, AvfRow};
+use restore_store::Json;
+use restore_uarch::{Pipeline, UarchConfig};
+use restore_workloads::{Scale, WorkloadId};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    workloads: Vec<WorkloadId>,
+    scale: Scale,
+    warmup: u64,
+    window: u64,
+    map_dir: Option<PathBuf>,
+    avf: bool,
+    census: bool,
+    json: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: restore-maskmap [--workload NAME] [--scale smoke|campaign] \
+         [--warmup N] [--window N] [--map-dir DIR] [--avf] [--census] [--json PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        workloads: WorkloadId::ALL.to_vec(),
+        scale: Scale::campaign(),
+        warmup: 2_000,
+        window: 10_000,
+        map_dir: None,
+        avf: false,
+        census: false,
+        json: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--workload" => {
+                let name = value("--workload");
+                let Some(id) = WorkloadId::ALL.iter().find(|w| w.name() == name) else {
+                    eprintln!("unknown workload {name:?}");
+                    usage()
+                };
+                opts.workloads = vec![*id];
+            }
+            "--scale" => {
+                opts.scale = match value("--scale").as_str() {
+                    "smoke" => Scale::smoke(),
+                    "campaign" => Scale::campaign(),
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        usage()
+                    }
+                };
+            }
+            "--warmup" => opts.warmup = parse_num(&value("--warmup")),
+            "--window" => opts.window = parse_num(&value("--window")),
+            "--map-dir" => opts.map_dir = Some(PathBuf::from(value("--map-dir"))),
+            "--json" => opts.json = Some(PathBuf::from(value("--json"))),
+            "--avf" => opts.avf = true,
+            "--census" => opts.census = true,
+            _ => {
+                eprintln!("unknown argument {arg:?}");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+fn parse_num(s: &str) -> u64 {
+    s.replace('_', "").parse().unwrap_or_else(|_| {
+        eprintln!("expected a number, got {s:?}");
+        usage()
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    // Mirror the campaign drivers: plans span warmup + 4x window, plus
+    // one observation window past the last injection point.
+    let horizon = opts.warmup + 5 * opts.window;
+    let uarch = UarchConfig::default();
+    let map_dir = opts.map_dir.as_deref();
+
+    let mut failures = 0u32;
+    let mut report: Vec<(WorkloadId, Vec<AvfRow>)> = Vec::new();
+    for &id in &opts.workloads {
+        let map = uarch_map(id, opts.scale, &uarch, horizon, map_dir);
+        let mut pipe = Pipeline::new(uarch.clone(), &id.build(opts.scale));
+        let catalog = pipe.catalog();
+        if opts.census {
+            match map.census_check(&catalog) {
+                Ok(()) => println!("{:<10} census ok: {} bits", id.name(), catalog.total_bits),
+                Err(e) => {
+                    eprintln!("{:<10} census MISMATCH: {e}", id.name());
+                    failures += 1;
+                }
+            }
+            continue;
+        }
+        let mut rows = map.avf(&catalog);
+        rows.extend(arch_map(id, opts.scale, map_dir).avf());
+        if opts.avf {
+            println!("{} (span {} cycles)", id.name(), map.last_cycle());
+            println!(
+                "  {:<16} {:>8} {:>14} {:>14} {:>7}",
+                "region", "bits", "dead bc", "masked bc", "AVF"
+            );
+            for r in &rows {
+                println!(
+                    "  {:<16} {:>8} {:>14} {:>14} {:>6.1}%",
+                    r.name,
+                    r.bits,
+                    r.dead_bitcycles,
+                    r.masked_bitcycles,
+                    r.avf() * 100.0
+                );
+            }
+        } else {
+            let protected: u64 = rows.iter().map(AvfRow::protected_bitcycles).sum();
+            let total: u64 = rows.iter().map(|r| r.bits * r.span).sum();
+            println!(
+                "{:<10} span {:>6} cycles, {:>3} regions, provably-masked bit-cycles: {} / {} ({:.1}%)",
+                id.name(),
+                map.last_cycle(),
+                rows.len(),
+                protected,
+                total,
+                100.0 * protected as f64 / total.max(1) as f64
+            );
+        }
+        report.push((id, rows));
+    }
+
+    if let Some(path) = &opts.json {
+        let v = Json::Obj(vec![
+            ("kind".to_owned(), Json::from("avf-report")),
+            ("scale".to_owned(), Json::from(format!("{:?}", opts.scale).as_str())),
+            ("horizon".to_owned(), Json::UInt(horizon)),
+            (
+                "workloads".to_owned(),
+                Json::Arr(
+                    report
+                        .iter()
+                        .map(|(id, rows)| {
+                            Json::Obj(vec![
+                                ("workload".to_owned(), Json::from(id.name())),
+                                (
+                                    "regions".to_owned(),
+                                    Json::Arr(rows.iter().map(AvfRow::to_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        if let Err(e) = std::fs::write(path, v.render()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

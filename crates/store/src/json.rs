@@ -340,17 +340,22 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character"));
+                }
                 Some(_) => {
-                    // Strings are valid UTF-8 by construction (`&str`
-                    // input); advance one whole character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().ok_or_else(|| self.err("unterminated string"))?;
-                    if (c as u32) < 0x20 {
-                        return Err(self.err("unescaped control character"));
+                    // Consume the whole run of ordinary bytes at once.
+                    // The run starts and ends on ASCII delimiters, so it
+                    // sits on character boundaries of the (`&str`) input
+                    // and converts back without a copy or a rescan of
+                    // the document tail.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\' && b >= 0x20) {
+                        self.pos += 1;
                     }
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
                 }
             }
         }

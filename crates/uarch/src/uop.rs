@@ -17,8 +17,21 @@
 //! `digest_artifacts` that folds the unvisited fields into the
 //! full-machine reconvergence fingerprint, which must witness *complete*
 //! machine equality before a trial may be cut short.
+//!
+//! For mask-consuming visitors ([`StateVisitor::wants_masks`]) the walks
+//! additionally declare, via [`StateVisitor::masked`], which bits of an
+//! in-flight entry are *statically masked* by the entry's own control
+//! state: fields no consumer reads while a sibling role/valid/exception
+//! bit holds its current value. Only **non-propagating** fields qualify —
+//! a field that is merely unread but still copied forward at issue (a
+//! scheduler entry's `dest`, say, which moves into the execute latch
+//! wholesale) is never declared, because the copy would carry a flip into
+//! a second field and break single-field interval reasoning. Every
+//! declaration below cites the consumer it was checked against.
 
-use crate::state::{FieldClass, Fingerprint, StateVisitor};
+use crate::pipeline::role_of;
+use crate::state::{width_mask, FieldClass, Fingerprint, StateVisitor};
+use restore_isa::{decode, Inst, Operand};
 
 /// Exception codes carried in ROB entries (3 bits + a 64-bit auxiliary
 /// value — an address or the offending word).
@@ -128,8 +141,17 @@ pub struct PredInfo {
 }
 
 impl PredInfo {
-    fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+    /// Visits the prediction's latch bits. `unread` declares both fields
+    /// statically masked — retire only consults a prediction snapshot for
+    /// control-role uops.
+    fn visit<V: StateVisitor>(&mut self, v: &mut V, unread: bool) {
+        if unread {
+            v.masked(1);
+        }
         v.flag(&mut self.taken);
+        if unread {
+            v.masked(u64::MAX);
+        }
         v.word(&mut self.next_pc, 64, FieldClass::Data);
     }
 
@@ -159,7 +181,8 @@ impl FqEntry {
         v.word(&mut self.pc, 64, FieldClass::Data);
         v.word32(&mut self.word, 32, FieldClass::Control);
         v.flag(&mut self.fetch_fault);
-        self.pred.visit(v);
+        // No mask: decode consults the prediction for every fetched word.
+        self.pred.visit(v, false);
     }
 
     /// Folds the fields `visit` skips into `f`.
@@ -180,8 +203,20 @@ pub struct SrcTag {
 }
 
 impl SrcTag {
-    fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+    /// Visits the tag's latch bits. `unread` declares the tag and ready
+    /// bits statically masked: when the slot is unused, wakeup skips it,
+    /// the issue-time register read skips it, and `SchedEntry::ready`'s
+    /// `!used || ready` term is independent of `ready` — and neither bit
+    /// is copied into the execute latch (only the gated operand values
+    /// are). The `used` bit itself is always live.
+    fn visit<V: StateVisitor>(&mut self, v: &mut V, unread: bool) {
+        if unread {
+            v.masked(width_mask(7));
+        }
         v.word8(&mut self.tag, 7, FieldClass::Control);
+        if unread {
+            v.masked(1);
+        }
         v.flag(&mut self.ready);
         v.flag(&mut self.used);
     }
@@ -226,8 +261,10 @@ impl SchedEntry {
         v.word(&mut self.pc, 64, FieldClass::Data);
         v.word8(&mut self.rob_idx, 7, FieldClass::Control);
         v.word8(&mut self.role, 3, FieldClass::Control);
+        let masks = v.wants_masks() && self.valid;
         for s in self.src.iter_mut() {
-            s.visit(v);
+            let unread = masks && !s.used;
+            s.visit(v, unread);
         }
         v.word8(&mut self.dest, 7, FieldClass::Control);
         v.flag(&mut self.has_dest);
@@ -294,22 +331,62 @@ pub struct RobEntry {
 impl RobEntry {
     /// Visits the entry's bits (classified RAM-resident; the ROB is an
     /// SRAM structure in the paper's model).
+    ///
+    /// Mask declarations, each checked against every consumer in the
+    /// retire/resolve paths:
+    /// * `mem_idx`/`bob_idx` are write-only bookkeeping — retire matches
+    ///   LDQ/STQ/BOB heads by sequence number, never by these indices;
+    /// * `phys_dest`/`old_dest`/`arch_dest` are read only under
+    ///   `has_dest` at writeback-to-architectural-state;
+    /// * `exc_aux` is read only when raising an exception (`exc != 0`) or
+    ///   in the store-retire STQ-corruption fallback, hence the `Store`
+    ///   exclusion;
+    /// * the prediction snapshot, `trained` and `actual_taken` feed only
+    ///   the control-role retire branch and `resolve_branch`.
     pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
+        let masks = v.wants_masks();
+        let role = Role::from_bits(self.role);
+        let no_dest = masks && !self.has_dest;
+        let non_control = masks && !role.is_control();
         v.word(&mut self.pc, 64, FieldClass::Data);
         v.word32(&mut self.word, 32, FieldClass::Control);
         v.word8(&mut self.role, 3, FieldClass::Control);
+        if no_dest {
+            v.masked(width_mask(7));
+        }
         v.word8(&mut self.phys_dest, 7, FieldClass::Control);
+        if no_dest {
+            v.masked(width_mask(7));
+        }
         v.word8(&mut self.old_dest, 7, FieldClass::Control);
+        if no_dest {
+            v.masked(width_mask(5));
+        }
         v.word8(&mut self.arch_dest, 5, FieldClass::Control);
         v.flag(&mut self.has_dest);
         v.flag(&mut self.completed);
         v.word8(&mut self.exc, 3, FieldClass::Control);
+        if masks && self.exc == 0 && role != Role::Store {
+            v.masked(u64::MAX);
+        }
         v.word(&mut self.exc_aux, 64, FieldClass::Data);
+        if masks {
+            v.masked(width_mask(5));
+        }
         v.word8(&mut self.mem_idx, 5, FieldClass::Control);
+        if masks {
+            v.masked(width_mask(4));
+        }
         v.word8(&mut self.bob_idx, 4, FieldClass::Control);
-        self.pred.visit(v);
+        self.pred.visit(v, non_control);
+        if non_control {
+            v.masked(1);
+        }
         v.flag(&mut self.trained);
         v.flag(&mut self.replay);
+        if non_control {
+            v.masked(1);
+        }
         v.flag(&mut self.actual_taken);
         v.word(&mut self.next_pc, 64, FieldClass::Data);
     }
@@ -361,12 +438,17 @@ pub struct LdqEntry {
 }
 
 impl LdqEntry {
-    /// Visits the entry's latch bits.
+    /// Visits the entry's latch bits. A prefetch's `dest` is statically
+    /// masked: load completion forwards the value to a register only
+    /// under `has_dest`.
     pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
         v.word(&mut self.addr, 64, FieldClass::Data);
         v.flag(&mut self.addr_ready);
         v.word8(&mut self.width_log2, 2, FieldClass::Control);
         v.flag(&mut self.sext);
+        if v.wants_masks() && !self.has_dest {
+            v.masked(width_mask(7));
+        }
         v.word8(&mut self.dest, 7, FieldClass::Control);
         v.flag(&mut self.has_dest);
         v.word8(&mut self.rob_idx, 7, FieldClass::Control);
@@ -405,13 +487,19 @@ pub struct StqEntry {
 }
 
 impl StqEntry {
-    /// Visits the entry's latch bits.
+    /// Visits the entry's latch bits. `rob_idx` is statically masked:
+    /// store completion is signalled through the execute latch's own ROB
+    /// index and retire pops the queue by sequence match, so this copy is
+    /// written at rename and never read.
     pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
         v.word(&mut self.addr, 64, FieldClass::Data);
         v.flag(&mut self.addr_ready);
         v.word(&mut self.data, 64, FieldClass::Data);
         v.flag(&mut self.data_ready);
         v.word8(&mut self.width_log2, 2, FieldClass::Control);
+        if v.wants_masks() {
+            v.masked(width_mask(7));
+        }
         v.word8(&mut self.rob_idx, 7, FieldClass::Control);
     }
 
@@ -461,18 +549,59 @@ impl ExecLatch {
     /// Visits the latch bits. As with [`SchedEntry::visit`], the payload
     /// of an invalid latch is dead: writeback skips invalid slots and a
     /// new issue overwrites every field.
+    ///
+    /// Operand masks derive from re-decoding the control word, and are
+    /// declared only when the word decodes *and* agrees with the `role`
+    /// latch (execute raises an illegal-instruction machine check
+    /// otherwise, which is a symptom, not masking). Per-operand
+    /// consumers: `a` is unread only by `br`/`bsr` (their return address
+    /// and target are PC-relative); `b` is unread by loads, conditional
+    /// branches, jumps, `br`/`bsr`, `lda`/`ldah` and literal-operand ALU
+    /// ops (stores latch it as data, register-operand ops evaluate it);
+    /// `c` is read only by conditional moves; `mem_idx` only by memory
+    /// roles.
     pub fn visit<V: StateVisitor>(&mut self, v: &mut V) {
         v.flag(&mut self.valid);
         v.occupancy(self.valid);
+        let inst = if v.wants_masks() && self.valid {
+            decode(self.word).ok().filter(|i| role_of(i) as u8 == self.role)
+        } else {
+            None
+        };
         v.word32(&mut self.word, 32, FieldClass::Control);
         v.word(&mut self.pc, 64, FieldClass::Data);
+        if matches!(inst, Some(Inst::Br { .. } | Inst::Bsr { .. })) {
+            v.masked(u64::MAX);
+        }
         v.word(&mut self.a, 64, FieldClass::Data);
+        if matches!(
+            inst,
+            Some(
+                Inst::Load { .. }
+                    | Inst::CondBranch { .. }
+                    | Inst::Jump { .. }
+                    | Inst::Br { .. }
+                    | Inst::Bsr { .. }
+                    | Inst::Lda { .. }
+                    | Inst::Ldah { .. }
+                    | Inst::Op { rb: Operand::Lit(_), .. }
+            )
+        ) {
+            v.masked(u64::MAX);
+        }
         v.word(&mut self.b, 64, FieldClass::Data);
+        let c_read = matches!(inst, Some(Inst::Op { op, .. }) if op.is_cmov());
+        if inst.is_some() && !c_read {
+            v.masked(u64::MAX);
+        }
         v.word(&mut self.c, 64, FieldClass::Data);
         v.word8(&mut self.dest, 7, FieldClass::Control);
         v.flag(&mut self.has_dest);
         v.word8(&mut self.role, 3, FieldClass::Control);
         v.word8(&mut self.rob_idx, 7, FieldClass::Control);
+        if inst.as_ref().is_some_and(|i| !i.is_mem()) {
+            v.masked(width_mask(5));
+        }
         v.word8(&mut self.mem_idx, 5, FieldClass::Control);
         v.occupancy(true);
     }
