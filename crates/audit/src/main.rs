@@ -5,8 +5,9 @@
 //! ```
 //!
 //! * `--check` (default): run the static field-coverage scanner over
-//!   `crates/uarch/src`, `crates/arch/src`, `crates/snapshot/src` and
-//!   `crates/store/src`; exit 1 on any finding.
+//!   `crates/uarch/src`, `crates/arch/src`, `crates/snapshot/src`,
+//!   `crates/store/src`, `crates/maskmap/src`, `crates/core/src` and
+//!   `crates/inject/src`; exit 1 on any finding.
 //! * `--contract`: run the runtime invariant battery against a warmed
 //!   default-config pipeline and the architectural CPU; exit 1 on any
 //!   violation.
@@ -74,6 +75,11 @@ fn run_check(opts: &Options) -> bool {
         opts.root.join("crates/snapshot/src"),
         opts.root.join("crates/store/src"),
         opts.root.join("crates/maskmap/src"),
+        // The detector plugin layer and the trial monitors that drive
+        // it: DetectorSet firing state and the per-trial observation
+        // records are visit-bearing state too.
+        opts.root.join("crates/core/src"),
+        opts.root.join("crates/inject/src"),
     ];
     let analysis = match analyze_dirs(&roots) {
         Ok(a) => a,

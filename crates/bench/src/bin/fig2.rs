@@ -9,7 +9,8 @@ use restore_inject::{
 };
 
 const USAGE: &str = "fig2 [--trials N] [--seed S] [--low32] [--size N] [--threads N] [--cutoff K] \
-                     [--prune off|on|interval|audit] [--ckpt-stride K] [--store DIR]";
+                     [--prune off|on|interval|audit] [--ckpt-stride K] [--store DIR] \
+                     [--sig-chunk N] [--dup-mask M]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -27,6 +28,8 @@ fn main() {
                 "--prune",
                 "--ckpt-stride",
                 "--store",
+                "--sig-chunk",
+                "--dup-mask",
             ],
         ),
         USAGE,

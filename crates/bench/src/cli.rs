@@ -143,8 +143,22 @@ pub fn open_arch_store(
         .transpose()
 }
 
+/// Parses `--dup-mask`'s value as the protected-register bitmask —
+/// decimal or `0x`-prefixed hex (masks read naturally in hex).
+pub fn dup_mask(args: &[String]) -> Result<Option<u32>, CliError> {
+    value(args, "--dup-mask")?
+        .map(|v| {
+            let parsed = match v.strip_prefix("0x") {
+                Some(hex) => u32::from_str_radix(hex, 16),
+                None => v.parse(),
+            };
+            parsed.map_err(|_| CliError(format!("--dup-mask: `{v}` is not a 32-bit mask")))
+        })
+        .transpose()
+}
+
 /// The knobs every µarch campaign binary shares.
-pub const UARCH_FLAGS: [&str; 8] = [
+pub const UARCH_FLAGS: [&str; 10] = [
     "--points",
     "--trials",
     "--seed",
@@ -153,6 +167,8 @@ pub const UARCH_FLAGS: [&str; 8] = [
     "--prune",
     "--ckpt-stride",
     "--store",
+    "--sig-chunk",
+    "--dup-mask",
 ];
 
 /// [`UARCH_FLAGS`] plus a binary's own extras, for [`reject_unknown`].
@@ -165,7 +181,9 @@ pub fn uarch_flags_plus(extra: &[&'static str]) -> Vec<&'static str> {
 /// Applies the shared µarch campaign knobs to `cfg`:
 /// `--points N` / `--trials N` (nonzero), `--seed S`, `--threads N`
 /// (0 = auto), `--cutoff K` (0 = off), `--prune off|on|interval|audit`,
-/// `--ckpt-stride K` (0 = serial producer, no checkpoint library).
+/// `--ckpt-stride K` (0 = serial producer, no checkpoint library),
+/// `--sig-chunk N` (0 = signature checking off) and `--dup-mask M`
+/// (0 = duplication off) for the software-only detector sources.
 /// `--store DIR` doubles as the masking-map directory, so sharded runs
 /// against a shared store build each workload's map once per shard set.
 pub fn apply_uarch_flags(cfg: &mut UarchCampaignConfig, args: &[String]) -> Result<(), CliError> {
@@ -190,6 +208,12 @@ pub fn apply_uarch_flags(cfg: &mut UarchCampaignConfig, args: &[String]) -> Resu
     if let Some(k) = parsed_u64(args, "--ckpt-stride")? {
         cfg.ckpt_stride = k;
     }
+    if let Some(c) = parsed_u64(args, "--sig-chunk")? {
+        cfg.detectors.sig_chunk = c;
+    }
+    if let Some(m) = dup_mask(args)? {
+        cfg.detectors.dup_mask = m;
+    }
     cfg.map_dir = store_path(args)?;
     Ok(())
 }
@@ -197,10 +221,11 @@ pub fn apply_uarch_flags(cfg: &mut UarchCampaignConfig, args: &[String]) -> Resu
 /// Applies the architectural (Figure 2) campaign knobs to `cfg`:
 /// `--trials N` / `--size N` (nonzero), `--seed S`, `--threads N`
 /// (0 = auto), `--cutoff K` (0 = off), `--prune off|on|interval|audit`,
-/// `--ckpt-stride K` (0 = serial producer), `--low32`. `--store DIR`
-/// doubles as the masking-map directory. Pass `trials_flag` so
-/// `figs_all` can route its `--arch-trials` here without colliding with
-/// the µarch knob.
+/// `--ckpt-stride K` (0 = serial producer), `--sig-chunk N` /
+/// `--dup-mask M` (software detector sources, 0 = off), `--low32`.
+/// `--store DIR` doubles as the masking-map directory. Pass
+/// `trials_flag` so `figs_all` can route its `--arch-trials` here
+/// without colliding with the µarch knob.
 pub fn apply_arch_flags(
     cfg: &mut ArchCampaignConfig,
     args: &[String],
@@ -226,6 +251,12 @@ pub fn apply_arch_flags(
     }
     if let Some(k) = parsed_u64(args, "--ckpt-stride")? {
         cfg.ckpt_stride = k;
+    }
+    if let Some(c) = parsed_u64(args, "--sig-chunk")? {
+        cfg.detectors.sig_chunk = c;
+    }
+    if let Some(m) = dup_mask(args)? {
+        cfg.detectors.dup_mask = m;
     }
     cfg.map_dir = store_path(args)?;
     cfg.low32 = flag(args, "--low32");
@@ -347,6 +378,25 @@ mod tests {
         assert_eq!(cfg.prune, PruneMode::Interval);
         assert_eq!(cfg.map_dir, Some(PathBuf::from("/tmp/trials")));
         assert!(apply_arch_flags(&mut cfg, &args(&["--prune", "maybe"]), "--trials").is_err());
+    }
+
+    #[test]
+    fn detector_flags_apply_to_both_campaigns() {
+        let mut cfg = UarchCampaignConfig::default();
+        let a = args(&["--sig-chunk", "32", "--dup-mask", "0x1ff"]);
+        apply_uarch_flags(&mut cfg, &a).unwrap();
+        assert_eq!(cfg.detectors.sig_chunk, 32);
+        assert_eq!(cfg.detectors.dup_mask, 0x1FF, "--dup-mask accepts hex");
+
+        let mut cfg = ArchCampaignConfig::default();
+        apply_arch_flags(&mut cfg, &args(&["--sig-chunk", "0", "--dup-mask", "511"]), "--trials")
+            .unwrap();
+        assert_eq!(cfg.detectors.sig_chunk, 0, "--sig-chunk 0 disables the source");
+        assert_eq!(cfg.detectors.dup_mask, 511, "--dup-mask accepts decimal");
+
+        assert!(dup_mask(&args(&["--dup-mask", "0xzz"])).is_err());
+        assert!(dup_mask(&args(&["--dup-mask", "4294967296"])).is_err(), "mask is 32-bit");
+        assert!(UARCH_FLAGS.contains(&"--sig-chunk") && UARCH_FLAGS.contains(&"--dup-mask"));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cli;
+pub mod sweep;
 
 use restore_inject::{ArchCategory, ArchTrial, CfvMode, Proportion, UarchCategory, UarchTrial};
 
@@ -130,6 +131,24 @@ pub fn coverage_summary(
     }
 }
 
+/// Indices of the Pareto-efficient points on a (gain, cost) plane —
+/// maximize the first coordinate, minimize the second. A point is
+/// dominated when another point is at least as good on both axes and
+/// strictly better on one; duplicated points all survive (neither
+/// dominates the other).
+pub fn pareto_indices(points: &[(f64, f64)]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points.iter().enumerate().any(|(j, &(g, c))| {
+                j != i
+                    && g >= points[i].0
+                    && c <= points[i].1
+                    && (g > points[i].0 || c < points[i].1)
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +165,8 @@ mod tests {
             value_divergence: None,
             hc_mispredict: None,
             any_mispredict: None,
+            sig_mismatch: None,
+            dup_mismatch: None,
             extra_dcache_misses: 0,
             extra_dtlb_misses: 0,
             end,
@@ -167,6 +188,21 @@ mod tests {
         assert_eq!(t.lines().count(), 1 + UarchCategory::ALL.len());
         assert!(t.contains("masked"));
         assert!(t.contains("50.00%"));
+    }
+
+    #[test]
+    fn pareto_frontier_keeps_only_non_dominated_points() {
+        // (coverage, overhead): maximize the first, minimize the second.
+        let pts = [
+            (0.9, 0.10), // frontier
+            (0.8, 0.05), // frontier (cheaper, less coverage)
+            (0.8, 0.10), // dominated by both
+            (0.9, 0.10), // duplicate of the first — both survive
+            (0.5, 0.20), // dominated
+        ];
+        assert_eq!(pareto_indices(&pts), vec![0, 1, 3]);
+        assert!(pareto_indices(&[]).is_empty());
+        assert_eq!(pareto_indices(&[(0.1, 0.9)]), vec![0], "a lone point is the frontier");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! delivered.
 
 use crate::checkpoint::{Checkpoint, CheckpointStore};
+use crate::detector::DetectorSet;
 use crate::event_log::{EventLog, LogCheck};
 use crate::symptom::{Symptom, SymptomConfig};
 use restore_arch::Exception;
@@ -113,6 +114,8 @@ enum Mode {
 pub struct RestoreController {
     pipe: Pipeline,
     cfg: RestoreConfig,
+    /// The armed detector bank, built once from `cfg.symptoms`.
+    detectors: DetectorSet,
     ckpts: CheckpointStore,
     log: EventLog,
     mode: Mode,
@@ -139,6 +142,7 @@ impl RestoreController {
         RestoreController {
             pipe,
             cfg,
+            detectors: DetectorSet::live(&cfg.symptoms),
             ckpts: CheckpointStore::new(initial),
             log: EventLog::new(),
             mode: Mode::Normal,
@@ -262,7 +266,7 @@ impl RestoreController {
             }
 
             // Symptom detection and rollback.
-            let symptoms = self.cfg.symptoms.detect(&report);
+            let symptoms = self.detectors.scan_cycle(&report);
             if let Some(symptom) = self.select_symptom(&symptoms) {
                 match self.mode {
                     Mode::Reexec { symptom_at, was_exception }

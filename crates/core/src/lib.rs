@@ -18,7 +18,10 @@
 //!
 //! * [`CheckpointStore`] — two-deep architectural checkpoints with a
 //!   store undo log (the gated store buffer of §2.1);
-//! * [`SymptomConfig`] / [`Symptom`] — the detector bank of §3;
+//! * [`SymptomConfig`] / [`Symptom`] — the detector bank of §3, built on
+//!   the pluggable [`SymptomSource`] layer in [`detector`] (one trait per
+//!   detector: golden-relative observation, live cycle scan, and a static
+//!   overhead model);
 //! * [`EventLog`] — branch-outcome logs comparing original and redundant
 //!   executions (§3.2.3), enabling positive error detection and the
 //!   dynamic false-positive throttle;
@@ -51,6 +54,7 @@
 
 mod checkpoint;
 mod controller;
+pub mod detector;
 mod digest;
 mod event_log;
 pub mod fit;
@@ -59,6 +63,10 @@ mod symptom;
 
 pub use checkpoint::{Checkpoint, CheckpointStore, UndoRecord};
 pub use controller::{RestoreConfig, RestoreController, RestoreOutcome, RestoreStats};
+pub use detector::{
+    CfvMode, DetectorConfig, DetectorSet, Observation, Overhead, RetiredCompare, SourceSet,
+    SymptomKind, SymptomSource, LHF_DUP_MASK,
+};
 pub use digest::{config_digest, ConfigDigest};
 pub use event_log::{BranchOutcome, EventLog, LogCheck};
 pub use fit::{FitModel, FitScaling};

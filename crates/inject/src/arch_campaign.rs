@@ -40,7 +40,10 @@ use crate::uarch_campaign::PruneMode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use restore_arch::Cpu;
-use restore_core::{config_digest, ConfigDigest};
+use restore_core::{
+    config_digest, ConfigDigest, DetectorConfig, DetectorSet, Observation, RetiredCompare,
+    SourceSet, SymptomKind,
+};
 use restore_maskmap::ArchMaskMap;
 use restore_snapshot::SnapshotMachine;
 use restore_store::Shard;
@@ -97,6 +100,11 @@ pub struct ArchCampaignConfig {
     /// `0` disables the library (serial producer). Results are
     /// bit-identical either way — only producer cost changes.
     pub ckpt_stride: u64,
+    /// Observation-time software-detector configuration (signature block
+    /// size, duplication mask). Result-shaping: the knobs set the
+    /// latencies the software sources record, so they fold into
+    /// [`arch_campaign_digest`].
+    pub detectors: DetectorConfig,
 }
 
 impl Default for ArchCampaignConfig {
@@ -122,6 +130,7 @@ impl Default for ArchCampaignConfig {
             // runs keep the library small while bounding each unit's
             // residual sweep to one stride.
             ckpt_stride: effective_ckpt_stride(5_000),
+            detectors: DetectorConfig::paper(),
         }
     }
 }
@@ -136,6 +145,17 @@ pub struct ArchTrial {
     /// exception, cfv, mem-addr and mem-data; deadlock is a
     /// microarchitectural observable and stays `None`.
     pub symptoms: SymptomLatencies,
+    /// Latency at which software control-flow signature checking would
+    /// flag the trial (first control-flow divergence, rounded up to its
+    /// signature block boundary); `None` when control flow never
+    /// diverged or `sig_chunk = 0`.
+    pub sig_mismatch: Option<u64>,
+    /// Latency at which selective variable duplication would flag the
+    /// trial — the duplicate compare at the injection site itself when
+    /// the victim register is protected, else the first aligned
+    /// register-write mismatch on a protected destination; `None` when
+    /// neither occurred or `dup_mask = 0`.
+    pub dup_mismatch: Option<u64>,
     /// Architectural state re-converged with golden by trial end.
     pub masked: bool,
 }
@@ -157,6 +177,21 @@ impl ArchTrial {
             // failing trial has corrupted registers only (so far).
             Some(Symptom::Deadlock) | None => ArchCategory::Register,
         }
+    }
+
+    /// Would the enabled detector subset catch this trial within
+    /// `bound` retired instructions of the flip? Post-hoc and free:
+    /// every selection reads the recorded first-firing latencies. The
+    /// watchdog and the mispredict-based cfv models have no observables
+    /// at this level, so only perfect cfv can resolve.
+    pub fn detected_within(&self, sel: &SourceSet, bound: u64) -> bool {
+        let firings = [
+            if sel.exceptions { self.symptoms.exception } else { None },
+            sel.cfv.and_then(|m| m.resolve(self.symptoms.cfv, None, None)),
+            if sel.signature { self.sig_mismatch } else { None },
+            if sel.dup { self.dup_mismatch } else { None },
+        ];
+        firings.iter().flatten().any(|&l| l <= bound)
     }
 }
 
@@ -294,18 +329,22 @@ impl FaultModel for ArchModel<'_> {
 }
 
 /// Digest of everything that shapes an arch *trial record* given its
-/// key: the program (scale), the symptom observation window and the
-/// low-32 bit restriction. Deliberately excluded — the seed and trial
-/// count (coordinates in the [`restore_store::TrialKey`]), and thread
-/// counts, checkpoint strides and the cutoff stride (result-neutral,
-/// proved by the equivalence suites). Records written under a different
-/// digest are inert misses, never corruption.
+/// key: the program (scale), the symptom observation window, the
+/// low-32 bit restriction and the software-detector knobs
+/// ([`DetectorConfig`] — they set the signature/duplication latencies a
+/// record carries). Deliberately excluded — the seed and trial count
+/// (coordinates in the [`restore_store::TrialKey`]), and thread counts,
+/// checkpoint strides and the cutoff stride (result-neutral, proved by
+/// the equivalence suites). Records written under a different digest
+/// are inert misses, never corruption.
 pub fn arch_campaign_digest(cfg: &ArchCampaignConfig) -> u64 {
     ConfigDigest::new()
         .text("arch-campaign")
         .debug(&cfg.scale)
         .word(cfg.window)
         .word(u64::from(cfg.low32))
+        .word(cfg.detectors.sig_chunk)
+        .word(u64::from(cfg.detectors.dup_mask))
         .finish()
 }
 
@@ -373,8 +412,19 @@ fn run_trial(
         if let Some((reg, _)) = r.reg_write {
             if let Some(masked) = map.verdict(idx, reg, window_executed) {
                 point.interval_pruned += 1;
-                let predicted =
-                    ArchTrial { workload: id, symptoms: SymptomLatencies::default(), masked };
+                // A write-before-read (or never-accessed) victim register
+                // produces no symptom stream of its own, and the
+                // corrupted value is never read, so no downstream write
+                // mismatches either. The one detector that still sees the
+                // flip is the duplicate compare at the injection site —
+                // when the victim register is protected.
+                let predicted = ArchTrial {
+                    workload: id,
+                    symptoms: SymptomLatencies::default(),
+                    sig_mismatch: None,
+                    dup_mismatch: cfg.detectors.dup_covers(reg.index() as u8).then_some(1),
+                    masked,
+                };
                 if cfg.prune == PruneMode::Audit {
                     let (actual, mut cost) = lockstep_trial(at, id, bit, cfg, window_executed);
                     assert_eq!(
@@ -416,6 +466,11 @@ fn lockstep_trial(
     let mut golden = at.clone();
     let mut injected = at.clone();
 
+    // The detector bank: exception, immediate cfv (whole-machine control
+    // flow is directly comparable at this level), the memory symptom
+    // classes and the software-only sources.
+    let mut set = DetectorSet::arch_trial(&cfg.detectors);
+
     // Execute the victim instruction on both, then corrupt its result in
     // the injected machine.
     let g = golden.step().expect("golden never faults");
@@ -423,6 +478,9 @@ fn lockstep_trial(
     debug_assert_eq!(g, i);
     if let Some((reg, _)) = i.reg_write {
         injected.regs.flip_bit(reg, bit);
+        // The duplicate compare at the injection site: a protected
+        // victim register is caught before any subsequent instruction.
+        set.observe(&Observation::InjectedRegFlip { reg: reg.index() as u8, latency: 1 });
     } else if let Some(m) = i.mem {
         if m.is_store {
             let byte = (bit / 8) as u64 % m.len;
@@ -434,8 +492,13 @@ fn lockstep_trial(
         return (None, TrialCost::default());
     }
 
-    let mut trial =
-        ArchTrial { workload: id, symptoms: SymptomLatencies::default(), masked: false };
+    let mut trial = ArchTrial {
+        workload: id,
+        symptoms: SymptomLatencies::default(),
+        sig_mismatch: None,
+        dup_mismatch: None,
+        masked: false,
+    };
 
     let stride = cfg.cutoff_stride;
     let mut executed = 0u64;
@@ -448,21 +511,31 @@ fn lockstep_trial(
         // golden hitting an exception means end-of-window conditions; stop
         let Ok(g) = golden.step() else { break };
         let Ok(i) = injected.step() else {
-            trial.symptoms.exception.get_or_insert(n);
+            set.observe(&Observation::Exception { latency: n });
             break;
         };
-        if i.pc != g.pc || i.next_pc != g.next_pc {
-            trial.symptoms.cfv.get_or_insert(n);
-            // Control flow diverged: stop instruction-wise comparison of
-            // memory effects (streams no longer align) but keep running
-            // the injected side alone looking for a late exception.
+        let pc_mismatch = i.pc != g.pc || i.next_pc != g.next_pc;
+        let reg_write_mismatch = !pc_mismatch && i.reg_write != g.reg_write;
+        set.observe(&Observation::Retired(RetiredCompare {
+            latency: n,
+            pc_mismatch,
+            value_mismatch: reg_write_mismatch,
+            reg_write_mismatch,
+            trial_reg: i.reg_write.map(|(reg, _)| reg.index() as u8),
+            golden_reg: g.reg_write.map(|(reg, _)| reg.index() as u8),
+        }));
+        if pc_mismatch {
+            // Control flow diverged (the immediate cfv source fired at
+            // `n`): stop instruction-wise comparison of memory effects
+            // (streams no longer align) but keep running the injected
+            // side alone looking for a late exception.
             for m in n + 1..=cfg.window {
                 if injected.is_halted() {
                     break;
                 }
                 executed += 1;
                 if injected.step().is_err() {
-                    trial.symptoms.exception.get_or_insert(m);
+                    set.observe(&Observation::Exception { latency: m });
                     break;
                 }
             }
@@ -470,9 +543,9 @@ fn lockstep_trial(
         }
         if let (Some(gm), Some(im)) = (g.mem, i.mem) {
             if im.addr != gm.addr {
-                trial.symptoms.mem_addr.get_or_insert(n);
+                set.observe(&Observation::MemAddrMismatch { latency: n });
             } else if im.is_store && im.value != gm.value {
-                trial.symptoms.mem_data.get_or_insert(n);
+                set.observe(&Observation::MemDataMismatch { latency: n });
             }
         }
         // Reconvergence check: equal fingerprints mean bit-identical
@@ -490,6 +563,14 @@ fn lockstep_trial(
             break;
         }
     }
+
+    // Harvest the bank into the record (both exit paths below read it).
+    trial.symptoms.exception = set.first(SymptomKind::Exception);
+    trial.symptoms.cfv = set.first(SymptomKind::Cfv);
+    trial.symptoms.mem_addr = set.first(SymptomKind::MemAddr);
+    trial.symptoms.mem_data = set.first(SymptomKind::MemData);
+    trial.sig_mismatch = set.first(SymptomKind::Signature);
+    trial.dup_mismatch = set.first(SymptomKind::Dup);
 
     let mut cost = TrialCost { simulated: executed, cut, ..TrialCost::default() };
     if cut {
@@ -542,6 +623,19 @@ mod tests {
             ArchCampaignConfig { scale: Scale::campaign(), ..base.clone() },
             ArchCampaignConfig { window: base.window + 1, ..base.clone() },
             ArchCampaignConfig { low32: !base.low32, ..base.clone() },
+            // The swept software-detector knobs shape the record's
+            // signature/duplication latencies.
+            ArchCampaignConfig {
+                detectors: DetectorConfig { sig_chunk: 32, ..base.detectors },
+                ..base.clone()
+            },
+            ArchCampaignConfig {
+                detectors: DetectorConfig {
+                    dup_mask: restore_core::LHF_DUP_MASK,
+                    ..base.detectors
+                },
+                ..base.clone()
+            },
         ] {
             assert_ne!(d0, arch_campaign_digest(&shaped), "result-shaping field must rekey");
         }
@@ -686,6 +780,8 @@ mod tests {
                 mem_addr: Some(5),
                 ..SymptomLatencies::default()
             },
+            sig_mismatch: Some(64),
+            dup_mismatch: None,
             masked: false,
         };
         assert_eq!(t.classify(4), ArchCategory::Register);
@@ -700,6 +796,8 @@ mod tests {
         let t = ArchTrial {
             workload: WorkloadId::Gapx,
             symptoms: SymptomLatencies::default(),
+            sig_mismatch: None,
+            dup_mismatch: None,
             masked: true,
         };
         for l in [0, 100, 1_000_000] {

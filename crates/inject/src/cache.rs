@@ -201,6 +201,8 @@ impl Payload for ArchTrial {
         Json::Obj(vec![
             ("workload".to_owned(), workload_json(self.workload)),
             ("symptoms".to_owned(), symptoms_json(&self.symptoms)),
+            ("sig_mismatch".to_owned(), Json::from(self.sig_mismatch)),
+            ("dup_mismatch".to_owned(), Json::from(self.dup_mismatch)),
             ("masked".to_owned(), Json::Bool(self.masked)),
         ])
     }
@@ -209,6 +211,8 @@ impl Payload for ArchTrial {
         Ok(ArchTrial {
             workload: workload_of(v, "workload")?,
             symptoms: symptoms_of(v, "symptoms")?,
+            sig_mismatch: opt_u64_of(v, "sig_mismatch")?,
+            dup_mismatch: opt_u64_of(v, "dup_mismatch")?,
             masked: bool_of(v, "masked")?,
         })
     }
@@ -229,6 +233,8 @@ impl Payload for UarchTrial {
             ("value_divergence".to_owned(), Json::from(self.value_divergence)),
             ("hc_mispredict".to_owned(), Json::from(self.hc_mispredict)),
             ("any_mispredict".to_owned(), Json::from(self.any_mispredict)),
+            ("sig_mismatch".to_owned(), Json::from(self.sig_mismatch)),
+            ("dup_mismatch".to_owned(), Json::from(self.dup_mismatch)),
             ("extra_dcache_misses".to_owned(), Json::from(self.extra_dcache_misses)),
             ("extra_dtlb_misses".to_owned(), Json::from(self.extra_dtlb_misses)),
             ("end".to_owned(), Json::from(end_tag(self.end))),
@@ -245,6 +251,8 @@ impl Payload for UarchTrial {
             value_divergence: opt_u64_of(v, "value_divergence")?,
             hc_mispredict: opt_u64_of(v, "hc_mispredict")?,
             any_mispredict: opt_u64_of(v, "any_mispredict")?,
+            sig_mismatch: opt_u64_of(v, "sig_mismatch")?,
+            dup_mismatch: opt_u64_of(v, "dup_mismatch")?,
             extra_dcache_misses: i64_of(v, "extra_dcache_misses")?,
             extra_dtlb_misses: i64_of(v, "extra_dtlb_misses")?,
             end: end_of(str_of(v, "end")?)?,
@@ -265,6 +273,8 @@ mod tests {
                 mem_data: Some(0),
                 ..SymptomLatencies::default()
             },
+            sig_mismatch: Some(100),
+            dup_mismatch: None,
             masked: false,
         };
         let wire = t.encode().render();
@@ -284,6 +294,8 @@ mod tests {
             value_divergence: None,
             hc_mispredict: Some(17),
             any_mispredict: Some(3),
+            sig_mismatch: Some(64),
+            dup_mismatch: Some(12),
             extra_dcache_misses: -4,
             extra_dtlb_misses: 0,
             end: EndState::Terminated,
@@ -319,6 +331,8 @@ mod tests {
             value_divergence: None,
             hc_mispredict: None,
             any_mispredict: None,
+            sig_mismatch: None,
+            dup_mismatch: None,
             extra_dcache_misses: 0,
             extra_dtlb_misses: 0,
             end: EndState::Completed,

@@ -182,6 +182,11 @@ pub(crate) fn predict_dead_trial(
         value_divergence: None,
         hc_mispredict: None,
         any_mispredict: None,
+        // A dead flip never perturbs the retired stream, so the
+        // software sources (signature, duplication) see only aligned,
+        // matching events and stay silent.
+        sig_mismatch: None,
+        dup_mismatch: None,
         extra_dcache_misses: 0,
         extra_dtlb_misses: 0,
         end: EndState::MaskedClean,

@@ -31,7 +31,7 @@ use crate::seeding::DOMAIN_UARCH;
 use crate::uarch_trial::{draw_bit, golden_run, run_trial, GoldenRun, UarchTrial};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use restore_core::{config_digest, ConfigDigest};
+use restore_core::{config_digest, ConfigDigest, DetectorConfig};
 use restore_maskmap::UarchMaskMap;
 use restore_snapshot::SnapshotMachine;
 use restore_store::Shard;
@@ -48,20 +48,9 @@ pub enum InjectionTarget {
     LatchesOnly,
 }
 
-/// How the cfv symptom is identified when classifying.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CfvMode {
-    /// Perfect identification of incorrect control flow (Figure 4): any
-    /// divergence of retired control flow counts.
-    Perfect,
-    /// Realistic detection via JRS high-confidence mispredictions
-    /// (Figure 5).
-    HighConfidence,
-    /// The §5.2.1 ablation: a perfect confidence predictor — every
-    /// fault-induced misprediction counts ("a perfect confidence
-    /// predictor would yield nearly twice the error coverage").
-    AnyMispredict,
-}
+// The cfv detection model moved into the detector layer with the cfv
+// `SymptomSource`; re-exported here for the historical path.
+pub use restore_core::CfvMode;
 
 /// Dead-state injection pruning mode ([`UarchCampaignConfig::prune`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -140,6 +129,13 @@ pub struct UarchCampaignConfig {
     /// disables the library (serial producer). Results are
     /// bit-identical either way — only producer cost changes.
     pub ckpt_stride: u64,
+    /// Observation-time software-detector configuration (signature block
+    /// size, duplication mask). Result-shaping: the knobs set the
+    /// latencies the software sources record, so they fold into
+    /// [`uarch_campaign_digest`]. The golden run and the checkpoint
+    /// library are detector-blind, so sweeps across these knobs start
+    /// warm.
+    pub detectors: DetectorConfig,
 }
 
 impl Default for UarchCampaignConfig {
@@ -167,6 +163,7 @@ impl Default for UarchCampaignConfig {
             // MB per (workload, config) while bounding each unit's
             // residual sweep to one stride.
             ckpt_stride: effective_ckpt_stride(2_000),
+            detectors: DetectorConfig::paper(),
         }
     }
 }
@@ -383,13 +380,16 @@ impl FaultModel for UarchModel<'_> {
 }
 
 /// Digest of everything that shapes a µarch *trial record* given its
-/// key: the program (scale), the machine (uarch config), the
-/// observation window, the drain allowance and the injection target.
-/// Deliberately excluded — seeds, point/trial counts and warm-up (they
-/// live in the [`restore_store::TrialKey`] as coordinates), and thread
-/// counts, checkpoint strides, the reconvergence cutoff and prune
-/// settings (result-neutral, proved by the equivalence suites). Records
-/// written under a different digest are inert misses, never corruption.
+/// key: the program (scale), the machine (uarch config — including the
+/// JRS geometry and watchdog timeout the hardware detectors run at),
+/// the observation window, the drain allowance, the injection target
+/// and the software-detector knobs ([`DetectorConfig`] — they set the
+/// signature/duplication latencies a record carries). Deliberately
+/// excluded — seeds, point/trial counts and warm-up (they live in the
+/// [`restore_store::TrialKey`] as coordinates), and thread counts,
+/// checkpoint strides, the reconvergence cutoff and prune settings
+/// (result-neutral, proved by the equivalence suites). Records written
+/// under a different digest are inert misses, never corruption.
 pub fn uarch_campaign_digest(cfg: &UarchCampaignConfig) -> u64 {
     ConfigDigest::new()
         .text("uarch-campaign")
@@ -398,6 +398,8 @@ pub fn uarch_campaign_digest(cfg: &UarchCampaignConfig) -> u64 {
         .word(cfg.window_cycles)
         .word(cfg.drain_cycles)
         .debug(&cfg.target)
+        .word(cfg.detectors.sig_chunk)
+        .word(u64::from(cfg.detectors.dup_mask))
         .finish()
 }
 
@@ -473,6 +475,32 @@ mod tests {
             UarchCampaignConfig { window_cycles: base.window_cycles + 1, ..base.clone() },
             UarchCampaignConfig { drain_cycles: base.drain_cycles + 1, ..base.clone() },
             UarchCampaignConfig { target: InjectionTarget::LatchesOnly, ..base.clone() },
+            // Every swept detector knob is result-shaping: the hardware
+            // geometry through the uarch config, the software sources
+            // through the detector config.
+            UarchCampaignConfig {
+                uarch: UarchConfig { jrs_entries: 256, ..base.uarch.clone() },
+                ..base.clone()
+            },
+            UarchCampaignConfig {
+                uarch: UarchConfig { jrs_threshold: 7, ..base.uarch.clone() },
+                ..base.clone()
+            },
+            UarchCampaignConfig {
+                uarch: UarchConfig { watchdog_cycles: 500, ..base.uarch.clone() },
+                ..base.clone()
+            },
+            UarchCampaignConfig {
+                detectors: DetectorConfig { sig_chunk: 32, ..base.detectors },
+                ..base.clone()
+            },
+            UarchCampaignConfig {
+                detectors: DetectorConfig {
+                    dup_mask: restore_core::LHF_DUP_MASK,
+                    ..base.detectors
+                },
+                ..base.clone()
+            },
         ] {
             assert_ne!(d0, uarch_campaign_digest(&shaped), "result-shaping field must rekey");
         }

@@ -19,6 +19,7 @@ use crate::uarch_campaign::{CfvMode, InjectionTarget, PruneMode, UarchCampaignCo
 use rand::rngs::StdRng;
 use rand::Rng;
 use restore_arch::Retired;
+use restore_core::{DetectorSet, Observation, RetiredCompare, SourceSet, SymptomKind};
 use restore_uarch::{FaultState, OccupancyRecorder, Pipeline, StateCatalog, Stop};
 use restore_workloads::WorkloadId;
 use std::collections::HashSet;
@@ -65,6 +66,18 @@ pub struct UarchTrial {
     /// Latency to the first fault-induced misprediction of any
     /// confidence (the perfect-confidence-predictor ablation).
     pub any_mispredict: Option<u64>,
+    /// Latency at which software control-flow signature checking
+    /// ([`restore_core::detector::SignatureSource`]) would flag the
+    /// trial: the first retired-PC mismatch, rounded up to its signature
+    /// block boundary. `None` when control flow never diverged (or the
+    /// source is disabled by `sig_chunk = 0`).
+    pub sig_mismatch: Option<u64>,
+    /// Latency at which selective variable duplication
+    /// ([`restore_core::detector::DupSource`]) would flag the trial: the
+    /// first aligned register-write mismatch whose destination is a
+    /// protected register. `None` when no protected write diverged (or
+    /// `dup_mask = 0`).
+    pub dup_mismatch: Option<u64>,
     /// Data-cache misses beyond the golden run's count (§3.3 candidate
     /// symptom; can be negative when the fault shortens execution).
     pub extra_dcache_misses: i64,
@@ -97,15 +110,12 @@ impl UarchTrial {
                 _ => UarchCategory::Masked,
             };
         }
-        // The shared precedence ([`SymptomLatencies::first_within`])
-        // resolves the detecting symptom; only the cfv latency depends
-        // on the detector model.
+        // The cfv detector resolves its own model ([`CfvMode::resolve`]);
+        // classification then reads only the shared precedence
+        // ([`SymptomLatencies::first_within`]), with no per-mode special
+        // case here.
         let detected = SymptomLatencies {
-            cfv: match cfv {
-                CfvMode::Perfect => self.symptoms.cfv,
-                CfvMode::HighConfidence => self.hc_mispredict,
-                CfvMode::AnyMispredict => self.any_mispredict,
-            },
+            cfv: cfv.resolve(self.symptoms.cfv, self.hc_mispredict, self.any_mispredict),
             ..self.symptoms
         };
         match detected.first_within(interval) {
@@ -122,6 +132,22 @@ impl UarchTrial {
                 }
             }
         }
+    }
+
+    /// Would the enabled detector subset catch this trial within
+    /// `interval` retired instructions of the flip? Post-hoc and free:
+    /// every selection reads the recorded first-firing latencies.
+    pub fn detected_within(&self, sel: &SourceSet, interval: u64) -> bool {
+        let firings = [
+            if sel.watchdog { self.symptoms.deadlock } else { None },
+            if sel.exceptions { self.symptoms.exception } else { None },
+            sel.cfv.and_then(|m| {
+                m.resolve(self.symptoms.cfv, self.hc_mispredict, self.any_mispredict)
+            }),
+            if sel.signature { self.sig_mismatch } else { None },
+            if sel.dup { self.dup_mismatch } else { None },
+        ];
+        firings.iter().flatten().any(|&l| l <= interval)
     }
 }
 
@@ -296,22 +322,25 @@ pub(crate) fn run_trial(
         value_divergence: None,
         hc_mispredict: None,
         any_mispredict: None,
+        sig_mismatch: None,
+        dup_mismatch: None,
         extra_dcache_misses: 0,
         extra_dtlb_misses: 0,
         end: EndState::MaskedClean,
     };
 
+    // The detector bank: every symptom latency this monitor records is
+    // the first firing of a registered `SymptomSource`. The sustained
+    // cfv model (a control-flow violation means the *wrong instruction
+    // executed* — a single-event PC label mismatch that immediately
+    // re-aligns is a corrupted reporting field, i.e. data corruption,
+    // not cfv) lives inside the cfv source.
+    let mut set = DetectorSet::uarch_trial(&cfg.detectors, &cfg.uarch);
     let mut idx = 0usize; // next golden trace index to compare
     let mut terminated = false;
     let stride = cfg.cutoff_stride;
     let mut executed = 0u64;
     let mut cut = false;
-    // A control-flow violation means the *wrong instruction executed*: a
-    // sustained PC divergence from the golden stream. A single-event PC
-    // label mismatch that immediately re-aligns is a corrupted reporting
-    // field (e.g. a flipped ROB `pc`), which is data corruption, not cfv.
-    let mut pending_cfv: Option<u64> = None;
-    let mut cfv_confirmed = false;
     for i in 0..cfg.window_cycles {
         if pipe.status() != Stop::Running {
             break;
@@ -324,46 +353,44 @@ pub(crate) fn run_trial(
                 continue;
             }
             let key = event_key(m.retired_before, base_retired, m.pc);
-            if !golden.all_events.contains(&key) {
-                trial.any_mispredict.get_or_insert(key.0 + 1);
-            }
-            if m.high_confidence && !golden.hc_events.contains(&key) {
-                trial.hc_mispredict.get_or_insert(key.0 + 1);
+            let any = !golden.all_events.contains(&key);
+            let high_confidence = m.high_confidence && !golden.hc_events.contains(&key);
+            if any || high_confidence {
+                set.observe(&Observation::NovelMispredict {
+                    latency: key.0 + 1,
+                    any,
+                    high_confidence,
+                });
             }
         }
         for ret in &r.retired {
-            if cfv_confirmed {
+            if set.first(SymptomKind::Cfv).is_some() {
                 break; // streams no longer aligned; nothing to compare
             }
             let Some(g) = golden.trace.get(idx) else { break };
             let lat = idx as u64 + 1;
-            if ret.pc != g.pc {
-                match pending_cfv {
-                    Some(at) => {
-                        trial.symptoms.cfv.get_or_insert(at);
-                        cfv_confirmed = true;
-                    }
-                    None => pending_cfv = Some(lat),
-                }
-            } else {
-                // A one-off PC label mismatch whose dataflow matched was a
-                // corrupted reporting field (e.g. a flipped ROB `pc`): it
-                // redirects nothing and writes nothing wrong, so it is not
-                // a failure. Any real effect shows up as a reg/mem
-                // mismatch or as end-of-trial residue.
-                pending_cfv = None;
-                if ret.reg_write != g.reg_write || ret.mem != g.mem || ret.halted != g.halted {
-                    trial.value_divergence.get_or_insert(lat);
-                }
-            }
+            let pc_mismatch = ret.pc != g.pc;
+            // Dataflow is only comparable on an aligned stream — exactly
+            // what an embedded software check could compare.
+            let value_mismatch = !pc_mismatch
+                && (ret.reg_write != g.reg_write || ret.mem != g.mem || ret.halted != g.halted);
+            let reg_write_mismatch = !pc_mismatch && ret.reg_write != g.reg_write;
+            set.observe(&Observation::Retired(RetiredCompare {
+                latency: lat,
+                pc_mismatch,
+                value_mismatch,
+                reg_write_mismatch,
+                trial_reg: ret.reg_write.map(|(reg, _)| reg.index() as u8),
+                golden_reg: g.reg_write.map(|(reg, _)| reg.index() as u8),
+            }));
             idx += 1;
         }
         if r.deadlock {
-            trial.symptoms.deadlock = Some(lat_now(&pipe));
+            set.observe(&Observation::Deadlock { latency: lat_now(&pipe) });
             terminated = true;
         }
         if r.exception.is_some() {
-            trial.symptoms.exception = Some(lat_now(&pipe));
+            set.observe(&Observation::Exception { latency: lat_now(&pipe) });
             terminated = true;
         }
         // Reconvergence check: compare the full-machine fingerprint at
@@ -381,9 +408,19 @@ pub(crate) fn run_trial(
             break;
         }
     }
-    // A pending divergence on the final compared event is indistinguishable
-    // from a label flip; end-of-trial state comparison adjudicates it.
-    let _ = pending_cfv;
+    // Harvest the bank into the record. (A cfv still pending on the
+    // final compared event is indistinguishable from a label flip and
+    // never fires; end-of-trial state comparison adjudicates it.) The
+    // cut/drain endings below back-fill via `get_or_insert`, so the
+    // harvest must precede them.
+    trial.symptoms.deadlock = set.first(SymptomKind::Deadlock);
+    trial.symptoms.exception = set.first(SymptomKind::Exception);
+    trial.symptoms.cfv = set.first(SymptomKind::Cfv);
+    trial.value_divergence = set.first(SymptomKind::ValueDivergence);
+    trial.hc_mispredict = set.first(SymptomKind::HcMispredict);
+    trial.any_mispredict = set.first(SymptomKind::AnyMispredict);
+    trial.sig_mismatch = set.first(SymptomKind::Signature);
+    trial.dup_mismatch = set.first(SymptomKind::Dup);
 
     let mut cost = TrialCost { simulated: executed, cut, ..TrialCost::default() };
     if cut {
@@ -479,6 +516,8 @@ mod tests {
             value_divergence: None,
             hc_mispredict: None,
             any_mispredict: None,
+            sig_mismatch: None,
+            dup_mismatch: None,
             extra_dcache_misses: 0,
             extra_dtlb_misses: 0,
             end: EndState::Terminated,
@@ -503,6 +542,8 @@ mod tests {
             value_divergence: Some(5),
             hc_mispredict: Some(80),
             any_mispredict: Some(30),
+            sig_mismatch: Some(64),
+            dup_mismatch: None,
             extra_dcache_misses: 0,
             extra_dtlb_misses: 0,
             end: EndState::Terminated,
@@ -517,5 +558,21 @@ mod tests {
         assert_eq!(t.classify(80, HighConfidence, false), UarchCategory::Exception);
         // The perfect-confidence ablation sits between the two.
         assert_eq!(t.classify(30, AnyMispredict, false), UarchCategory::Cfv);
+
+        // The post-hoc detector selection reads the same observables.
+        let paper = SourceSet::paper();
+        assert!(!t.detected_within(&paper, 20), "hc cfv fires at 80, not 20");
+        assert!(t.detected_within(&paper, 50), "the exception at 50 covers it");
+        let sig_only = SourceSet {
+            exceptions: false,
+            watchdog: false,
+            cfv: None,
+            signature: true,
+            dup: false,
+        };
+        assert!(t.detected_within(&sig_only, 64), "signature fires at its block boundary");
+        assert!(!t.detected_within(&sig_only, 63));
+        let dup_only = SourceSet { signature: false, dup: true, ..sig_only };
+        assert!(!t.detected_within(&dup_only, 10_000), "no protected write diverged");
     }
 }

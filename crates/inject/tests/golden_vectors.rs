@@ -16,10 +16,15 @@
 //! make an unintentional difference pass.
 
 use restore_inject::{
-    run_arch_campaign, run_uarch_campaign, ArchCampaignConfig, ArchTrial, InjectionTarget,
-    UarchCampaignConfig, UarchTrial,
+    run_arch_campaign, run_uarch_campaign, ArchCampaignConfig, ArchTrial, DetectorConfig,
+    InjectionTarget, UarchCampaignConfig, UarchTrial,
 };
 use restore_workloads::Scale;
+
+/// Thread counts every fixture is replayed at: the campaigns promise
+/// bit-identical trial vectors at any worker count, so each rendering
+/// must match the fixture at all of them.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
 fn opt(v: Option<u64>) -> String {
     v.map(|x| x.to_string()).unwrap_or_else(|| "-".into())
@@ -106,28 +111,79 @@ fn arch_cfg(low32: bool) -> ArchCampaignConfig {
 
 #[test]
 fn uarch_allstate_matches_pinned_vector() {
-    let trials = run_uarch_campaign(&uarch_cfg(InjectionTarget::AllState));
-    assert!(!trials.is_empty());
-    check("uarch_allstate", &render_uarch(&trials));
+    for threads in THREAD_COUNTS {
+        let cfg = UarchCampaignConfig { threads, ..uarch_cfg(InjectionTarget::AllState) };
+        let trials = run_uarch_campaign(&cfg);
+        assert!(!trials.is_empty());
+        check("uarch_allstate", &render_uarch(&trials));
+    }
 }
 
 #[test]
 fn uarch_latches_matches_pinned_vector() {
-    let trials = run_uarch_campaign(&uarch_cfg(InjectionTarget::LatchesOnly));
-    assert!(!trials.is_empty());
-    check("uarch_latches", &render_uarch(&trials));
+    for threads in THREAD_COUNTS {
+        let cfg = UarchCampaignConfig { threads, ..uarch_cfg(InjectionTarget::LatchesOnly) };
+        let trials = run_uarch_campaign(&cfg);
+        assert!(!trials.is_empty());
+        check("uarch_latches", &render_uarch(&trials));
+    }
 }
 
 #[test]
 fn arch_matches_pinned_vector() {
-    let trials = run_arch_campaign(&arch_cfg(false));
-    assert!(!trials.is_empty());
-    check("arch", &render_arch(&trials));
+    for threads in THREAD_COUNTS {
+        let cfg = ArchCampaignConfig { threads, ..arch_cfg(false) };
+        let trials = run_arch_campaign(&cfg);
+        assert!(!trials.is_empty());
+        check("arch", &render_arch(&trials));
+    }
 }
 
 #[test]
 fn arch_low32_matches_pinned_vector() {
-    let trials = run_arch_campaign(&arch_cfg(true));
+    for threads in THREAD_COUNTS {
+        let cfg = ArchCampaignConfig { threads, ..arch_cfg(true) };
+        let trials = run_arch_campaign(&cfg);
+        assert!(!trials.is_empty());
+        check("arch_low32", &render_arch(&trials));
+    }
+}
+
+/// The software-only sources (signature + lhf duplication) ride a *new*
+/// fixture — the pre-refactor fixtures above render only the historical
+/// fields and stay untouched. This one also proves the detector knobs
+/// are observation-only: the historical columns of its records must
+/// round-trip identically to `uarch_allstate` (the knobs add firing
+/// latencies; they never perturb the trial's evolution).
+#[test]
+fn uarch_software_detectors_match_pinned_vector_and_never_perturb() {
+    let armed = UarchCampaignConfig {
+        detectors: DetectorConfig::lhf(),
+        ..uarch_cfg(InjectionTarget::AllState)
+    };
+    let trials = run_uarch_campaign(&armed);
     assert!(!trials.is_empty());
-    check("arch_low32", &render_arch(&trials));
+    assert!(
+        trials.iter().any(|t| t.sig_mismatch.is_some() || t.dup_mismatch.is_some()),
+        "smoke campaign never fired a software source — fixture would pin nothing"
+    );
+    let mut out = String::new();
+    for t in &trials {
+        out.push_str(&format!(
+            "wl={} bit={} sig={} dup={}\n",
+            t.workload,
+            t.bit,
+            opt(t.sig_mismatch),
+            opt(t.dup_mismatch),
+        ));
+    }
+    check("uarch_software_detectors", &out);
+
+    let baseline = run_uarch_campaign(&uarch_cfg(InjectionTarget::AllState));
+    let strip = |ts: &[UarchTrial]| {
+        ts.iter()
+            .map(|t| UarchTrial { sig_mismatch: None, dup_mismatch: None, ..t.clone() })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(strip(&trials), strip(&baseline), "detector knobs perturbed trial evolution");
 }

@@ -402,4 +402,44 @@ mod tests {
         let c = cfg();
         assert_eq!(c.jrs_threshold, c.jrs_max);
     }
+
+    /// Pins the estimator's behaviour at the historical defaults (the
+    /// geometry was once compile-time constants; it is now swept through
+    /// `UarchConfig`, and the default-config estimator must keep the
+    /// exact historical behaviour): 1024 entries, counters saturating at
+    /// 15, high confidence only at 15 consecutive correct predictions.
+    #[test]
+    fn jrs_default_geometry_pins_historical_behaviour() {
+        let c = cfg();
+        assert_eq!((c.jrs_entries, c.jrs_max, c.jrs_threshold), (1024, 15, 15));
+        let mut j = JrsConfidence::new(&c);
+        let (pc, ghr) = (0x3000, 0);
+        // Exactly 15 correct predictions reach high confidence — not 14.
+        for n in 1..=20u32 {
+            j.update(pc, ghr, true);
+            assert_eq!(j.high_confidence(pc, ghr), n >= 15, "after {n} correct predictions");
+        }
+        // The 1024-entry index masks (pc>>2)^ghr: a pc 4096 bytes away
+        // aliases to the same counter, one 4 bytes away does not.
+        assert!(j.high_confidence(pc + 4096, ghr), "aliased entry shares the counter");
+        assert!(!j.high_confidence(pc + 4, ghr), "neighbouring entry is independent");
+    }
+
+    /// The runtime geometry knobs are live: a lower threshold reaches
+    /// confidence sooner, and a smaller table changes the aliasing set.
+    #[test]
+    fn jrs_geometry_knobs_change_behaviour() {
+        let relaxed = UarchConfig { jrs_threshold: 4, ..cfg() };
+        let mut j = JrsConfidence::new(&relaxed);
+        let (pc, ghr) = (0x3000, 0);
+        for _ in 0..4 {
+            j.update(pc, ghr, true);
+        }
+        assert!(j.high_confidence(pc, ghr), "threshold 4 reaches confidence in 4 updates");
+
+        let small = UarchConfig { jrs_entries: 16, jrs_threshold: 1, ..cfg() };
+        let mut j = JrsConfidence::new(&small);
+        j.update(pc, ghr, true);
+        assert!(j.high_confidence(pc + 64, ghr), "16-entry table aliases at 64-byte stride");
+    }
 }
