@@ -1,0 +1,67 @@
+//! Deliberately unsound digests and banned nondeterministic constructs,
+//! scanned (never compiled) by the `restore-audit` tests. Like
+//! `lib.rs`, every defect here must keep producing its finding — if a
+//! pass stops seeing one, the pass regressed, not this file.
+//!
+//! None of these structs carries a state walk, so the state-coverage
+//! scanner must see nothing here and `lib.rs`'s exact defect count is
+//! unaffected.
+
+/// A campaign config whose digest forgot a field — the exact defect
+/// that would let two different campaigns collide on one store key.
+pub struct CanaryCfg {
+    /// Folded below: no finding.
+    pub window: u64,
+    /// NOT folded by the digest below and NOT exempted: the digest
+    /// pass must report `unfolded-field` for `CanaryCfg.forgotten`.
+    pub forgotten: u64,
+    /// Carries a reasonless exemption: the comment itself is a
+    /// `malformed-digest-exemption` finding AND exempts nothing, so
+    /// `threads` is also an `unfolded-field` finding.
+    // digest: neutral
+    pub threads: usize,
+}
+
+pub fn canary_campaign_digest(cfg: &CanaryCfg) -> u64 {
+    ConfigDigest::new().text("canary").word(cfg.window).finish()
+}
+
+/// A config whose exemption lies: the field claims to be neutral but
+/// IS folded — the digest pass must report `neutral-but-folded`.
+pub struct LyingCfg {
+    // digest: neutral -- claims neutrality while the fold below disagrees
+    pub stride: u64,
+}
+
+pub fn lying_campaign_digest(cfg: &LyingCfg) -> u64 {
+    ConfigDigest::new().word(cfg.stride).finish()
+}
+
+/// Banned-construct canaries for the determinism lint, one finding per
+/// line so the exact-count test stays legible.
+pub fn nondeterministic_soup() -> u64 {
+    let map = HashMap::<u64, u64>::new();
+    let when = Instant::now();
+    let mut rng = thread_rng();
+    let seeded = StdRng::seed_from_u64(42);
+    map.len() as u64 + when.elapsed().as_secs() + rng.next() + seeded.next()
+}
+
+/// A correctly exempted keyed-lookup cache: the `allow` below must be
+/// honored (no finding, one exemption counted).
+// determinism: allow -- keyed lookup only; fixture twin of the snapshot cache
+pub type KeyedCache = HashSet<u64>;
+
+/// This allow covers nothing within reach: the lint must report
+/// `dangling-determinism-allow` so stale exemptions cannot pile up.
+// determinism: allow -- exempts nothing and must be flagged as dangling
+pub fn perfectly_deterministic() -> u64 {
+    7
+}
+
+/// A reasonless allow: `malformed-determinism-exemption`, and the
+/// wall-clock read it fails to cover is still a finding.
+// determinism: allow
+pub fn reasonless() -> u64 {
+    SystemTime::now().elapsed().as_secs()
+}

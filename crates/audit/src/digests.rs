@@ -1,0 +1,654 @@
+//! Static digest-coverage scanner: cache-key soundness for the store.
+//!
+//! Every persisted trial is keyed by a campaign-config digest
+//! (`uarch_campaign_digest`, `arch_campaign_digest`, the `FaultModel`
+//! `config_digest`/`campaign_digest` methods, `cell_digest`). A config
+//! field that shapes results but is *not* folded into the digest makes
+//! two different campaigns collide on one store key, silently serving
+//! stale trials. This pass proves, at the token level and with zero
+//! dependencies (mirroring [`crate::scanner`]), that every declared
+//! field of every config struct reachable from a digest-function body
+//! is either folded into the digest or explicitly exempted:
+//!
+//! ```text
+//! // digest: neutral -- <reason the field cannot shape trial results>
+//! ```
+//!
+//! placed on the field's line or between it and the previous field. The
+//! reason is mandatory; a `digest:` comment that does not parse is
+//! itself a finding, and an exempted field that *is* folded is a
+//! finding too (`neutral-but-folded`) — the comment would be lying.
+//!
+//! Fold evidence is the union across every digest function: a path like
+//! `cfg.detectors.sig_chunk` folds `UarchCampaignConfig.detectors` and
+//! `DetectorConfig.sig_chunk`; a single-segment fold of a struct-typed
+//! field (`.debug(&cfg.uarch)`) covers the whole substructure through
+//! its `Debug` rendering, so the interior is not descended into.
+//! Passing a whole struct onward (`uarch_campaign_digest(self.cfg)`)
+//! likewise folds only the `cfg` field of the wrapper — the inner
+//! struct's own coverage comes from the callee's body, which is also a
+//! digest root.
+
+use crate::lex::{skip_balanced, skip_generics, tokenize, Tok, Token};
+use crate::scanner::{Finding, Severity};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// One declared config-struct field as the digest pass sees it.
+#[derive(Debug, Clone)]
+pub struct DigestField {
+    /// Field name.
+    pub name: String,
+    /// Declared type with references/lifetimes stripped (`UarchConfig`).
+    pub base_ty: String,
+    /// 1-based source line of the declaration.
+    pub line: u32,
+    /// Exemption reason, if the field carries `// digest: neutral -- …`.
+    pub neutral: Option<String>,
+}
+
+/// One struct with named fields, as harvested from a scanned file.
+#[derive(Debug, Clone)]
+pub struct DigestStruct {
+    /// Type name.
+    pub name: String,
+    /// Source file.
+    pub file: PathBuf,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Declared fields in order.
+    pub fields: Vec<DigestField>,
+}
+
+/// One digest-root function and the field paths its body folds.
+#[derive(Debug, Clone)]
+pub struct DigestFn {
+    /// Function name (`uarch_campaign_digest`, `config_digest`, …).
+    pub name: String,
+    /// Source file.
+    pub file: PathBuf,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Parameter bindings: name → base type (`self` included).
+    pub params: Vec<(String, String)>,
+    /// Folded field paths, rooted at a parameter (`cfg.detectors.sig_chunk`).
+    pub folds: Vec<Vec<String>>,
+}
+
+/// Per-struct shaped/neutral classification for reports and `--json`.
+#[derive(Debug, Clone)]
+pub struct StructReport {
+    /// Type name.
+    pub name: String,
+    /// Source file.
+    pub file: PathBuf,
+    /// Fields folded into at least one digest.
+    pub shaped: Vec<String>,
+    /// Fields exempted as result-neutral.
+    pub neutral: Vec<String>,
+}
+
+/// The digest pass result.
+#[derive(Debug, Default)]
+pub struct DigestAnalysis {
+    /// Reachable structs with their classification, name-sorted.
+    pub structs: Vec<StructReport>,
+    /// Digest-root functions found.
+    pub digest_fns: Vec<String>,
+    /// Everything noteworthy, errors first.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl DigestAnalysis {
+    /// Error-severity findings only.
+    pub fn errors(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.severity == Severity::Error)
+    }
+
+    /// True when no error-severity findings exist.
+    pub fn is_clean(&self) -> bool {
+        self.errors().count() == 0
+    }
+}
+
+/// A function is a digest root iff the store (or a cache keyed off the
+/// store) uses its return value as a key. Matching on exact names keeps
+/// `TrialStore::content_digest` — a digest *of results*, not of config —
+/// out of the root set.
+fn is_digest_root(name: &str) -> bool {
+    name == "config_digest" || name == "cell_digest" || name.ends_with("campaign_digest")
+}
+
+/// Strips `&`, `mut`, and lifetime tokens off a type prefix and returns
+/// the first path ident (`&'a UarchCampaignConfig` → `UarchCampaignConfig`).
+fn base_type(toks: &[Token], mut i: usize, end: usize) -> Option<String> {
+    while i < end {
+        match &toks[i].tok {
+            Tok::Punct('&') | Tok::Other => i += 1,
+            Tok::Ident(k) if k == "mut" || k == "dyn" => i += 1,
+            Tok::Ident(k) => return Some(k.clone()),
+            _ => return None,
+        }
+    }
+    None
+}
+
+#[derive(Default)]
+struct DigestFacts {
+    structs: Vec<DigestStruct>,
+    fns: Vec<DigestFn>,
+    malformed: Vec<(PathBuf, u32, String)>,
+}
+
+/// Scans every `.rs` file under the given roots and cross-checks digest
+/// coverage.
+///
+/// # Errors
+///
+/// Returns an I/O error if a root cannot be read.
+pub fn analyze_digest_dirs(roots: &[PathBuf]) -> std::io::Result<DigestAnalysis> {
+    let mut files = Vec::new();
+    for root in roots {
+        super::scanner::rust_files(root, &mut files)?;
+    }
+    let mut facts = DigestFacts::default();
+    for f in &files {
+        let text = std::fs::read_to_string(f)?;
+        scan_file(f, &text, &mut facts);
+    }
+    Ok(cross_check(facts, files.len()))
+}
+
+/// Scans in-memory sources (used by tests); paths are labels only.
+pub fn analyze_digest_sources(sources: &[(&str, &str)]) -> DigestAnalysis {
+    let mut facts = DigestFacts::default();
+    for (path, text) in sources {
+        scan_file(Path::new(path), text, &mut facts);
+    }
+    cross_check(facts, sources.len())
+}
+
+fn scan_file(path: &Path, text: &str, facts: &mut DigestFacts) {
+    let (toks, directives) = tokenize(text);
+    let mut neutrals: Vec<(u32, String)> = Vec::new();
+    for d in directives.iter().filter(|d| d.prefix == "digest") {
+        match d.reason_for("neutral") {
+            Ok(reason) => neutrals.push((d.line, reason)),
+            Err(raw) => facts.malformed.push((path.to_path_buf(), d.line, raw)),
+        }
+    }
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Ident(k) if k == "struct" => {
+                i = parse_struct(path, &toks, i, &neutrals, facts);
+            }
+            Tok::Ident(k) if k == "impl" => {
+                i = parse_impl(path, &toks, i, facts);
+            }
+            Tok::Ident(k) if k == "fn" => {
+                i = parse_fn(path, &toks, i, None, facts);
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parses `struct Name { … }` at the `struct` keyword; returns the index
+/// after the item. Tuple and unit structs carry no named fields and are
+/// skipped.
+fn parse_struct(
+    path: &Path,
+    toks: &[Token],
+    start: usize,
+    neutrals: &[(u32, String)],
+    facts: &mut DigestFacts,
+) -> usize {
+    let mut i = start + 1;
+    let Some(Tok::Ident(name)) = toks.get(i).map(|t| &t.tok) else { return start + 1 };
+    let name = name.clone();
+    let line = toks[start].line;
+    i += 1;
+    i = skip_generics(toks, i);
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Punct('{')) => {}
+        _ => return i, // tuple/unit struct or `where` clause we don't model
+    }
+    let body_end = skip_balanced(toks, i, '{', '}');
+    let mut fields = Vec::new();
+    let mut j = i + 1;
+    let mut prev_field_line = toks[start].line;
+    while j + 1 < body_end {
+        // A field is `ident :` at depth 1; skip attributes and `pub`.
+        match &toks[j].tok {
+            Tok::Punct('#') => {
+                j += 1;
+                if toks.get(j).is_some_and(|t| t.tok.is_punct('[')) {
+                    j = skip_balanced(toks, j, '[', ']');
+                }
+            }
+            Tok::Ident(k) if k == "pub" => {
+                j += 1;
+                if toks.get(j).is_some_and(|t| t.tok.is_punct('(')) {
+                    j = skip_balanced(toks, j, '(', ')');
+                }
+            }
+            Tok::Ident(fname) if toks.get(j + 1).is_some_and(|t| t.tok.is_punct(':')) => {
+                let fline = toks[j].line;
+                let ty_start = j + 2;
+                // The type runs to the `,` (or `}`) at field depth.
+                let mut k = ty_start;
+                let mut depth = 0i32;
+                while k < body_end {
+                    match &toks[k].tok {
+                        Tok::Punct('<' | '(' | '[') => depth += 1,
+                        Tok::Punct('>' | ')' | ']') => depth -= 1,
+                        Tok::Punct(',') if depth <= 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let neutral = neutrals
+                    .iter()
+                    .find(|(l, _)| (*l > prev_field_line && *l <= fline) || *l == fline)
+                    .map(|(_, r)| r.clone());
+                fields.push(DigestField {
+                    name: fname.clone(),
+                    base_ty: base_type(toks, ty_start, k).unwrap_or_default(),
+                    line: fline,
+                    neutral,
+                });
+                prev_field_line = fline;
+                j = k + 1;
+            }
+            _ => j += 1,
+        }
+    }
+    facts.structs.push(DigestStruct { name, file: path.to_path_buf(), line, fields });
+    body_end
+}
+
+/// Parses an `impl` block, resolving `self` in any digest methods to the
+/// implemented type (`impl FaultModel for UarchModel<'_>` → `UarchModel`).
+fn parse_impl(path: &Path, toks: &[Token], start: usize, facts: &mut DigestFacts) -> usize {
+    let mut i = skip_generics(toks, start + 1);
+    // `impl Trait for Type { … }` or `impl Type { … }`: the self type is
+    // the last path ident before the body.
+    let mut self_ty = None;
+    while i < toks.len() && !toks[i].tok.is_punct('{') {
+        if let Tok::Ident(k) = &toks[i].tok {
+            if k == "where" {
+                break;
+            }
+            self_ty = Some(k.clone());
+        }
+        i += 1;
+    }
+    while i < toks.len() && !toks[i].tok.is_punct('{') {
+        i += 1;
+    }
+    let body_end = skip_balanced(toks, i, '{', '}');
+    let mut j = i + 1;
+    while j + 1 < body_end {
+        if toks[j].tok.is_ident("fn") {
+            j = parse_fn(path, toks, j, self_ty.as_deref(), facts);
+        } else {
+            j += 1;
+        }
+    }
+    body_end
+}
+
+/// Parses `fn name(params) { body }` at the `fn` keyword; harvests fold
+/// paths if the function is a digest root. Returns the index after the
+/// body (or signature, for trait-declaration fns without one).
+fn parse_fn(
+    path: &Path,
+    toks: &[Token],
+    start: usize,
+    self_ty: Option<&str>,
+    facts: &mut DigestFacts,
+) -> usize {
+    let mut i = start + 1;
+    let Some(Tok::Ident(name)) = toks.get(i).map(|t| &t.tok) else { return start + 1 };
+    let name = name.clone();
+    let line = toks[start].line;
+    i += 1;
+    i = skip_generics(toks, i);
+    if !toks.get(i).is_some_and(|t| t.tok.is_punct('(')) {
+        return i;
+    }
+    let params_end = skip_balanced(toks, i, '(', ')');
+    let mut params: Vec<(String, String)> = Vec::new();
+    if is_digest_root(&name) {
+        let mut j = i + 1;
+        while j < params_end {
+            match &toks[j].tok {
+                Tok::Ident(k) if k == "self" => {
+                    if let Some(ty) = self_ty {
+                        params.push(("self".to_string(), ty.to_string()));
+                    }
+                    j += 1;
+                }
+                Tok::Ident(k) if toks.get(j + 1).is_some_and(|t| t.tok.is_punct(':')) => {
+                    let pname = k.clone();
+                    // The type runs to the `,` at paren depth 1.
+                    let mut k2 = j + 2;
+                    let mut depth = 0i32;
+                    while k2 < params_end {
+                        match &toks[k2].tok {
+                            Tok::Punct('<' | '(') => depth += 1,
+                            Tok::Punct('>' | ')') => depth -= 1,
+                            Tok::Punct(',') if depth <= 0 => break,
+                            _ => {}
+                        }
+                        k2 += 1;
+                    }
+                    if let Some(ty) = base_type(toks, j + 2, k2) {
+                        params.push((pname, ty));
+                    }
+                    j = k2 + 1;
+                }
+                _ => j += 1,
+            }
+        }
+    }
+    // Find the body (skip return type / where clause).
+    let mut b = params_end;
+    while b < toks.len() && !toks[b].tok.is_punct('{') {
+        if toks[b].tok.is_punct(';') {
+            return b + 1; // trait declaration without a body
+        }
+        b += 1;
+    }
+    let body_end = skip_balanced(toks, b, '{', '}');
+    if !params.is_empty() {
+        let mut folds = Vec::new();
+        let mut j = b + 1;
+        while j < body_end {
+            let is_param = matches!(&toks[j].tok, Tok::Ident(k)
+                if params.iter().any(|(p, _)| p == k));
+            // Only a *root* use counts: `foo.cfg` must not read the `cfg`
+            // segment as a fresh path rooted at a parameter named `cfg`.
+            let preceded_by_dot = j > 0 && toks[j - 1].tok.is_punct('.');
+            if is_param && !preceded_by_dot {
+                let root = toks[j].tok.ident().unwrap_or_default().to_string();
+                let mut segs = vec![root];
+                let mut k = j + 1;
+                while toks.get(k).is_some_and(|t| t.tok.is_punct('.'))
+                    && matches!(toks.get(k + 1).map(|t| &t.tok), Some(Tok::Ident(_)))
+                {
+                    segs.push(toks[k + 1].tok.ident().unwrap_or_default().to_string());
+                    k += 2;
+                }
+                // `cfg.detectors.sig_chunk(…)` would be a method call on
+                // the last segment, not a field fold — drop it.
+                if segs.len() > 1 && toks.get(k).is_some_and(|t| t.tok.is_punct('(')) {
+                    segs.pop();
+                }
+                if segs.len() > 1 {
+                    folds.push(segs);
+                }
+                j = k;
+            } else {
+                j += 1;
+            }
+        }
+        facts.fns.push(DigestFn { name, file: path.to_path_buf(), line, params, folds });
+    }
+    body_end
+}
+
+fn cross_check(facts: DigestFacts, files_scanned: usize) -> DigestAnalysis {
+    let by_name: BTreeMap<&str, &DigestStruct> =
+        facts.structs.iter().map(|s| (s.name.as_str(), s)).collect();
+
+    // Union fold evidence per struct across every digest fn, resolving
+    // each path segment-by-segment through declared field types. A
+    // struct becomes *reachable* (and therefore checked) when it is a
+    // digest parameter type or a path descends into it.
+    let mut folded: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut reachable: BTreeSet<String> = BTreeSet::new();
+    for f in &facts.fns {
+        for (_, ty) in &f.params {
+            if by_name.contains_key(ty.as_str()) {
+                reachable.insert(ty.clone());
+            }
+        }
+        for path in &f.folds {
+            let Some((_, root_ty)) = f.params.iter().find(|(p, _)| p == &path[0]) else {
+                continue;
+            };
+            let mut cur = root_ty.clone();
+            for (depth, seg) in path[1..].iter().enumerate() {
+                let Some(st) = by_name.get(cur.as_str()) else { break };
+                if depth > 0 {
+                    reachable.insert(cur.clone());
+                }
+                let Some(field) = st.fields.iter().find(|fl| &fl.name == seg) else { break };
+                folded.entry(cur.clone()).or_default().insert(seg.clone());
+                cur = field.base_ty.clone();
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (file, line, raw) in &facts.malformed {
+        findings.push(Finding {
+            severity: Severity::Error,
+            kind: "malformed-digest-exemption",
+            type_name: String::new(),
+            field: String::new(),
+            file: file.clone(),
+            line: *line,
+            detail: format!(
+                "unparseable digest comment `// {raw}` — expected `// digest: neutral -- <reason>`"
+            ),
+        });
+    }
+
+    let empty = BTreeSet::new();
+    let mut reports = Vec::new();
+    for name in &reachable {
+        let st = by_name[name.as_str()];
+        let folds = folded.get(name).unwrap_or(&empty);
+        let mut shaped = Vec::new();
+        let mut neutral = Vec::new();
+        for field in &st.fields {
+            let is_folded = folds.contains(&field.name);
+            match (&field.neutral, is_folded) {
+                (None, true) => shaped.push(field.name.clone()),
+                (Some(_), false) => neutral.push(field.name.clone()),
+                (None, false) => findings.push(Finding {
+                    severity: Severity::Error,
+                    kind: "unfolded-field",
+                    type_name: st.name.clone(),
+                    field: field.name.clone(),
+                    file: st.file.clone(),
+                    line: field.line,
+                    detail: format!(
+                        "field `{}` of digest-reachable `{}` is neither folded into any \
+                         digest nor exempted with `// digest: neutral -- <reason>`; an \
+                         unfolded result-shaping field makes distinct campaigns collide \
+                         on one store key",
+                        field.name, st.name
+                    ),
+                }),
+                (Some(reason), true) => findings.push(Finding {
+                    severity: Severity::Error,
+                    kind: "neutral-but-folded",
+                    type_name: st.name.clone(),
+                    field: field.name.clone(),
+                    file: st.file.clone(),
+                    line: field.line,
+                    detail: format!(
+                        "field `{}` of `{}` is exempted as digest-neutral (`{}`) but IS \
+                         folded into a digest — the exemption is lying; drop the comment \
+                         or the fold",
+                        field.name, st.name, reason
+                    ),
+                }),
+            }
+        }
+        reports.push(StructReport {
+            name: st.name.clone(),
+            file: st.file.clone(),
+            shaped,
+            neutral,
+        });
+    }
+
+    findings.sort_by_key(|f| (f.severity != Severity::Error, f.file.clone(), f.line));
+    let mut digest_fns: Vec<String> = facts.fns.iter().map(|f| f.name.clone()).collect();
+    digest_fns.sort();
+    digest_fns.dedup();
+    DigestAnalysis { structs: reports, digest_fns, findings, files_scanned }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: &str = r#"
+        pub struct Cfg {
+            pub scale: Scale,
+            pub window: u64,
+            // digest: neutral -- scheduling knob, results are thread-invariant
+            pub threads: usize,
+            pub detectors: Det,
+        }
+        pub struct Det {
+            pub sig_chunk: u64,
+            pub dup_mask: u32,
+        }
+        pub fn my_campaign_digest(cfg: &Cfg) -> u64 {
+            ConfigDigest::new()
+                .debug(&cfg.scale)
+                .word(cfg.window)
+                .word(cfg.detectors.sig_chunk)
+                .word(u64::from(cfg.detectors.dup_mask))
+                .finish()
+        }
+    "#;
+
+    #[test]
+    fn covered_config_is_clean_and_classified() {
+        let a = analyze_digest_sources(&[("cfg.rs", CFG)]);
+        assert!(a.is_clean(), "{:?}", a.findings);
+        let cfg = a.structs.iter().find(|s| s.name == "Cfg").unwrap();
+        assert_eq!(cfg.shaped, ["scale", "window", "detectors"]);
+        assert_eq!(cfg.neutral, ["threads"]);
+        let det = a.structs.iter().find(|s| s.name == "Det").unwrap();
+        assert_eq!(det.shaped, ["sig_chunk", "dup_mask"]);
+    }
+
+    #[test]
+    fn unfolded_field_is_an_error() {
+        let src = CFG.replace(".word(cfg.window)\n", "");
+        let a = analyze_digest_sources(&[("cfg.rs", &src)]);
+        let errs: Vec<_> = a.errors().collect();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].kind, "unfolded-field");
+        assert_eq!(errs[0].field, "window");
+    }
+
+    #[test]
+    fn unfolded_nested_detector_field_is_an_error() {
+        let src = CFG.replace(".word(u64::from(cfg.detectors.dup_mask))\n", "");
+        let a = analyze_digest_sources(&[("cfg.rs", &src)]);
+        let errs: Vec<_> = a.errors().collect();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].type_name, "Det");
+        assert_eq!(errs[0].field, "dup_mask");
+    }
+
+    #[test]
+    fn folded_but_exempt_field_is_an_error() {
+        let src = CFG.replace(
+            "pub window: u64,",
+            "// digest: neutral -- claims to be neutral\n            pub window: u64,",
+        );
+        let a = analyze_digest_sources(&[("cfg.rs", &src)]);
+        let errs: Vec<_> = a.errors().collect();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].kind, "neutral-but-folded");
+        assert_eq!(errs[0].field, "window");
+    }
+
+    #[test]
+    fn reasonless_exemption_is_malformed() {
+        let src = CFG.replace(
+            "// digest: neutral -- scheduling knob, results are thread-invariant",
+            "// digest: neutral",
+        );
+        let a = analyze_digest_sources(&[("cfg.rs", &src)]);
+        let kinds: Vec<_> = a.errors().map(|e| e.kind).collect();
+        // The comment is malformed AND no longer exempts `threads`.
+        assert!(kinds.contains(&"malformed-digest-exemption"), "{kinds:?}");
+        assert!(kinds.contains(&"unfolded-field"), "{kinds:?}");
+    }
+
+    #[test]
+    fn self_methods_resolve_through_the_impl_type() {
+        let src = r#"
+            struct Model<'a> { cfg: &'a Cfg }
+            struct Cfg { pub window: u64 }
+            impl<'a> FaultModel for Model<'a> {
+                fn campaign_digest(&self) -> u64 { my_campaign_digest(self.cfg) }
+            }
+            fn my_campaign_digest(cfg: &Cfg) -> u64 { cfg.window }
+        "#;
+        let a = analyze_digest_sources(&[("m.rs", src)]);
+        assert!(a.is_clean(), "{:?}", a.findings);
+        let model = a.structs.iter().find(|s| s.name == "Model").unwrap();
+        assert_eq!(model.shaped, ["cfg"]);
+    }
+
+    #[test]
+    fn whole_struct_debug_fold_covers_the_substructure() {
+        // `.debug(&cfg.uarch)` folds the entire UarchConfig rendering;
+        // its interior must not be descended into and flagged.
+        let src = r#"
+            struct Cfg { pub uarch: Sub }
+            struct Sub { pub a: u64, pub b: u64 }
+            fn my_campaign_digest(cfg: &Cfg) -> u64 {
+                ConfigDigest::new().debug(&cfg.uarch).finish()
+            }
+        "#;
+        let a = analyze_digest_sources(&[("m.rs", src)]);
+        assert!(a.is_clean(), "{:?}", a.findings);
+        assert!(!a.structs.iter().any(|s| s.name == "Sub"), "Sub is not reachable");
+    }
+
+    #[test]
+    fn method_call_tail_is_not_a_field_fold() {
+        let src = r#"
+            struct Cfg {
+                pub window: u64,
+                // digest: neutral -- derived, not stored state
+                pub len: usize,
+            }
+            fn my_campaign_digest(cfg: &Cfg) -> u64 {
+                let _ = cfg.window.to_string();
+                cfg.window
+            }
+        "#;
+        let a = analyze_digest_sources(&[("m.rs", src)]);
+        assert!(a.is_clean(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn non_root_digest_helpers_are_ignored() {
+        // `content_digest` digests *results*, not config — it must not
+        // drag its argument types into the reachable set.
+        let src = r#"
+            struct Rec { pub payload: u64 }
+            fn content_digest(rec: &Rec) -> u64 { rec.payload }
+        "#;
+        let a = analyze_digest_sources(&[("m.rs", src)]);
+        assert!(a.structs.is_empty());
+        assert!(a.digest_fns.is_empty());
+    }
+}

@@ -25,10 +25,17 @@
 
 #![forbid(unsafe_code)]
 
+pub mod battery;
 pub mod census;
 pub mod contract;
+pub mod determinism;
+pub mod digests;
+pub(crate) mod lex;
 pub mod scanner;
 
+pub use battery::{default_batteries, run_battery, BatteryReport, FieldPerturbation};
 pub use census::{cpu_census, pipeline_census, Census};
 pub use contract::{check_contract, ContractReport, ContractVisitor};
+pub use determinism::{analyze_determinism_dirs, analyze_determinism_sources, DeterminismAnalysis};
+pub use digests::{analyze_digest_dirs, analyze_digest_sources, DigestAnalysis};
 pub use scanner::{analyze_dirs, analyze_sources, Analysis, Finding, Severity};

@@ -1,18 +1,29 @@
 //! `restore-audit` CLI.
 //!
 //! ```text
-//! restore-audit [--check] [--census] [--contract] [--json] [--root DIR]
+//! restore-audit [--check] [--digests] [--determinism] [--census]
+//!               [--contract] [--json] [--root DIR]
 //! ```
 //!
 //! * `--check` (default): run the static field-coverage scanner over
 //!   `crates/uarch/src`, `crates/arch/src`, `crates/snapshot/src`,
 //!   `crates/store/src`, `crates/maskmap/src`, `crates/core/src` and
 //!   `crates/inject/src`; exit 1 on any finding.
+//! * `--digests`: run the static digest-coverage scanner over the
+//!   crates that define campaign digests (`core`, `inject`, `bench`)
+//!   plus the per-field runtime perturbation battery; exit 1 if any
+//!   config field is neither folded nor exempted, any exemption is
+//!   malformed or lying, or any perturbation breaks the
+//!   shaped-iff-rekeys contract.
+//! * `--determinism`: run the nondeterminism lint over the campaign,
+//!   bench, store, snapshot, maskmap and perf crate roots; exit 1 on
+//!   any unexempted banned construct.
 //! * `--contract`: run the runtime invariant battery against a warmed
 //!   default-config pipeline and the architectural CPU; exit 1 on any
 //!   violation.
 //! * `--census`: print the per-region bit census of both machines.
-//! * `--json`: machine-readable output for `--check`/`--census`.
+//! * `--json`: machine-readable output for `--check`/`--digests`/
+//!   `--determinism`/`--census`.
 //! * `--root DIR`: repository root to scan (defaults to the workspace
 //!   this binary was built from).
 
@@ -21,14 +32,19 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use restore_audit::battery::default_batteries;
 use restore_audit::contract::check_contract;
-use restore_audit::scanner::Severity;
-use restore_audit::{analyze_dirs, cpu_census, pipeline_census};
+use restore_audit::scanner::{Finding, Severity};
+use restore_audit::{
+    analyze_determinism_dirs, analyze_digest_dirs, analyze_dirs, cpu_census, pipeline_census,
+};
 use restore_uarch::{Pipeline, UarchConfig};
 use restore_workloads::{Scale, WorkloadId};
 
 struct Options {
     check: bool,
+    digests: bool,
+    determinism: bool,
     census: bool,
     contract: bool,
     json: bool,
@@ -36,18 +52,30 @@ struct Options {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: restore-audit [--check] [--census] [--contract] [--json] [--root DIR]");
+    eprintln!(
+        "usage: restore-audit [--check] [--digests] [--determinism] [--census] [--contract] \
+         [--json] [--root DIR]"
+    );
     std::process::exit(2);
 }
 
 fn parse_args() -> Options {
     let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let mut opts =
-        Options { check: false, census: false, contract: false, json: false, root: default_root };
+    let mut opts = Options {
+        check: false,
+        digests: false,
+        determinism: false,
+        census: false,
+        contract: false,
+        json: false,
+        root: default_root,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--check" => opts.check = true,
+            "--digests" => opts.digests = true,
+            "--determinism" => opts.determinism = true,
             "--census" => opts.census = true,
             "--contract" => opts.contract = true,
             "--json" => opts.json = true,
@@ -62,7 +90,7 @@ fn parse_args() -> Options {
             }
         }
     }
-    if !opts.check && !opts.census && !opts.contract {
+    if !opts.check && !opts.digests && !opts.determinism && !opts.census && !opts.contract {
         opts.check = true;
     }
     opts
@@ -132,6 +160,166 @@ fn run_check(opts: &Options) -> bool {
     analysis.is_clean()
 }
 
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"severity\":\"{}\",\"kind\":\"{}\",\"type\":\"{}\",\"field\":\"{}\",\
+         \"file\":\"{}\",\"line\":{}}}",
+        match f.severity {
+            Severity::Error => "error",
+            Severity::Note => "note",
+        },
+        f.kind,
+        f.type_name,
+        f.field,
+        f.file.display(),
+        f.line,
+    )
+}
+
+fn run_digests(opts: &Options) -> bool {
+    // Only these crates define digest roots: the builder in `core`, the
+    // campaign digests in `inject`, the sweep-cell digest in `bench`.
+    let roots = [
+        opts.root.join("crates/core/src"),
+        opts.root.join("crates/inject/src"),
+        opts.root.join("crates/bench/src"),
+    ];
+    let analysis = match analyze_digest_dirs(&roots) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("restore-audit: cannot scan {}: {e}", opts.root.display());
+            return false;
+        }
+    };
+    let batteries = default_batteries();
+    let battery_ok = batteries.iter().all(restore_audit::BatteryReport::is_clean);
+    if opts.json {
+        let mut out = String::from("{\"findings\":[");
+        for (i, f) in analysis.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&finding_json(f));
+        }
+        out.push_str("],\"structs\":[");
+        for (i, s) in analysis.structs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"shaped\":{},\"neutral\":{}}}",
+                s.name,
+                s.shaped.len(),
+                s.neutral.len(),
+            ));
+        }
+        out.push_str("],\"battery\":[");
+        for (i, b) in batteries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"type\":\"{}\",\"base_digest\":\"{:#018x}\",\"checked\":{},\
+                 \"failures\":{}}}",
+                b.type_name,
+                b.base_digest,
+                b.checked,
+                b.failures.len(),
+            ));
+        }
+        out.push_str(&format!(
+            "],\"files_scanned\":{},\"digest_fns\":{},\"clean\":{}}}",
+            analysis.files_scanned,
+            analysis.digest_fns.len(),
+            analysis.is_clean() && battery_ok,
+        ));
+        println!("{out}");
+    } else {
+        for f in &analysis.findings {
+            println!("{f}");
+        }
+        for b in &batteries {
+            for fail in &b.failures {
+                println!("error[battery]: {fail}");
+            }
+            println!(
+                "digest-battery {}: base {:#018x}, {} perturbations ({} shaped, {} neutral \
+                 fields): {}",
+                b.type_name,
+                b.base_digest,
+                b.checked,
+                b.shaped_fields.len(),
+                b.neutral_fields.len(),
+                if b.is_clean() { "contract holds" } else { "VIOLATIONS" },
+            );
+        }
+        let errors = analysis.errors().count();
+        println!(
+            "restore-audit: scanned {} files, {} digest fns, {} reachable structs: {}",
+            analysis.files_scanned,
+            analysis.digest_fns.len(),
+            analysis.structs.len(),
+            if errors == 0 && battery_ok {
+                "digest coverage clean".to_string()
+            } else {
+                format!("{} error(s)", errors + usize::from(!battery_ok))
+            },
+        );
+    }
+    analysis.is_clean() && battery_ok
+}
+
+fn run_determinism(opts: &Options) -> bool {
+    let roots = [
+        opts.root.join("crates/inject/src"),
+        opts.root.join("crates/bench/src"),
+        opts.root.join("crates/store/src"),
+        opts.root.join("crates/snapshot/src"),
+        opts.root.join("crates/maskmap/src"),
+        opts.root.join("crates/perf/src"),
+        opts.root.join("crates/core/src"),
+    ];
+    let analysis = match analyze_determinism_dirs(&roots) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("restore-audit: cannot scan {}: {e}", opts.root.display());
+            return false;
+        }
+    };
+    if opts.json {
+        let mut out = String::from("{\"findings\":[");
+        for (i, f) in analysis.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&finding_json(f));
+        }
+        out.push_str(&format!(
+            "],\"files_scanned\":{},\"allows_honored\":{},\"clean\":{}}}",
+            analysis.files_scanned,
+            analysis.allows_honored,
+            analysis.is_clean(),
+        ));
+        println!("{out}");
+    } else {
+        for f in &analysis.findings {
+            println!("{f}");
+        }
+        let errors = analysis.errors().count();
+        println!(
+            "restore-audit: scanned {} files, {} exemptions honored: {}",
+            analysis.files_scanned,
+            analysis.allows_honored,
+            if errors == 0 {
+                "determinism clean".to_string()
+            } else {
+                format!("{errors} error(s)")
+            },
+        );
+    }
+    analysis.is_clean()
+}
+
 fn run_contract() -> bool {
     let program = WorkloadId::Vortexx.build(Scale { size: 32, seed: 7 });
     let mut ok = true;
@@ -192,6 +380,12 @@ fn main() -> ExitCode {
     let mut ok = true;
     if opts.check {
         ok &= run_check(&opts);
+    }
+    if opts.digests {
+        ok &= run_digests(&opts);
+    }
+    if opts.determinism {
+        ok &= run_determinism(&opts);
     }
     if opts.contract {
         ok &= run_contract();

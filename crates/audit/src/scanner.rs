@@ -25,211 +25,9 @@
 //! `word` ≤ 64) and the declared field type, and the method must match
 //! the field's primitive type (`flag` ↔ `bool`, `word8` ↔ `u8`, …).
 
+use crate::lex::{skip_balanced, skip_generics, tokenize, Tok, Token};
 use std::fmt;
 use std::path::{Path, PathBuf};
-
-/// One lexical token with its source line.
-#[derive(Debug, Clone, PartialEq)]
-pub(crate) struct Token {
-    pub tok: Tok,
-    pub line: u32,
-}
-
-/// Token kinds the analyzer distinguishes.
-#[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Tok {
-    /// Identifier or keyword.
-    Ident(String),
-    /// Single punctuation character.
-    Punct(char),
-    /// Integer literal (decimal or hex, `_` separators allowed).
-    Int(u64),
-    /// Anything else (float/string/char/lifetime placeholder).
-    Other,
-}
-
-impl Tok {
-    fn is_ident(&self, s: &str) -> bool {
-        matches!(self, Tok::Ident(i) if i == s)
-    }
-    fn is_punct(&self, c: char) -> bool {
-        matches!(self, Tok::Punct(p) if *p == c)
-    }
-    fn ident(&self) -> Option<&str> {
-        match self {
-            Tok::Ident(i) => Some(i),
-            _ => None,
-        }
-    }
-}
-
-/// An `// audit: …` comment found during tokenization.
-#[derive(Debug, Clone)]
-struct AuditComment {
-    line: u32,
-    /// `Ok(reason)` for a well-formed `audit: skip -- reason`,
-    /// `Err(raw_text)` for a malformed directive.
-    parsed: Result<String, String>,
-}
-
-/// Tokenizes Rust source, stripping comments/strings but harvesting
-/// `// audit:` directives.
-fn tokenize(text: &str) -> (Vec<Token>, Vec<AuditComment>) {
-    let bytes: Vec<char> = text.chars().collect();
-    let mut toks = Vec::new();
-    let mut audits = Vec::new();
-    let mut line: u32 = 1;
-    let mut i = 0usize;
-    let n = bytes.len();
-
-    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
-    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
-
-    while i < n {
-        let c = bytes[i];
-        match c {
-            '\n' => {
-                line += 1;
-                i += 1;
-            }
-            '/' if i + 1 < n && bytes[i + 1] == '/' => {
-                let start = i + 2;
-                let mut j = start;
-                while j < n && bytes[j] != '\n' {
-                    j += 1;
-                }
-                let comment: String = bytes[start..j].iter().collect();
-                let trimmed = comment.trim_start_matches(['/', '!']).trim();
-                if let Some(rest) = trimmed.strip_prefix("audit:") {
-                    let rest = rest.trim();
-                    let parsed = match rest.strip_prefix("skip") {
-                        Some(tail) => match tail.trim().strip_prefix("--") {
-                            Some(reason) if !reason.trim().is_empty() => {
-                                Ok(reason.trim().to_string())
-                            }
-                            _ => Err(trimmed.to_string()),
-                        },
-                        None => Err(trimmed.to_string()),
-                    };
-                    audits.push(AuditComment { line, parsed });
-                }
-                i = j;
-            }
-            '/' if i + 1 < n && bytes[i + 1] == '*' => {
-                let mut depth = 1;
-                i += 2;
-                while i < n && depth > 0 {
-                    if bytes[i] == '\n' {
-                        line += 1;
-                        i += 1;
-                    } else if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
-                        depth += 1;
-                        i += 2;
-                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-            }
-            '"' => {
-                // String literal (handles escapes; raw strings are caught
-                // by the `r` ident path below falling through here, which
-                // is good enough for the sources we scan).
-                i += 1;
-                while i < n {
-                    match bytes[i] {
-                        '\\' => i += 2,
-                        '"' => {
-                            i += 1;
-                            break;
-                        }
-                        '\n' => {
-                            line += 1;
-                            i += 1;
-                        }
-                        _ => i += 1,
-                    }
-                }
-                toks.push(Token { tok: Tok::Other, line });
-            }
-            '\'' => {
-                // Lifetime or char literal. A lifetime is `'ident` not
-                // followed by a closing quote.
-                let mut j = i + 1;
-                if j < n && is_ident_start(bytes[j]) {
-                    while j < n && is_ident_cont(bytes[j]) {
-                        j += 1;
-                    }
-                    if j < n && bytes[j] == '\'' {
-                        // char literal like 'a'
-                        i = j + 1;
-                    } else {
-                        i = j; // lifetime
-                    }
-                    toks.push(Token { tok: Tok::Other, line });
-                } else {
-                    // char literal with escape or punctuation: '\n', '%'
-                    i += 1;
-                    while i < n && bytes[i] != '\'' {
-                        if bytes[i] == '\\' {
-                            i += 1;
-                        }
-                        if bytes[i] == '\n' {
-                            line += 1;
-                        }
-                        i += 1;
-                    }
-                    i += 1;
-                    toks.push(Token { tok: Tok::Other, line });
-                }
-            }
-            c if is_ident_start(c) => {
-                let mut j = i;
-                while j < n && is_ident_cont(bytes[j]) {
-                    j += 1;
-                }
-                let ident: String = bytes[i..j].iter().collect();
-                toks.push(Token { tok: Tok::Ident(ident), line });
-                i = j;
-            }
-            c if c.is_ascii_digit() => {
-                let mut j = i;
-                while j < n
-                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_' || bytes[j] == '.')
-                {
-                    // Stop a float's `.` from eating a method call: `1.max(2)`.
-                    if bytes[j] == '.' && j + 1 < n && !bytes[j + 1].is_ascii_digit() {
-                        break;
-                    }
-                    j += 1;
-                }
-                let lit: String = bytes[i..j].iter().filter(|&&ch| ch != '_').collect();
-                let tok = if let Some(hex) = lit.strip_prefix("0x").or(lit.strip_prefix("0X")) {
-                    u64::from_str_radix(hex, 16).map(Tok::Int).unwrap_or(Tok::Other)
-                } else {
-                    let digits: String = lit.chars().take_while(char::is_ascii_digit).collect();
-                    let has_suffix_only =
-                        lit.chars().skip(digits.len()).all(|ch| ch.is_ascii_alphabetic());
-                    if has_suffix_only {
-                        digits.parse::<u64>().map(Tok::Int).unwrap_or(Tok::Other)
-                    } else {
-                        Tok::Other
-                    }
-                };
-                toks.push(Token { tok, line });
-                i = j;
-            }
-            c if c.is_whitespace() => i += 1,
-            c => {
-                toks.push(Token { tok: Tok::Punct(c), line });
-                i += 1;
-            }
-        }
-    }
-    (toks, audits)
-}
 
 /// One declared struct field.
 #[derive(Debug, Clone)]
@@ -385,7 +183,7 @@ impl Analysis {
 }
 
 /// Recursively collects `.rs` files under `root`, sorted for determinism.
-fn rust_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+pub(crate) fn rust_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     let mut entries: Vec<_> = std::fs::read_dir(root)?.collect::<Result<Vec<_>, _>>()?;
     entries.sort_by_key(std::fs::DirEntry::file_name);
     for e in entries {
@@ -428,53 +226,15 @@ pub fn analyze_sources(sources: &[(&str, &str)]) -> Analysis {
 }
 
 fn scan_file(path: &Path, text: &str, facts: &mut FileFacts) {
-    let (toks, audits) = tokenize(text);
-    for a in &audits {
-        if let Err(raw) = &a.parsed {
-            facts.malformed.push((path.to_path_buf(), a.line, raw.clone()));
+    let (toks, directives) = tokenize(text);
+    let mut skips: Vec<(u32, String)> = Vec::new();
+    for d in directives.iter().filter(|d| d.prefix == "audit") {
+        match d.reason_for("skip") {
+            Ok(reason) => skips.push((d.line, reason)),
+            Err(raw) => facts.malformed.push((path.to_path_buf(), d.line, raw)),
         }
     }
-    let skips: Vec<(u32, String)> =
-        audits.iter().filter_map(|a| a.parsed.as_ref().ok().map(|r| (a.line, r.clone()))).collect();
     parse_items(path, &toks, &skips, facts);
-}
-
-/// Advances past a balanced `<…>` group if one starts at `i`.
-fn skip_generics(toks: &[Token], mut i: usize) -> usize {
-    if i < toks.len() && toks[i].tok.is_punct('<') {
-        let mut depth = 0i32;
-        while i < toks.len() {
-            match &toks[i].tok {
-                Tok::Punct('<') => depth += 1,
-                Tok::Punct('>') => {
-                    depth -= 1;
-                    if depth == 0 {
-                        return i + 1;
-                    }
-                }
-                _ => {}
-            }
-            i += 1;
-        }
-    }
-    i
-}
-
-/// Advances past a balanced group opened by the delimiter at `i`.
-fn skip_balanced(toks: &[Token], mut i: usize, open: char, close: char) -> usize {
-    let mut depth = 0i32;
-    while i < toks.len() {
-        if toks[i].tok.is_punct(open) {
-            depth += 1;
-        } else if toks[i].tok.is_punct(close) {
-            depth -= 1;
-            if depth == 0 {
-                return i + 1;
-            }
-        }
-        i += 1;
-    }
-    i
 }
 
 fn parse_items(path: &Path, toks: &[Token], skips: &[(u32, String)], facts: &mut FileFacts) {

@@ -4,7 +4,7 @@
 
 use std::path::PathBuf;
 
-use restore_audit::analyze_dirs;
+use restore_audit::{analyze_determinism_dirs, analyze_digest_dirs, analyze_dirs};
 
 fn fixture_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/drift/src")
@@ -94,4 +94,43 @@ fn fixture_defect_count_is_exact() {
     // cap and the u8 field's capacity.
     assert_eq!(kinds.iter().filter(|k| **k == "width-unsound").count(), 2, "{kinds:?}");
     assert_eq!(kinds.len(), 5, "{kinds:?}");
+}
+
+#[test]
+fn digest_canaries_are_detected_exactly() {
+    // `digests.rs` carries the unfolded-field canary, a reasonless
+    // neutral comment, and a lying exemption; the digest pass must see
+    // all four defects and nothing else — and the state scanner above
+    // must keep seeing exactly its five, since no canary has a walk.
+    let analysis = analyze_digest_dirs(&[fixture_root()]).expect("fixture dir readable");
+    let findings: Vec<(&str, String)> =
+        analysis.errors().map(|f| (f.kind, format!("{}.{}", f.type_name, f.field))).collect();
+    assert!(findings.contains(&("unfolded-field", "CanaryCfg.forgotten".into())), "{findings:?}");
+    assert!(findings.contains(&("unfolded-field", "CanaryCfg.threads".into())), "{findings:?}");
+    assert!(findings.contains(&("neutral-but-folded", "LyingCfg.stride".into())), "{findings:?}");
+    assert_eq!(
+        findings.iter().filter(|(k, _)| *k == "malformed-digest-exemption").count(),
+        1,
+        "{findings:?}"
+    );
+    assert_eq!(findings.len(), 4, "{findings:?}");
+}
+
+#[test]
+fn determinism_canaries_are_detected_exactly() {
+    let analysis = analyze_determinism_dirs(&[fixture_root()]).expect("fixture dir readable");
+    let kinds: Vec<&str> = analysis.errors().map(|f| f.kind).collect();
+    for (kind, count) in [
+        ("hash-order", 1),
+        ("wall-clock", 2), // Instant in the soup, SystemTime under the reasonless allow
+        ("entropy-rng", 1),
+        ("rng-seed-literal", 1),
+        ("dangling-determinism-allow", 1),
+        ("malformed-determinism-exemption", 1),
+    ] {
+        assert_eq!(kinds.iter().filter(|k| **k == kind).count(), count, "{kind}: {kinds:?}");
+    }
+    assert_eq!(kinds.len(), 7, "{kinds:?}");
+    // The keyed-lookup twin of the snapshot cache is correctly allowed.
+    assert_eq!(analysis.allows_honored, 1);
 }

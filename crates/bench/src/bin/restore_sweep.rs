@@ -16,14 +16,14 @@
 //! [--intervals A,B,..]`
 
 use restore_bench::sweep::{
-    combined_table, default_cells, evaluate_cell, frontier_table, mark_pareto_frontiers,
-    render_json, SweepPoint,
+    cell_digest, combined_table, default_cells, evaluate_cell, frontier_table,
+    mark_pareto_frontiers, render_json, SweepPoint,
 };
 use restore_bench::{cli, FIG46_INTERVALS};
-use restore_inject::{run_uarch_campaign_io, uarch_campaign_digest, Shard, TrialCache};
+use restore_inject::{run_uarch_campaign_io, Shard, TrialCache};
 use restore_perf::profile_workload;
 use restore_workloads::WorkloadId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const USAGE: &str = "restore-sweep [--points N] [--trials N] [--seed S] [--threads N] \
                      [--cutoff K] [--prune off|on|interval|audit] [--ckpt-stride K] \
@@ -75,11 +75,14 @@ fn main() {
 
     // Cells sharing a campaign digest (e.g. `paper` and `hardened`
     // differ only in scoring) simulate once and share the records.
-    let mut campaigns: HashMap<u64, std::rc::Rc<Vec<restore_inject::UarchTrial>>> = HashMap::new();
-    let mut profiles: HashMap<u64, Vec<restore_perf::WorkloadProfile>> = HashMap::new();
+    // BTreeMaps: the cell loop iterates deterministically and the
+    // emitted point order must be reproducible run-to-run.
+    let mut campaigns: BTreeMap<u64, std::rc::Rc<Vec<restore_inject::UarchTrial>>> =
+        BTreeMap::new();
+    let mut profiles: BTreeMap<u64, Vec<restore_perf::WorkloadProfile>> = BTreeMap::new();
     let mut points: Vec<SweepPoint> = Vec::new();
     for cell in &cells {
-        let digest = uarch_campaign_digest(&cell.cfg);
+        let digest = cell_digest(cell);
         let trials = campaigns
             .entry(digest)
             .or_insert_with(|| {

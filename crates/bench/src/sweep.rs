@@ -32,14 +32,25 @@ use restore_workloads::WorkloadId;
 #[derive(Debug, Clone)]
 pub struct SweepCell {
     /// Stable cell name for tables and JSON.
+    // digest: neutral -- display label; two names over one cfg record identically
     pub name: &'static str,
     /// Campaign configuration (detector knobs folded in).
     pub cfg: UarchCampaignConfig,
     /// Score with the hardened (parity/ECC) pipeline of §5.2.2: lhf
     /// bits are recovered in hardware and leave the failure population.
+    // digest: neutral -- post-hoc scoring policy over already-recorded trials
     pub hardened: bool,
     /// Post-hoc source subsets evaluated against this cell's records.
+    // digest: neutral -- post-hoc subset selection reads recorded latencies only
     pub subsets: Vec<SourceSet>,
+}
+
+/// The store identity of a cell's records: exactly its campaign
+/// configuration's digest. Cells differing only in post-hoc knobs
+/// (`name`, `hardened`, `subsets`) share one digest and therefore one
+/// (cached) campaign run.
+pub fn cell_digest(cell: &SweepCell) -> u64 {
+    restore_inject::uarch_campaign_digest(&cell.cfg)
 }
 
 /// The default sweep grid over a base campaign configuration: the
@@ -64,9 +75,9 @@ pub fn default_cells(base: &UarchCampaignConfig) -> Vec<SweepCell> {
             vec![
                 SourceSet { watchdog: false, ..SourceSet::baseline() },
                 SourceSet::baseline(),
-                hc.clone(),
-                SourceSet { cfv: Some(CfvMode::Perfect), ..hc.clone() },
-                SourceSet { cfv: Some(CfvMode::AnyMispredict), ..hc.clone() },
+                hc,
+                SourceSet { cfv: Some(CfvMode::Perfect), ..hc },
+                SourceSet { cfv: Some(CfvMode::AnyMispredict), ..hc },
             ],
         ),
         cell(
@@ -75,9 +86,9 @@ pub fn default_cells(base: &UarchCampaignConfig) -> Vec<SweepCell> {
             base.uarch.clone(),
             false,
             vec![
-                SourceSet { signature: true, ..hc.clone() },
-                SourceSet { dup: true, ..hc.clone() },
-                SourceSet { signature: true, dup: true, ..hc.clone() },
+                SourceSet { signature: true, ..hc },
+                SourceSet { dup: true, ..hc },
+                SourceSet { signature: true, dup: true, ..hc },
                 SourceSet {
                     exceptions: false,
                     watchdog: false,
@@ -92,21 +103,21 @@ pub fn default_cells(base: &UarchCampaignConfig) -> Vec<SweepCell> {
             paper_det,
             UarchConfig { jrs_threshold: 7, ..base.uarch.clone() },
             false,
-            vec![hc.clone()],
+            vec![hc],
         ),
         cell(
             "jrs-small",
             paper_det,
             UarchConfig { jrs_entries: 256, ..base.uarch.clone() },
             false,
-            vec![hc.clone()],
+            vec![hc],
         ),
         cell(
             "wd-fast",
             paper_det,
             UarchConfig { watchdog_cycles: 500, ..base.uarch.clone() },
             false,
-            vec![SourceSet::baseline(), hc.clone()],
+            vec![SourceSet::baseline(), hc],
         ),
         cell("hardened", paper_det, base.uarch.clone(), true, vec![hc]),
     ]

@@ -177,6 +177,7 @@ impl Overhead {
         Overhead { extra_instr_frac: 0.0, table_bits: 0, checkpoint_bits: 0 };
 
     /// Component-wise sum.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Overhead) -> Overhead {
         Overhead {
             extra_instr_frac: self.extra_instr_frac + other.extra_instr_frac,

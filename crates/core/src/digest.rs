@@ -109,6 +109,20 @@ pub fn config_digest(rendering: &str) -> u64 {
     h
 }
 
+/// Historical pin: `uarch_campaign_digest(&UarchCampaignConfig::default())`.
+///
+/// Every record a warm store holds is filed under a digest value; if
+/// either constant below moves, every existing store directory is
+/// silently orphaned (cold re-simulation, not corruption). The
+/// constants live here — not next to the digest functions in
+/// `restore-inject` — so the dependency-free audit crate can assert
+/// them without pulling the campaign drivers into `restore-core`.
+/// Asserted by `crates/audit/tests/digest_battery.rs`; update ONLY with
+/// a changelog entry explaining the store invalidation.
+pub const PINNED_UARCH_DEFAULT_DIGEST: u64 = 0x2a32_b7db_a46e_878a;
+/// Historical pin: `arch_campaign_digest(&ArchCampaignConfig::default())`.
+pub const PINNED_ARCH_DEFAULT_DIGEST: u64 = 0x1b19_cb1a_5692_9a3c;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -67,7 +67,9 @@ pub use detector::{
     CfvMode, DetectorConfig, DetectorSet, Observation, Overhead, RetiredCompare, SourceSet,
     SymptomKind, SymptomSource, LHF_DUP_MASK,
 };
-pub use digest::{config_digest, ConfigDigest};
+pub use digest::{
+    config_digest, ConfigDigest, PINNED_ARCH_DEFAULT_DIGEST, PINNED_UARCH_DEFAULT_DIGEST,
+};
 pub use event_log::{BranchOutcome, EventLog, LogCheck};
 pub use fit::{FitModel, FitScaling};
 pub use replay::{measure_rollbacks, ReplayMeasurement, RollbackPolicy, DOMAIN_REPLAY};

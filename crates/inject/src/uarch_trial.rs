@@ -22,7 +22,7 @@ use restore_arch::Retired;
 use restore_core::{DetectorSet, Observation, RetiredCompare, SourceSet, SymptomKind};
 use restore_uarch::{FaultState, OccupancyRecorder, Pipeline, StateCatalog, Stop};
 use restore_workloads::WorkloadId;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// How a trial's observation window ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,9 +156,9 @@ impl UarchTrial {
 pub(crate) struct GoldenRun {
     trace: Vec<Retired>,
     /// `(retired_before, pc)` of golden high-confidence mispredicts.
-    hc_events: HashSet<(u64, u64)>,
+    hc_events: BTreeSet<(u64, u64)>,
     /// `(retired_before, pc)` of all golden conditional mispredicts.
-    all_events: HashSet<(u64, u64)>,
+    all_events: BTreeSet<(u64, u64)>,
     end_state_hash: u64,
     pub(crate) end_regs: [u64; 32],
     /// Digest of the end memory image ([`restore_arch::Memory::content_hash`]);
@@ -217,8 +217,8 @@ pub(crate) fn golden_run(at: &Pipeline, cfg: &UarchCampaignConfig) -> GoldenRun 
     let mut g = at.clone();
     let base_retired = g.retired();
     let mut trace = Vec::new();
-    let mut hc = HashSet::new();
-    let mut all = HashSet::new();
+    let mut hc = BTreeSet::new();
+    let mut all = BTreeSet::new();
     let stride = cfg.cutoff_stride;
     let mut fingerprints =
         Vec::with_capacity(cfg.window_cycles.checked_div(stride).unwrap_or(0) as usize);

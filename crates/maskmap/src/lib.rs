@@ -1095,6 +1095,7 @@ fn read_json(path: &Path) -> Option<Json> {
 }
 
 /// One process-wide registry per map type, keyed by `(workload, digest)`.
+// determinism: allow -- keyed lookup only; the registry is never iterated for output
 type Registry<M> = OnceLock<Mutex<HashMap<(WorkloadId, u64), Arc<M>>>>;
 
 /// The process-wide µarch map registry: one [`UarchMaskMap`] per

@@ -149,7 +149,7 @@ impl PerfModel {
             Policy::Delayed => {
                 // One rollback per interval containing at least one
                 // symptom, at a 2-interval re-execution distance.
-                let mut symptomatic = std::collections::HashSet::new();
+                let mut symptomatic = std::collections::BTreeSet::new();
                 for &pos in &p.symptom_positions {
                     symptomatic.insert(pos / interval.max(1));
                 }

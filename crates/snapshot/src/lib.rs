@@ -336,6 +336,7 @@ pub struct LibraryKey {
     pub stride: u64,
 }
 
+// determinism: allow -- keyed lookup only; the cache is never iterated for output
 type CacheMap = HashMap<LibraryKey, Arc<dyn Any + Send + Sync>>;
 
 fn cache() -> &'static Mutex<CacheMap> {

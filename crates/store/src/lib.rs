@@ -39,7 +39,7 @@ mod json;
 pub use json::{Json, JsonError};
 
 use restore_arch::{FieldClass, StateKind, StateVisitor};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
@@ -281,7 +281,7 @@ pub struct TrialStore<T> {
     dir: PathBuf,
     label: String,
     records: Vec<Stored<T>>,
-    index: HashMap<TrialKey, usize>,
+    index: BTreeMap<TrialKey, usize>,
     writer: Option<File>,
     report: OpenReport,
 }
@@ -311,7 +311,7 @@ impl<T: Payload> TrialStore<T> {
             dir: dir.to_path_buf(),
             label: label.to_owned(),
             records: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             writer: None,
             report: OpenReport::default(),
         };
